@@ -1,0 +1,176 @@
+// Command mrexperiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	mrexperiments [-scale quick|full] [-runs N] [-seed S] [-csv dir] [names...]
+//
+// With no names it runs every experiment: table2 fig1 fig2 fig3 fig4 fig5
+// fig6 theorem1 theorem2. With -csv the figure data are also written as CSV
+// files into the given directory.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"mrclone/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "mrexperiments:", err)
+		os.Exit(1)
+	}
+}
+
+var allExperiments = []string{
+	"table2", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "theorem1", "theorem2",
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("mrexperiments", flag.ContinueOnError)
+	scale := fs.String("scale", "quick", "experiment scale: quick or full")
+	runs := fs.Int("runs", 0, "override runs per configuration (0 = preset)")
+	seed := fs.Int64("seed", 0, "override base seed (0 = preset)")
+	csvDir := fs.String("csv", "", "directory to also write CSV data into")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var opts experiments.Options
+	switch *scale {
+	case "quick":
+		opts = experiments.QuickOptions()
+	case "full":
+		opts = experiments.FullOptions()
+	default:
+		return fmt.Errorf("unknown scale %q (want quick or full)", *scale)
+	}
+	if *runs > 0 {
+		opts.Runs = *runs
+	}
+	if *seed != 0 {
+		opts.Seed = *seed
+	}
+	names := fs.Args()
+	if len(names) == 0 {
+		names = allExperiments
+	}
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			return err
+		}
+	}
+	for _, name := range names {
+		fmt.Fprintf(out, "\n===== %s (scale=%s) =====\n", name, *scale)
+		if err := runOne(name, opts, out, *csvDir); err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+	}
+	return nil
+}
+
+// csvWriter opens <dir>/<name>.csv, or returns nil when dir is empty.
+func csvWriter(dir, name string) (io.WriteCloser, error) {
+	if dir == "" {
+		return nil, nil
+	}
+	return os.Create(filepath.Join(dir, name+".csv"))
+}
+
+func runOne(name string, opts experiments.Options, out io.Writer, csvDir string) error {
+	emitCSV := func(render func(io.Writer) error) error {
+		w, err := csvWriter(csvDir, name)
+		if err != nil || w == nil {
+			return err
+		}
+		defer w.Close()
+		return render(w)
+	}
+	switch name {
+	case "table2":
+		res, err := experiments.Table2(opts)
+		if err != nil {
+			return err
+		}
+		return res.WriteText(out)
+	case "fig1":
+		res, err := experiments.Fig1(opts)
+		if err != nil {
+			return err
+		}
+		if err := res.WriteText(out); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "best epsilon (min unweighted avg): %g\n", res.BestEpsilon())
+		return emitCSV(res.WriteCSV)
+	case "fig2":
+		res, err := experiments.Fig2(opts)
+		if err != nil {
+			return err
+		}
+		if err := res.WriteText(out); err != nil {
+			return err
+		}
+		return emitCSV(res.WriteCSV)
+	case "fig3":
+		res, err := experiments.Fig3(opts)
+		if err != nil {
+			return err
+		}
+		if err := res.WriteText(out); err != nil {
+			return err
+		}
+		return emitCSV(res.WriteCSV)
+	case "fig4":
+		res, err := experiments.Fig4(opts)
+		if err != nil {
+			return err
+		}
+		if err := res.WriteText(out); err != nil {
+			return err
+		}
+		if err := experiments.ASCIIPlot(out, "CDF of small-job flowtime (0-300 s)", res.Curves); err != nil {
+			return err
+		}
+		return emitCSV(res.WriteCSV)
+	case "fig5":
+		res, err := experiments.Fig5(opts)
+		if err != nil {
+			return err
+		}
+		if err := res.WriteText(out); err != nil {
+			return err
+		}
+		if err := experiments.ASCIIPlot(out, "CDF of big-job flowtime (300-4000 s)", res.Curves); err != nil {
+			return err
+		}
+		return emitCSV(res.WriteCSV)
+	case "fig6":
+		res, err := experiments.Fig6(opts)
+		if err != nil {
+			return err
+		}
+		if err := res.WriteText(out); err != nil {
+			return err
+		}
+		return emitCSV(res.WriteCSV)
+	case "theorem1":
+		res, err := experiments.Theorem1(opts)
+		if err != nil {
+			return err
+		}
+		return res.WriteText(out)
+	case "theorem2":
+		res, err := experiments.Theorem2(opts)
+		if err != nil {
+			return err
+		}
+		return res.WriteText(out)
+	default:
+		return fmt.Errorf("unknown experiment (have %v)", allExperiments)
+	}
+}

@@ -1,0 +1,53 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestBadArgs(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-scale", "bogus"}, &buf); err == nil {
+		t.Error("bogus scale accepted")
+	}
+	if err := run([]string{"-scale", "quick", "nonsense"}, &buf); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestTable2AndTheorems(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-scale", "quick", "-runs", "1", "table2", "theorem1"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "table2") || !strings.Contains(out, "theorem1") {
+		t.Errorf("missing experiment sections:\n%s", out)
+	}
+	if !strings.Contains(out, "zero-variance competitive ratio") {
+		t.Errorf("theorem1 output incomplete:\n%s", out)
+	}
+}
+
+func TestCSVOutput(t *testing.T) {
+	dir := t.TempDir()
+	var buf bytes.Buffer
+	// Tiny custom scale via quick + runs 1 on fig6 only; fig6 at quick scale
+	// is the slowest acceptable in tests, so restrict to table2+fig1-less.
+	if err := run([]string{"-scale", "quick", "-runs", "1", "-csv", dir, "fig6"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "fig6.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "algorithm,") {
+		t.Errorf("fig6.csv header: %.40s", data)
+	}
+	if !strings.Contains(buf.String(), "vs Mantri") {
+		t.Errorf("fig6 text missing headline:\n%s", buf.String())
+	}
+}

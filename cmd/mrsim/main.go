@@ -1,0 +1,126 @@
+// Command mrsim runs one cluster simulation: a trace (generated or loaded
+// from CSV) under a chosen scheduler, printing the flowtime summary.
+//
+// Usage:
+//
+//	mrsim [-sched srptms+c] [-machines 12000] [-jobs N] [-eps 0.9] [-r 3]
+//	      [-seed 1] [-speed 1] [-trace trace.csv] [-cdf lo:hi]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"mrclone/internal/cluster"
+	"mrclone/internal/metrics"
+	"mrclone/internal/sched"
+	"mrclone/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "mrsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("mrsim", flag.ContinueOnError)
+	schedName := fs.String("sched", "srptms+c", "scheduler: "+strings.Join(sched.Names(), ", "))
+	machines := fs.Int("machines", 12000, "cluster size M")
+	jobs := fs.Int("jobs", 0, "truncate trace to first N jobs (0 = all)")
+	eps := fs.Float64("eps", 0.9, "SRPTMS+C sharing fraction epsilon")
+	rFactor := fs.Float64("r", 3, "deviation factor r in effective workloads")
+	seed := fs.Int64("seed", 1, "simulation seed")
+	speed := fs.Float64("speed", 1, "machine speed (resource augmentation)")
+	tracePath := fs.String("trace", "", "trace CSV (default: generate Table II trace)")
+	cdfRange := fs.String("cdf", "", "also print a flowtime CDF over lo:hi seconds")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	tr, err := loadTrace(*tracePath, *jobs)
+	if err != nil {
+		return err
+	}
+	s, err := sched.Build(*schedName, sched.Params{
+		Epsilon:         *eps,
+		DeviationFactor: *rFactor,
+		GateReduces:     true,
+	})
+	if err != nil {
+		return err
+	}
+	specs, err := tr.Specs()
+	if err != nil {
+		return err
+	}
+	eng, err := cluster.New(cluster.Config{
+		Machines: *machines,
+		Speed:    *speed,
+		Seed:     *seed,
+	}, s, specs)
+	if err != nil {
+		return err
+	}
+	res, err := eng.Run()
+	if err != nil {
+		return err
+	}
+	sum, err := metrics.Summarize(res)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "scheduler            %s\n", res.Scheduler)
+	fmt.Fprintf(out, "machines             %d (speed %.2f)\n", res.Machines, res.Speed)
+	fmt.Fprintf(out, "jobs finished        %d\n", res.FinishedJobs)
+	fmt.Fprintf(out, "makespan (s)         %d\n", res.Slots)
+	fmt.Fprintf(out, "avg flowtime (s)     %.1f\n", sum.MeanFlowtime)
+	fmt.Fprintf(out, "weighted avg (s)     %.1f\n", sum.WeightedFlowtime)
+	fmt.Fprintf(out, "p50/p90/p99 (s)      %.0f / %.0f / %.0f\n", sum.P50, sum.P90, sum.P99)
+	fmt.Fprintf(out, "copies launched      %d (%d clones)\n", res.TotalCopies, res.CloneCopies)
+	fmt.Fprintf(out, "wasted clone work    %.0f machine-seconds\n", res.WastedCopyWrk)
+
+	if *cdfRange != "" {
+		var lo, hi float64
+		if _, err := fmt.Sscanf(*cdfRange, "%f:%f", &lo, &hi); err != nil {
+			return fmt.Errorf("bad -cdf %q (want lo:hi): %v", *cdfRange, err)
+		}
+		pts, err := metrics.FlowtimeCDF(res, lo, hi, 11)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, "\nflowtime<=  fraction")
+		for _, p := range pts {
+			fmt.Fprintf(out, "%9.0f  %.3f\n", p.X, p.Fraction)
+		}
+	}
+	return nil
+}
+
+func loadTrace(path string, jobs int) (*trace.Trace, error) {
+	var (
+		tr  *trace.Trace
+		err error
+	)
+	if path != "" {
+		f, err2 := os.Open(path)
+		if err2 != nil {
+			return nil, err2
+		}
+		defer f.Close()
+		tr, err = trace.ReadCSV(f)
+	} else {
+		tr, err = trace.Generate(trace.GoogleParams())
+	}
+	if err != nil {
+		return nil, err
+	}
+	if jobs > 0 && jobs < len(tr.Rows) {
+		tr = tr.Subset(jobs)
+	}
+	return tr, nil
+}

@@ -1,0 +1,100 @@
+// Command mrtrace generates and inspects synthetic MapReduce workload
+// traces calibrated to the paper's Table II.
+//
+// Usage:
+//
+//	mrtrace gen   [-jobs N] [-seed S] [-o trace.csv]
+//	mrtrace stats [-i trace.csv]        (or stats of a fresh generation)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"mrclone/internal/experiments"
+	"mrclone/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "mrtrace:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: mrtrace <gen|stats> [flags]")
+	}
+	switch args[0] {
+	case "gen":
+		return runGen(args[1:], out)
+	case "stats":
+		return runStats(args[1:], out)
+	default:
+		return fmt.Errorf("unknown subcommand %q (want gen or stats)", args[0])
+	}
+}
+
+func runGen(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("gen", flag.ContinueOnError)
+	jobs := fs.Int("jobs", trace.GoogleJobs, "number of jobs")
+	seed := fs.Int64("seed", 1, "generator seed")
+	output := fs.String("o", "", "output CSV path (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	p := trace.GoogleParams()
+	p.Jobs = *jobs
+	p.Seed = *seed
+	tr, err := trace.Generate(p)
+	if err != nil {
+		return err
+	}
+	w := out
+	if *output != "" {
+		f, err := os.Create(*output)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	return tr.WriteCSV(w)
+}
+
+func runStats(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("stats", flag.ContinueOnError)
+	input := fs.String("i", "", "trace CSV path (default: generate Table II trace)")
+	seed := fs.Int64("seed", 1, "generator seed when no input file is given")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var (
+		tr  *trace.Trace
+		err error
+	)
+	if *input != "" {
+		f, err2 := os.Open(*input)
+		if err2 != nil {
+			return err2
+		}
+		defer f.Close()
+		tr, err = trace.ReadCSV(f)
+	} else {
+		p := trace.GoogleParams()
+		p.Seed = *seed
+		tr, err = trace.Generate(p)
+	}
+	if err != nil {
+		return err
+	}
+	st, err := tr.ComputeStats()
+	if err != nil {
+		return err
+	}
+	res := &experiments.Table2Result{Stats: st}
+	return res.WriteText(out)
+}

@@ -1,0 +1,73 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestUsageErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(nil, &buf); err == nil {
+		t.Error("no args accepted")
+	}
+	if err := run([]string{"bogus"}, &buf); err == nil {
+		t.Error("bogus subcommand accepted")
+	}
+}
+
+func TestGenAndStatsRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "trace.csv")
+	var buf bytes.Buffer
+	if err := run([]string{"gen", "-jobs", "50", "-seed", "3", "-o", path}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "id,arrival") {
+		t.Fatalf("unexpected CSV header: %.40s", data)
+	}
+	buf.Reset()
+	if err := run([]string{"stats", "-i", path}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Total number of jobs") {
+		t.Errorf("stats output missing table: %s", buf.String())
+	}
+	if !strings.Contains(buf.String(), "50") {
+		t.Errorf("stats should report 50 jobs: %s", buf.String())
+	}
+}
+
+func TestGenToStdout(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"gen", "-jobs", "5"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Count(buf.String(), "\n")
+	if lines != 6 { // header + 5 rows
+		t.Errorf("lines = %d, want 6", lines)
+	}
+}
+
+func TestStatsGenerated(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"stats", "-seed", "2"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "6064") {
+		t.Errorf("default stats should cover the full trace: %s", buf.String())
+	}
+}
+
+func TestStatsMissingFile(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"stats", "-i", "/nonexistent/x.csv"}, &buf); err == nil {
+		t.Error("missing file accepted")
+	}
+}

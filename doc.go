@@ -1,0 +1,37 @@
+// Package mrclone is a Go reproduction of "Task-Cloning Algorithms in a
+// MapReduce Cluster with Competitive Performance Bounds" (Huanle Xu and
+// Wing Cheong Lau, ICDCS 2015).
+//
+// The package provides:
+//
+//   - SRPTMS+C, the paper's online task-cloning scheduler, together with the
+//     offline bulk-arrival algorithm and the Mantri, SCA, Fair, and SRPT
+//     baselines, all behind one Scheduler interface;
+//   - a time-slotted MapReduce cluster simulator with Map→Reduce precedence
+//     and min-of-copies cloning semantics (Section III of the paper);
+//   - a synthetic Google-trace generator calibrated to the paper's Table II;
+//   - the full experiment harness regenerating every figure and table of the
+//     paper's evaluation plus numerical checks of both theorems;
+//   - a small real in-process MapReduce engine whose speculative-execution
+//     policy is pluggable with the same strategies.
+//
+// # Quick start
+//
+//	params := mrclone.GoogleTraceParams()
+//	params.Jobs = 500
+//	tr, err := mrclone.GenerateTrace(params)
+//	// handle err
+//	sim, err := mrclone.NewSimulation(tr,
+//		mrclone.WithMachines(1000),
+//		mrclone.WithScheduler("srptms+c"),
+//		mrclone.WithSeed(42))
+//	// handle err
+//	res, err := sim.Run()
+//	// handle err
+//	summary, err := mrclone.Summarize(res)
+//	// handle err
+//	fmt.Printf("weighted avg flowtime: %.1f s\n", summary.WeightedFlowtime)
+//
+// See the examples/ directory for runnable programs and EXPERIMENTS.md for
+// paper-versus-measured results.
+package mrclone

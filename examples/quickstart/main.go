@@ -1,0 +1,54 @@
+// Quickstart: generate a small Table II-calibrated workload, run it under
+// SRPTMS+C, and print the flowtime summary — the minimal end-to-end use of
+// the public API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mrclone"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// A 500-job slice of the Google-like workload.
+	params := mrclone.GoogleTraceParams()
+	params.Jobs = 500
+	tr, err := mrclone.GenerateTrace(params)
+	if err != nil {
+		return err
+	}
+
+	// A proportionally sized cluster (same load ratio as the paper's
+	// 6064 jobs on 12000 machines).
+	sim, err := mrclone.NewSimulation(tr,
+		mrclone.WithMachines(1000),
+		mrclone.WithScheduler("srptms+c"),
+		mrclone.WithSeed(42),
+	)
+	if err != nil {
+		return err
+	}
+	res, err := sim.Run()
+	if err != nil {
+		return err
+	}
+	sum, err := mrclone.Summarize(res)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("scheduler:              %s\n", res.Scheduler)
+	fmt.Printf("jobs finished:          %d\n", res.FinishedJobs)
+	fmt.Printf("average flowtime:       %.1f s\n", sum.MeanFlowtime)
+	fmt.Printf("weighted avg flowtime:  %.1f s\n", sum.WeightedFlowtime)
+	fmt.Printf("median / p90 flowtime:  %.0f s / %.0f s\n", sum.P50, sum.P90)
+	fmt.Printf("clones launched:        %d (of %d copies)\n", res.CloneCopies, res.TotalCopies)
+	return nil
+}

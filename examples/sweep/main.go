@@ -1,0 +1,81 @@
+// Sweep: the paper's parameter studies (Figures 1-3) at laptop scale — how
+// the sharing fraction epsilon, the deviation factor r, and the cluster size
+// shape the average flowtimes of SRPTMS+C.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mrclone"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	params := mrclone.GoogleTraceParams()
+	params.Jobs = 400
+	tr, err := mrclone.GenerateTrace(params)
+	if err != nil {
+		return err
+	}
+
+	measure := func(eps, r float64, machines int) (mean, weighted float64, err error) {
+		sim, err := mrclone.NewSimulation(tr,
+			mrclone.WithMachines(machines),
+			mrclone.WithScheduler("srptms+c"),
+			mrclone.WithSchedulerParams(mrclone.SchedulerParams{
+				Epsilon: eps, DeviationFactor: r,
+			}),
+			mrclone.WithSeed(1),
+		)
+		if err != nil {
+			return 0, 0, err
+		}
+		res, err := sim.Run()
+		if err != nil {
+			return 0, 0, err
+		}
+		sum, err := mrclone.Summarize(res)
+		if err != nil {
+			return 0, 0, err
+		}
+		return sum.MeanFlowtime, sum.WeightedFlowtime, nil
+	}
+
+	const machines = 800
+	fmt.Println("-- Figure 1: epsilon sweep (r = 0)")
+	fmt.Println("eps   avg flow (s)  weighted (s)")
+	for _, eps := range []float64{0.2, 0.4, 0.6, 0.8, 1.0} {
+		mean, weighted, err := measure(eps, 0, machines)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%.1f   %-13.1f %.1f\n", eps, mean, weighted)
+	}
+
+	fmt.Println("\n-- Figure 2: deviation factor sweep (eps = 0.9)")
+	fmt.Println("r     avg flow (s)  weighted (s)")
+	for _, r := range []float64{0, 2, 4, 8} {
+		mean, weighted, err := measure(0.9, r, machines)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%.0f     %-13.1f %.1f\n", r, mean, weighted)
+	}
+
+	fmt.Println("\n-- Figure 3: cluster size sweep (eps = 0.9, r = 3)")
+	fmt.Println("machines  avg flow (s)  weighted (s)")
+	for _, m := range []int{400, 550, 700, 800} {
+		mean, weighted, err := measure(0.9, 3, m)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-9d %-13.1f %.1f\n", m, mean, weighted)
+	}
+	return nil
+}

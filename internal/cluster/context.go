@@ -1,0 +1,126 @@
+package cluster
+
+import (
+	"mrclone/internal/job"
+	"mrclone/internal/rng"
+)
+
+// Context is the per-slot view a Scheduler receives. It exposes exactly the
+// information the paper's model allows: alive jobs with their (E, sigma)
+// workload statistics and task states, the free-machine count, and — for
+// detection-based baselines such as Mantri — per-copy progress fractions as
+// a progress-reporting MapReduce system would surface them. Ground-truth
+// sampled durations are never exposed.
+type Context struct {
+	engine *Engine
+}
+
+// Now returns the current time slot l.
+func (c *Context) Now() int64 { return c.engine.slot }
+
+// Machines returns M, the cluster size.
+func (c *Context) Machines() int { return c.engine.cfg.Machines }
+
+// FreeMachines returns the number of machines available this slot.
+func (c *Context) FreeMachines() int { return c.engine.free }
+
+// AliveJobs returns the jobs that have arrived and not finished, in arrival
+// order. The returned slice is freshly allocated; the *job.Job values are
+// shared with the engine and must not be mutated except through Launch.
+func (c *Context) AliveJobs() []*job.Job {
+	out := make([]*job.Job, len(c.engine.alive))
+	copy(out, c.engine.alive)
+	return out
+}
+
+// Launch starts n copies of task t of job j this slot. Launching a reduce
+// task before the job's map phase has completed requires gated=true: the
+// copies occupy machines immediately but begin progress only when the map
+// phase finishes (the paper's constraint 1g). It returns the number of
+// copies actually launched.
+func (c *Context) Launch(j *job.Job, t *job.Task, n int, gated bool) (int, error) {
+	return c.engine.launch(j, t, n, gated)
+}
+
+// Rand returns a deterministic random stream for scheduler tie-breaking
+// (for example, "choose one unscheduled task at random").
+func (c *Context) Rand() *rng.Source { return c.engine.schedRand }
+
+// CopyProgress describes one live copy of a task as a progress-reporting
+// execution layer would: how long it has been running and what fraction of
+// its work is complete. Gated copies report zero progress.
+type CopyProgress struct {
+	Elapsed  int64   // slots since the countdown started
+	Fraction float64 // completed fraction in [0, 1)
+	Gated    bool
+}
+
+// Progress returns progress reports for the live copies of t, oldest first.
+// It returns nil for tasks with no live copies.
+func (c *Context) Progress(t *job.Task) []CopyProgress {
+	copies := c.engine.taskCopy[t]
+	if len(copies) == 0 {
+		return nil
+	}
+	out := make([]CopyProgress, 0, len(copies))
+	for _, cp := range copies {
+		if cp.dead {
+			continue
+		}
+		if cp.gated {
+			out = append(out, CopyProgress{Gated: true})
+			continue
+		}
+		elapsed := c.engine.slot - cp.started
+		total := float64(cp.finish - cp.started)
+		frac := 0.0
+		if total > 0 {
+			frac = float64(elapsed) / total
+		}
+		if frac > 1 {
+			frac = 1
+		}
+		out = append(out, CopyProgress{Elapsed: elapsed, Fraction: frac})
+	}
+	return out
+}
+
+// BestProgress returns, without allocating, the progress report of the live
+// copy of t with the smallest progress-based remaining-time estimate
+// elapsed*(1-f)/f — the copy expected to finish first. Copies with zero
+// reported progress are returned only when no copy has made progress. ok is
+// false when t has no observable live copy.
+func (c *Context) BestProgress(t *job.Task) (best CopyProgress, ok bool) {
+	bestRem := 0.0
+	for _, cp := range c.engine.taskCopy[t] {
+		if cp.dead || cp.gated {
+			continue
+		}
+		elapsed := c.engine.slot - cp.started
+		total := float64(cp.finish - cp.started)
+		frac := 0.0
+		if total > 0 {
+			frac = float64(elapsed) / total
+		}
+		if frac > 1 {
+			frac = 1
+		}
+		p := CopyProgress{Elapsed: elapsed, Fraction: frac}
+		switch {
+		case !ok:
+			best, ok = p, true
+			if frac > 0 {
+				bestRem = float64(elapsed) * (1 - frac) / frac
+			}
+		case frac > 0:
+			rem := float64(elapsed) * (1 - frac) / frac
+			if best.Fraction == 0 || rem < bestRem {
+				best, bestRem = p, rem
+			}
+		}
+	}
+	return best, ok
+}
+
+// Speed returns the configured machine speed (resource augmentation factor).
+func (c *Context) Speed() float64 { return c.engine.cfg.Speed }

@@ -1,0 +1,414 @@
+// Package cluster implements the time-slotted MapReduce cluster simulator of
+// Section III of Xu & Lau (ICDCS 2015): M identical unit-speed machines, one
+// task copy per machine per slot, Map→Reduce precedence within each job, and
+// task cloning where a task completes as soon as its earliest copy does.
+//
+// Cloning speedup is emergent: every copy draws an independent workload from
+// the task's duration distribution and the task takes the minimum, exactly as
+// in the paper's trace-driven evaluation ("the workload for this clone is
+// just drawn independently from the estimated distribution").
+package cluster
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"mrclone/internal/job"
+	"mrclone/internal/rng"
+)
+
+// Scheduler is invoked once per time slot to assign free machines to task
+// copies. Implementations live in internal/sched/...
+type Scheduler interface {
+	// Name identifies the scheduler in reports.
+	Name() string
+	// Schedule may call ctx.Launch until ctx.FreeMachines() reaches zero.
+	Schedule(ctx *Context)
+}
+
+// Config parameterizes a simulation run.
+type Config struct {
+	// Machines is M, the number of machines in the cluster. Required > 0.
+	Machines int
+	// Speed is the machine speed for resource-augmentation experiments
+	// (Definition 1). A copy with workload p takes ceil(p/Speed) slots.
+	// Zero means 1.0 (unit speed).
+	Speed float64
+	// MaxSlots aborts a run that exceeds this many slots (safety net against
+	// scheduler starvation bugs). Zero means a generous default.
+	MaxSlots int64
+	// Seed drives all stochastic choices (copy workloads, scheduler
+	// tie-breaking). Runs with equal seeds and schedulers are identical.
+	Seed int64
+}
+
+const defaultMaxSlots = 50_000_000
+
+// Errors reported by the engine.
+var (
+	ErrNoMachines   = errors.New("cluster: config needs at least one machine")
+	ErrNoScheduler  = errors.New("cluster: nil scheduler")
+	ErrSlotOverflow = errors.New("cluster: exceeded MaxSlots without finishing all jobs")
+	ErrNoFreeSlots  = errors.New("cluster: launch exceeds free machines")
+	ErrGateViolated = errors.New("cluster: reduce copy launched before map phase done without gating")
+)
+
+// copyRecord is one running (or gated) copy of a task occupying a machine.
+type copyRecord struct {
+	seq      int64 // launch sequence, for deterministic ordering
+	task     *job.Task
+	owner    *job.Job
+	workload float64
+	finish   int64 // completion slot; -1 while gated
+	dead     bool  // killed (sibling finished first) or completed
+	gated    bool  // waiting for the owner's map phase to finish
+	started  int64 // slot at which the countdown began (-1 while gated)
+	launched int64 // slot at which the copy occupied its machine
+}
+
+// copyHeap is a min-heap of copies ordered by (finish, seq).
+type copyHeap []*copyRecord
+
+func (h copyHeap) Len() int { return len(h) }
+func (h copyHeap) Less(i, j int) bool {
+	if h[i].finish != h[j].finish {
+		return h[i].finish < h[j].finish
+	}
+	return h[i].seq < h[j].seq
+}
+func (h copyHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *copyHeap) Push(x interface{}) { *h = append(*h, x.(*copyRecord)) }
+func (h *copyHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	item := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return item
+}
+
+// JobRecord is the per-job outcome of a run.
+type JobRecord struct {
+	ID          int
+	Weight      float64
+	Arrival     int64
+	Finish      int64
+	Flowtime    int64
+	Tasks       int
+	TotalCopies int // copies ever launched, including clones
+}
+
+// Result summarizes a completed simulation.
+type Result struct {
+	Scheduler     string
+	Machines      int
+	Speed         float64
+	Slots         int64 // slot at which the last job finished
+	Jobs          []JobRecord
+	TotalCopies   int64 // all copies launched
+	CloneCopies   int64 // copies beyond the first per task
+	MachineSlots  int64 // busy machine-slots consumed (occupancy integral)
+	ArrivedJobs   int
+	FinishedJobs  int
+	WastedCopyWrk float64 // workload of killed copies (cloning overhead)
+}
+
+// Engine runs one simulation.
+type Engine struct {
+	cfg   Config
+	sched Scheduler
+
+	slot    int64
+	free    int
+	seq     int64
+	arrived int
+
+	pending []job.Spec // sorted by arrival
+	jobs    []*job.Job // all materialized jobs, arrival order
+	alive   []*job.Job // arrived and not finished
+
+	heap      copyHeap
+	taskCopy  map[*job.Task][]*copyRecord // live copies per task
+	gatedJobs map[*job.Job][]*copyRecord  // gated reduce copies per job
+
+	durations *rng.Source // stream for copy workload sampling
+	schedRand *rng.Source // stream handed to the scheduler
+
+	busy         int64
+	totalCopies  int64
+	cloneCopies  int64
+	wastedWrk    float64
+	finishedJobs int
+}
+
+// New prepares an engine over the given job specs. Specs are copied and
+// sorted by arrival time; they must each validate.
+func New(cfg Config, sched Scheduler, specs []job.Spec) (*Engine, error) {
+	if cfg.Machines <= 0 {
+		return nil, ErrNoMachines
+	}
+	if sched == nil {
+		return nil, ErrNoScheduler
+	}
+	if cfg.Speed == 0 {
+		cfg.Speed = 1
+	}
+	if cfg.Speed < 0 || math.IsNaN(cfg.Speed) {
+		return nil, fmt.Errorf("cluster: invalid speed %v", cfg.Speed)
+	}
+	if cfg.MaxSlots == 0 {
+		cfg.MaxSlots = defaultMaxSlots
+	}
+	for i := range specs {
+		if err := specs[i].Validate(); err != nil {
+			return nil, err
+		}
+	}
+	pending := make([]job.Spec, len(specs))
+	copy(pending, specs)
+	sort.SliceStable(pending, func(i, j int) bool {
+		return pending[i].Arrival < pending[j].Arrival
+	})
+	root := rng.New(cfg.Seed)
+	return &Engine{
+		cfg:       cfg,
+		sched:     sched,
+		free:      cfg.Machines,
+		pending:   pending,
+		taskCopy:  make(map[*job.Task][]*copyRecord),
+		gatedJobs: make(map[*job.Job][]*copyRecord),
+		durations: root.Split("durations"),
+		schedRand: root.Split("scheduler"),
+	}, nil
+}
+
+// Run executes the simulation to completion and returns the result.
+func (e *Engine) Run() (*Result, error) {
+	total := len(e.pending)
+	for e.finishedJobs < total {
+		if e.slot > e.cfg.MaxSlots {
+			return nil, fmt.Errorf("%w: slot %d, %d/%d jobs finished",
+				ErrSlotOverflow, e.slot, e.finishedJobs, total)
+		}
+		e.admitArrivals()
+		e.processCompletions()
+		if e.free > 0 && len(e.alive) > 0 {
+			ctx := &Context{engine: e}
+			e.sched.Schedule(ctx)
+		}
+		e.busy += int64(e.cfg.Machines - e.free)
+		e.slot++
+	}
+	return e.result(), nil
+}
+
+// admitArrivals materializes jobs whose arrival slot has come.
+func (e *Engine) admitArrivals() {
+	for len(e.pending) > 0 && e.pending[0].Arrival <= e.slot {
+		spec := e.pending[0]
+		e.pending = e.pending[1:]
+		j, err := job.New(spec)
+		if err != nil {
+			// Specs were validated in New; this is unreachable in practice.
+			panic(fmt.Sprintf("cluster: invalid spec slipped through: %v", err))
+		}
+		e.jobs = append(e.jobs, j)
+		e.alive = append(e.alive, j)
+		e.arrived++
+	}
+}
+
+// processCompletions pops every copy finishing at the current slot, completes
+// its task (first copy wins), kills sibling copies, opens Reduce gates, and
+// retires finished jobs.
+func (e *Engine) processCompletions() {
+	for len(e.heap) > 0 {
+		top := e.heap[0]
+		if top.dead {
+			heap.Pop(&e.heap)
+			continue
+		}
+		if top.finish < 0 || top.finish > e.slot {
+			break
+		}
+		heap.Pop(&e.heap)
+		e.completeCopy(top)
+	}
+}
+
+// completeCopy finishes the task owned by c at the current slot.
+func (e *Engine) completeCopy(c *copyRecord) {
+	if c.dead || c.task.State == job.TaskDone {
+		return
+	}
+	owner := c.owner
+	// Free the finishing copy's machine.
+	c.dead = true
+	owner.MarkCopyStopped(c.task)
+	e.free++
+	// Kill all sibling copies and free their machines; their remaining
+	// workload is wasted cloning overhead.
+	for _, sib := range e.taskCopy[c.task] {
+		if sib == c || sib.dead {
+			continue
+		}
+		sib.dead = true
+		owner.MarkCopyStopped(c.task)
+		e.free++
+		if sib.started >= 0 {
+			done := float64(e.slot-sib.started) * e.cfg.Speed
+			if rem := sib.workload - done; rem > 0 {
+				e.wastedWrk += rem
+			}
+		} else {
+			e.wastedWrk += sib.workload
+		}
+	}
+	delete(e.taskCopy, c.task)
+	owner.MarkDone(c.task, e.slot)
+
+	if c.task.ID.Phase == job.PhaseMap && owner.MapPhaseDone() {
+		e.openGate(owner)
+	}
+	if owner.Done() {
+		e.retireJob(owner)
+	}
+}
+
+// openGate starts the countdown of any gated reduce copies of j.
+func (e *Engine) openGate(j *job.Job) {
+	for _, c := range e.gatedJobs[j] {
+		if c.dead {
+			continue
+		}
+		c.gated = false
+		c.started = e.slot
+		c.finish = e.slot + e.durationSlots(c.workload)
+		heap.Push(&e.heap, c)
+	}
+	delete(e.gatedJobs, j)
+}
+
+// retireJob removes a finished job from the alive set.
+func (e *Engine) retireJob(j *job.Job) {
+	for i, a := range e.alive {
+		if a == j {
+			e.alive = append(e.alive[:i], e.alive[i+1:]...)
+			break
+		}
+	}
+	e.finishedJobs++
+}
+
+// durationSlots converts a workload into occupied slots at the configured
+// machine speed; every copy takes at least one slot.
+func (e *Engine) durationSlots(workload float64) int64 {
+	s := int64(math.Ceil(workload / e.cfg.Speed))
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+// launch starts n copies of task t owned by j. Reduce copies launched before
+// the owner's map phase completes must set gated; they occupy machines
+// immediately but progress only after the gate opens (constraint 1g).
+func (e *Engine) launch(j *job.Job, t *job.Task, n int, gated bool) (int, error) {
+	if n <= 0 {
+		return 0, nil
+	}
+	if n > e.free {
+		return 0, fmt.Errorf("%w: want %d, free %d", ErrNoFreeSlots, n, e.free)
+	}
+	if t.ID.Phase == job.PhaseReduce && !j.MapPhaseDone() && !gated {
+		return 0, ErrGateViolated
+	}
+	if t.ID.Phase == job.PhaseMap {
+		gated = false // map tasks are never gated
+	}
+	if gated && j.MapPhaseDone() {
+		gated = false // gate already open
+	}
+	var d = e.taskDist(j, t)
+	launched := 0
+	for i := 0; i < n; i++ {
+		if err := j.MarkLaunched(t, e.slot); err != nil {
+			return launched, err
+		}
+		c := &copyRecord{
+			seq:      e.seq,
+			task:     t,
+			owner:    j,
+			workload: d.Sample(e.durations),
+			launched: e.slot,
+			started:  -1,
+			finish:   -1,
+			gated:    gated,
+		}
+		e.seq++
+		e.free--
+		e.totalCopies++
+		if t.TotalCopies > 1 {
+			e.cloneCopies++
+		}
+		e.taskCopy[t] = append(e.taskCopy[t], c)
+		if gated {
+			e.gatedJobs[j] = append(e.gatedJobs[j], c)
+		} else {
+			c.started = e.slot
+			c.finish = e.slot + e.durationSlots(c.workload)
+			heap.Push(&e.heap, c)
+		}
+		launched++
+	}
+	return launched, nil
+}
+
+// taskDist returns the ground-truth duration distribution for t.
+func (e *Engine) taskDist(j *job.Job, t *job.Task) distSampler {
+	if t.ID.Phase == job.PhaseMap {
+		return j.Spec.MapDist
+	}
+	return j.Spec.ReduceDist
+}
+
+// distSampler is the subset of dist.Distribution the engine needs.
+type distSampler interface {
+	Sample(*rng.Source) float64
+}
+
+// result builds the final Result.
+func (e *Engine) result() *Result {
+	res := &Result{
+		Scheduler:     e.sched.Name(),
+		Machines:      e.cfg.Machines,
+		Speed:         e.cfg.Speed,
+		Slots:         e.slot,
+		Jobs:          make([]JobRecord, 0, len(e.jobs)),
+		TotalCopies:   e.totalCopies,
+		CloneCopies:   e.cloneCopies,
+		MachineSlots:  e.busy,
+		ArrivedJobs:   e.arrived,
+		FinishedJobs:  e.finishedJobs,
+		WastedCopyWrk: e.wastedWrk,
+	}
+	for _, j := range e.jobs {
+		var copies int
+		for _, t := range j.Tasks {
+			copies += t.TotalCopies
+		}
+		res.Jobs = append(res.Jobs, JobRecord{
+			ID:          j.Spec.ID,
+			Weight:      j.Spec.Weight,
+			Arrival:     j.Spec.Arrival,
+			Finish:      j.FinishSlot,
+			Flowtime:    j.Flowtime(),
+			Tasks:       j.Spec.TotalTasks(),
+			TotalCopies: copies,
+		})
+	}
+	return res
+}

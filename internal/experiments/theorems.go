@@ -1,0 +1,228 @@
+package experiments
+
+import (
+	"fmt"
+
+	"mrclone/internal/analysis"
+	"mrclone/internal/cluster"
+	"mrclone/internal/dist"
+	"mrclone/internal/job"
+	"mrclone/internal/sched"
+	"mrclone/internal/sched/offline"
+)
+
+// ---------------------------------------------------------------------------
+// Theorem 1: offline flowtime bound
+// ---------------------------------------------------------------------------
+
+// Theorem1Result reports how often the offline per-job flowtime bound
+// E^r_i + r sigma^r_i + f^s_i/M held across randomized runs, against the
+// theorem's success-probability floor.
+type Theorem1Result struct {
+	DeviationFactor float64
+	Machines        int
+	Runs            int
+	JobsPerRun      int
+	Violations      int
+	Checks          int
+	// TheoremFloor is 1 + 1/r^4 - 2/r^2, the minimum per-check probability
+	// the theorem guarantees.
+	TheoremFloor float64
+	// ZeroVarianceRatio is the measured weighted-flowtime competitive ratio
+	// against the SRPT lower bound on a zero-variance instance (Remark 2
+	// promises <= 2).
+	ZeroVarianceRatio float64
+}
+
+// HoldRate is the measured fraction of checks where the bound held.
+func (r *Theorem1Result) HoldRate() float64 {
+	if r.Checks == 0 {
+		return 0
+	}
+	return 1 - float64(r.Violations)/float64(r.Checks)
+}
+
+// Theorem1 runs the offline bound experiment on a bulk-arrival workload with
+// moderate variance plus the zero-variance 2-competitiveness check.
+func Theorem1(o Options) (*Theorem1Result, error) {
+	o = o.normalize()
+	const (
+		machines = 3
+		rFactor  = 3.0
+	)
+	out := &Theorem1Result{
+		DeviationFactor: rFactor,
+		Machines:        machines,
+		Runs:            o.Runs * 20, // cheap instances: use more seeds
+		TheoremFloor:    analysis.Theorem1SuccessProbability(rFactor),
+	}
+
+	// Bulk-arrival instance with uniform task durations (finite variance).
+	u, err := dist.NewUniform(5, 15)
+	if err != nil {
+		return nil, err
+	}
+	specs := []job.Spec{
+		{ID: 0, Weight: 1, MapTasks: 4, MapDist: u, ReduceTask: 2, ReduceDist: u},
+		{ID: 1, Weight: 1, MapTasks: 2, MapDist: u},
+		{ID: 2, Weight: 2, MapTasks: 6, MapDist: u, ReduceTask: 1, ReduceDist: u},
+		{ID: 3, Weight: 3, MapTasks: 1, MapDist: u},
+		{ID: 4, Weight: 1, MapTasks: 8, MapDist: u, ReduceTask: 3, ReduceDist: u},
+	}
+	out.JobsPerRun = len(specs)
+
+	offSched, err := offline.New(offline.Config{DeviationFactor: rFactor, GateReduces: true})
+	if err != nil {
+		return nil, err
+	}
+	for run := 0; run < out.Runs; run++ {
+		eng, err := cluster.New(cluster.Config{Machines: machines, Seed: o.Seed + int64(run)},
+			offSched, specs)
+		if err != nil {
+			return nil, err
+		}
+		res, err := eng.Run()
+		if err != nil {
+			return nil, err
+		}
+		flow := make(map[int]int64, len(res.Jobs))
+		for _, jr := range res.Jobs {
+			flow[jr.ID] = jr.Flowtime
+		}
+		for i := range specs {
+			bound, err := analysis.Theorem1Bound(specs, i, machines, rFactor)
+			if err != nil {
+				return nil, err
+			}
+			out.Checks++
+			if float64(flow[specs[i].ID]) > bound {
+				out.Violations++
+			}
+		}
+	}
+
+	// Zero-variance 2-competitiveness (Remark 2).
+	detSpecs := make([]job.Spec, len(specs))
+	copy(detSpecs, specs)
+	for i := range detSpecs {
+		m := detSpecs[i].PhaseStats(job.PhaseMap)
+		if detSpecs[i].MapTasks > 0 {
+			d, err := dist.NewDeterministic(m.Mean)
+			if err != nil {
+				return nil, err
+			}
+			detSpecs[i].MapDist = d
+		}
+		r := detSpecs[i].PhaseStats(job.PhaseReduce)
+		if detSpecs[i].ReduceTask > 0 {
+			d, err := dist.NewDeterministic(r.Mean)
+			if err != nil {
+				return nil, err
+			}
+			detSpecs[i].ReduceDist = d
+		}
+	}
+	zeroSched, err := offline.New(offline.Config{GateReduces: true})
+	if err != nil {
+		return nil, err
+	}
+	eng, err := cluster.New(cluster.Config{Machines: machines, Seed: o.Seed}, zeroSched, detSpecs)
+	if err != nil {
+		return nil, err
+	}
+	res, err := eng.Run()
+	if err != nil {
+		return nil, err
+	}
+	measured, err := analysis.WeightedFlowtime(res)
+	if err != nil {
+		return nil, err
+	}
+	lower, err := analysis.SRPTLowerBound(detSpecs, machines, 0)
+	if err != nil {
+		return nil, err
+	}
+	out.ZeroVarianceRatio, err = analysis.CompetitiveRatio(measured, lower)
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// Theorem 2: speed augmentation
+// ---------------------------------------------------------------------------
+
+// Theorem2Point is one epsilon of the speed-augmentation experiment.
+type Theorem2Point struct {
+	Epsilon float64
+	// AugmentedWeighted is SRPTMS+C's weighted flowtime at speed 1+eps.
+	AugmentedWeighted float64
+	// BaselineWeighted is the unit-speed SRPT lower-bound proxy for OPT.
+	BaselineWeighted float64
+	// Ratio = AugmentedWeighted / BaselineWeighted.
+	Ratio float64
+	// Ceiling is the theorem's (C+1+eps)/eps^2 competitive ceiling.
+	Ceiling float64
+}
+
+// Theorem2Result holds the speed-augmentation sweep.
+type Theorem2Result struct {
+	Points []Theorem2Point
+}
+
+// Theorem2 runs SRPTMS+C with machine speed 1+eps against a unit-speed SRPT
+// baseline (a lower-bound proxy for the optimal clairvoyant scheduler) and
+// checks the measured ratio stays below the theorem's o(1/eps^2) ceiling.
+func Theorem2(o Options) (*Theorem2Result, error) {
+	return Theorem2Epsilons(o, []float64{0.2, 0.4, 0.6, 0.8})
+}
+
+// Theorem2Epsilons sweeps an explicit epsilon grid.
+func Theorem2Epsilons(o Options, epsilons []float64) (*Theorem2Result, error) {
+	o = o.normalize()
+	tr, err := o.buildTrace()
+	if err != nil {
+		return nil, err
+	}
+	maxClones := o.MaxClonesPerTask
+	if maxClones == 0 {
+		maxClones = 8
+	}
+	out := &Theorem2Result{}
+	for _, eps := range epsilons {
+		p := sched.Params{Epsilon: eps, DeviationFactor: 3, MaxClonesPerTask: maxClones}
+		aug, err := runOnce(tr, "srptms+c", p, o.Machines, 1+eps, o.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("theorem2 eps=%v: %w", eps, err)
+		}
+		augW, err := analysis.WeightedFlowtime(aug)
+		if err != nil {
+			return nil, err
+		}
+		base, err := runOnce(tr, "srpt", sched.Params{DeviationFactor: 0}, o.Machines, 1, o.Seed)
+		if err != nil {
+			return nil, err
+		}
+		baseW, err := analysis.WeightedFlowtime(base)
+		if err != nil {
+			return nil, err
+		}
+		ratio, err := analysis.CompetitiveRatio(augW, baseW)
+		if err != nil {
+			return nil, err
+		}
+		ceiling, err := analysis.Theorem2CompetitiveCeiling(eps, maxClones)
+		if err != nil {
+			return nil, err
+		}
+		out.Points = append(out.Points, Theorem2Point{
+			Epsilon:           eps,
+			AugmentedWeighted: augW,
+			BaselineWeighted:  baseW,
+			Ratio:             ratio,
+			Ceiling:           ceiling,
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,310 @@
+// Package mrengine is a small but real in-process MapReduce engine: input
+// splits fan out to map tasks, intermediate pairs shuffle by key hash into
+// reduce partitions, and reduce tasks produce the output — executed by an
+// actual bounded worker pool of goroutines.
+//
+// Its purpose in this repository is to demonstrate the paper's speculative
+// execution strategies driving a real two-phase computation rather than a
+// simulator: the engine injects stragglers (randomly slowed task attempts,
+// the phenomenon of Section I) and delegates the mitigation decision to a
+// pluggable SpeculationPolicy. CloningPolicy launches parallel attempts
+// up-front and takes the first finisher (the paper's approach); detection
+// policies launch backups only after observing slow progress (the
+// Mantri/LATE family); NoSpeculation runs one attempt per task.
+package mrengine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"time"
+
+	"mrclone/internal/rng"
+)
+
+// KV is one key-value pair.
+type KV struct {
+	Key   string
+	Value string
+}
+
+// MapFunc transforms one input pair into intermediate pairs via emit.
+type MapFunc func(key, value string, emit func(k, v string)) error
+
+// ReduceFunc folds all intermediate values of one key into output pairs.
+type ReduceFunc func(key string, values []string, emit func(k, v string)) error
+
+// Job describes a MapReduce computation.
+type Job struct {
+	Name     string
+	Splits   [][]KV // one map task per split
+	Map      MapFunc
+	Reduce   ReduceFunc
+	Reducers int // number of reduce tasks (partitions), >= 1
+}
+
+// Validate checks the job description.
+func (j *Job) Validate() error {
+	switch {
+	case j == nil:
+		return errors.New("mrengine: nil job")
+	case len(j.Splits) == 0:
+		return fmt.Errorf("mrengine: job %q has no input splits", j.Name)
+	case j.Map == nil:
+		return fmt.Errorf("mrengine: job %q has no map function", j.Name)
+	case j.Reduce == nil:
+		return fmt.Errorf("mrengine: job %q has no reduce function", j.Name)
+	case j.Reducers < 1:
+		return fmt.Errorf("mrengine: job %q needs >= 1 reducers", j.Name)
+	}
+	return nil
+}
+
+// StragglerModel injects execution-time skew: each task attempt is delayed
+// by BaseDelay, and with probability Probability the delay is multiplied by
+// SlowdownFactor — the "partially/intermittently failing machine" of the
+// paper. Zero values disable injection.
+type StragglerModel struct {
+	BaseDelay      time.Duration
+	Probability    float64
+	SlowdownFactor float64
+}
+
+func (m StragglerModel) validate() error {
+	if m.Probability < 0 || m.Probability > 1 {
+		return fmt.Errorf("mrengine: straggler probability %v", m.Probability)
+	}
+	if m.Probability > 0 && m.SlowdownFactor < 1 {
+		return fmt.Errorf("mrengine: slowdown factor %v < 1", m.SlowdownFactor)
+	}
+	if m.BaseDelay < 0 {
+		return fmt.Errorf("mrengine: negative base delay %v", m.BaseDelay)
+	}
+	return nil
+}
+
+// delayFor returns the injected delay for one task attempt.
+func (m StragglerModel) delayFor(src *rng.Source) time.Duration {
+	if m.BaseDelay == 0 {
+		return 0
+	}
+	d := m.BaseDelay
+	if m.Probability > 0 && src.Float64() < m.Probability {
+		d = time.Duration(float64(d) * m.SlowdownFactor)
+	}
+	return d
+}
+
+// SpeculationPolicy decides how many parallel attempts each task starts with
+// and whether to launch a backup for a running task.
+type SpeculationPolicy interface {
+	// InitialAttempts is the number of copies to launch when the task
+	// starts (>= 1). The paper's cloning approach returns > 1.
+	InitialAttempts() int
+	// ShouldBackup reports whether a task running for `elapsed` with
+	// `attempts` live attempts deserves a backup, given the median duration
+	// of completed tasks in the same phase (0 if none completed yet).
+	ShouldBackup(elapsed, medianDone time.Duration, attempts int) bool
+	// Name identifies the policy.
+	Name() string
+}
+
+// NoSpeculation runs exactly one attempt per task.
+type NoSpeculation struct{}
+
+// InitialAttempts implements SpeculationPolicy.
+func (NoSpeculation) InitialAttempts() int { return 1 }
+
+// ShouldBackup implements SpeculationPolicy.
+func (NoSpeculation) ShouldBackup(time.Duration, time.Duration, int) bool { return false }
+
+// Name implements SpeculationPolicy.
+func (NoSpeculation) Name() string { return "none" }
+
+// CloningPolicy launches Copies attempts for every task up-front — the
+// paper's proactive strategy ("extra copies of a task are scheduled in
+// parallel with the initial task and the one which finishes first is used").
+type CloningPolicy struct {
+	Copies int
+}
+
+// InitialAttempts implements SpeculationPolicy.
+func (c CloningPolicy) InitialAttempts() int {
+	if c.Copies < 1 {
+		return 1
+	}
+	return c.Copies
+}
+
+// ShouldBackup implements SpeculationPolicy.
+func (CloningPolicy) ShouldBackup(time.Duration, time.Duration, int) bool { return false }
+
+// Name implements SpeculationPolicy.
+func (c CloningPolicy) Name() string { return fmt.Sprintf("clone-%d", c.InitialAttempts()) }
+
+// DetectionPolicy launches one backup for a task whose runtime exceeds
+// Threshold times the median completed-task duration — the
+// straggler-detection family (Mantri, LATE).
+type DetectionPolicy struct {
+	Threshold float64 // > 1; e.g. 2.0
+}
+
+// InitialAttempts implements SpeculationPolicy.
+func (DetectionPolicy) InitialAttempts() int { return 1 }
+
+// ShouldBackup implements SpeculationPolicy.
+func (d DetectionPolicy) ShouldBackup(elapsed, medianDone time.Duration, attempts int) bool {
+	if attempts > 1 || medianDone == 0 {
+		return false
+	}
+	th := d.Threshold
+	if th <= 1 {
+		th = 2
+	}
+	return elapsed > time.Duration(th*float64(medianDone))
+}
+
+// Name implements SpeculationPolicy.
+func (d DetectionPolicy) Name() string { return fmt.Sprintf("detect-%.1fx", d.Threshold) }
+
+// Config parameterizes the engine.
+type Config struct {
+	// Workers bounds concurrent task attempts (the machine pool). >= 1.
+	Workers int
+	// Straggler injects execution-time skew.
+	Straggler StragglerModel
+	// Speculation mitigates the skew. Nil means NoSpeculation.
+	Speculation SpeculationPolicy
+	// Seed drives straggler injection deterministically.
+	Seed int64
+	// MonitorInterval is the cadence of the backup-decision scan for
+	// detection policies. Zero means 2ms.
+	MonitorInterval time.Duration
+}
+
+// Stats summarizes one phase's execution.
+type Stats struct {
+	Tasks    int
+	Attempts int           // attempts ever started
+	Backups  int           // attempts beyond the first per task
+	WallTime time.Duration // phase duration
+	MaxTask  time.Duration // slowest task (first-finisher time)
+}
+
+// Result is the output of a completed job.
+type Result struct {
+	Output      []KV // sorted by key then value
+	MapStats    Stats
+	ReduceStats Stats
+}
+
+// Engine executes MapReduce jobs on a bounded worker pool.
+type Engine struct {
+	cfg Config
+}
+
+// New returns an engine.
+func New(cfg Config) (*Engine, error) {
+	if cfg.Workers < 1 {
+		return nil, fmt.Errorf("mrengine: workers %d", cfg.Workers)
+	}
+	if err := cfg.Straggler.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Speculation == nil {
+		cfg.Speculation = NoSpeculation{}
+	}
+	if cfg.MonitorInterval == 0 {
+		cfg.MonitorInterval = 2 * time.Millisecond
+	}
+	return &Engine{cfg: cfg}, nil
+}
+
+// Run executes the job to completion (or ctx cancellation).
+func (e *Engine) Run(ctx context.Context, job *Job) (*Result, error) {
+	if err := job.Validate(); err != nil {
+		return nil, err
+	}
+	src := rng.New(e.cfg.Seed).Split("mrengine/" + job.Name)
+	pool := newWorkerPool(e.cfg.Workers)
+	defer pool.close()
+
+	// ---- Map phase ----
+	mapOutputs := make([][]KV, len(job.Splits))
+	mapTasks := make([]func(int) ([]KV, error), len(job.Splits))
+	for i := range job.Splits {
+		split := job.Splits[i]
+		mapTasks[i] = func(int) ([]KV, error) {
+			var out []KV
+			emit := func(k, v string) { out = append(out, KV{Key: k, Value: v}) }
+			for _, kv := range split {
+				if err := job.Map(kv.Key, kv.Value, emit); err != nil {
+					return nil, fmt.Errorf("map: %w", err)
+				}
+			}
+			return out, nil
+		}
+	}
+	mapStats, err := e.runPhase(ctx, pool, src.Split("map"), mapTasks, mapOutputs)
+	if err != nil {
+		return nil, fmt.Errorf("mrengine: job %q map phase: %w", job.Name, err)
+	}
+
+	// ---- Shuffle: partition intermediate pairs by key hash ----
+	partitions := make([]map[string][]string, job.Reducers)
+	for i := range partitions {
+		partitions[i] = make(map[string][]string)
+	}
+	for _, out := range mapOutputs {
+		for _, kv := range out {
+			p := int(hashKey(kv.Key) % uint64(job.Reducers))
+			partitions[p][kv.Key] = append(partitions[p][kv.Key], kv.Value)
+		}
+	}
+
+	// ---- Reduce phase (gated on map completion, inherently) ----
+	reduceOutputs := make([][]KV, job.Reducers)
+	reduceTasks := make([]func(int) ([]KV, error), job.Reducers)
+	for i := range reduceTasks {
+		part := partitions[i]
+		reduceTasks[i] = func(int) ([]KV, error) {
+			keys := make([]string, 0, len(part))
+			for k := range part {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			var out []KV
+			emit := func(k, v string) { out = append(out, KV{Key: k, Value: v}) }
+			for _, k := range keys {
+				if err := job.Reduce(k, part[k], emit); err != nil {
+					return nil, fmt.Errorf("reduce: %w", err)
+				}
+			}
+			return out, nil
+		}
+	}
+	reduceStats, err := e.runPhase(ctx, pool, src.Split("reduce"), reduceTasks, reduceOutputs)
+	if err != nil {
+		return nil, fmt.Errorf("mrengine: job %q reduce phase: %w", job.Name, err)
+	}
+
+	var output []KV
+	for _, out := range reduceOutputs {
+		output = append(output, out...)
+	}
+	sort.Slice(output, func(a, b int) bool {
+		if output[a].Key != output[b].Key {
+			return output[a].Key < output[b].Key
+		}
+		return output[a].Value < output[b].Value
+	})
+	return &Result{Output: output, MapStats: mapStats, ReduceStats: reduceStats}, nil
+}
+
+func hashKey(k string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(k))
+	return h.Sum64()
+}

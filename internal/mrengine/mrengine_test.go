@@ -1,0 +1,322 @@
+package mrengine
+
+import (
+	"context"
+	"errors"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// wordCountJob builds the canonical word-count job over the given lines.
+func wordCountJob(lines []string, reducers int) *Job {
+	splits := make([][]KV, 0, len(lines))
+	for i, line := range lines {
+		splits = append(splits, []KV{{Key: strconv.Itoa(i), Value: line}})
+	}
+	return &Job{
+		Name:   "wordcount",
+		Splits: splits,
+		Map: func(_, value string, emit func(k, v string)) error {
+			for _, w := range strings.Fields(value) {
+				emit(strings.ToLower(w), "1")
+			}
+			return nil
+		},
+		Reduce: func(key string, values []string, emit func(k, v string)) error {
+			emit(key, strconv.Itoa(len(values)))
+			return nil
+		},
+		Reducers: reducers,
+	}
+}
+
+func TestWordCount(t *testing.T) {
+	e, err := New(Config{Workers: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	job := wordCountJob([]string{
+		"the quick brown fox",
+		"the lazy dog and the quick cat",
+	}, 3)
+	res, err := e.Run(context.Background(), job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]string{
+		"the": "3", "quick": "2", "brown": "1", "fox": "1",
+		"lazy": "1", "dog": "1", "and": "1", "cat": "1",
+	}
+	if len(res.Output) != len(want) {
+		t.Fatalf("output size %d, want %d: %v", len(res.Output), len(want), res.Output)
+	}
+	for _, kv := range res.Output {
+		if want[kv.Key] != kv.Value {
+			t.Errorf("%s = %s, want %s", kv.Key, kv.Value, want[kv.Key])
+		}
+	}
+	// Output must be key-sorted.
+	for i := 1; i < len(res.Output); i++ {
+		if res.Output[i-1].Key > res.Output[i].Key {
+			t.Fatal("output not sorted")
+		}
+	}
+	if res.MapStats.Tasks != 2 || res.ReduceStats.Tasks != 3 {
+		t.Errorf("task counts: %+v %+v", res.MapStats, res.ReduceStats)
+	}
+}
+
+func TestOutputIndependentOfPolicyAndWorkers(t *testing.T) {
+	job := wordCountJob([]string{"a b a", "c b a", "d d d d"}, 2)
+	var baseline []KV
+	configs := []Config{
+		{Workers: 1, Seed: 1},
+		{Workers: 8, Seed: 2, Speculation: CloningPolicy{Copies: 3}},
+		{Workers: 4, Seed: 3, Speculation: DetectionPolicy{Threshold: 2},
+			Straggler: StragglerModel{BaseDelay: time.Millisecond, Probability: 0.3, SlowdownFactor: 5}},
+	}
+	for i, cfg := range configs {
+		e, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := e.Run(context.Background(), job)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			baseline = res.Output
+			continue
+		}
+		if len(res.Output) != len(baseline) {
+			t.Fatalf("config %d: output size differs", i)
+		}
+		for k := range baseline {
+			if res.Output[k] != baseline[k] {
+				t.Fatalf("config %d: output differs at %d: %v vs %v",
+					i, k, res.Output[k], baseline[k])
+			}
+		}
+	}
+}
+
+func TestCloningLaunchesCopies(t *testing.T) {
+	e, err := New(Config{Workers: 16, Seed: 1, Speculation: CloningPolicy{Copies: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	job := wordCountJob([]string{"x", "y", "z"}, 1)
+	res, err := e.Run(context.Background(), job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 map tasks * 3 copies + 1 reduce * 3 copies.
+	if res.MapStats.Attempts != 9 {
+		t.Errorf("map attempts = %d, want 9", res.MapStats.Attempts)
+	}
+	if res.MapStats.Backups != 6 {
+		t.Errorf("map backups = %d, want 6", res.MapStats.Backups)
+	}
+	if res.ReduceStats.Attempts != 3 {
+		t.Errorf("reduce attempts = %d, want 3", res.ReduceStats.Attempts)
+	}
+}
+
+func TestCloningMitigatesStragglers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive")
+	}
+	// Heavy straggler injection: 40% of attempts run 20x slower. Cloning
+	// with 3 copies should cut wall time versus no speculation.
+	straggler := StragglerModel{
+		BaseDelay:      2 * time.Millisecond,
+		Probability:    0.4,
+		SlowdownFactor: 20,
+	}
+	lines := make([]string, 12)
+	for i := range lines {
+		lines[i] = "alpha beta gamma"
+	}
+	job := wordCountJob(lines, 2)
+
+	run := func(policy SpeculationPolicy) time.Duration {
+		t.Helper()
+		var total time.Duration
+		const reps = 3
+		for seed := int64(0); seed < reps; seed++ {
+			e, err := New(Config{Workers: 64, Seed: seed, Straggler: straggler, Speculation: policy})
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := e.Run(context.Background(), job)
+			if err != nil {
+				t.Fatal(err)
+			}
+			total += res.MapStats.WallTime
+		}
+		return total / reps
+	}
+	plain := run(NoSpeculation{})
+	cloned := run(CloningPolicy{Copies: 3})
+	if cloned >= plain {
+		t.Fatalf("cloning did not help: plain %v, cloned %v", plain, cloned)
+	}
+}
+
+func TestDetectionLaunchesBackups(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive")
+	}
+	straggler := StragglerModel{
+		BaseDelay:      2 * time.Millisecond,
+		Probability:    0.25,
+		SlowdownFactor: 50,
+	}
+	lines := make([]string, 16)
+	for i := range lines {
+		lines[i] = "w"
+	}
+	job := wordCountJob(lines, 1)
+	e, err := New(Config{
+		Workers: 32, Seed: 7, Straggler: straggler,
+		Speculation:     DetectionPolicy{Threshold: 2},
+		MonitorInterval: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run(context.Background(), job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MapStats.Backups == 0 {
+		t.Fatal("detection policy never launched a backup under heavy stragglers")
+	}
+}
+
+func TestJobValidation(t *testing.T) {
+	e, err := New(Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := []*Job{
+		{Name: "nosplits", Map: func(string, string, func(k, v string)) error { return nil },
+			Reduce: func(string, []string, func(k, v string)) error { return nil }, Reducers: 1},
+		{Name: "nomap", Splits: [][]KV{{{Key: "a"}}},
+			Reduce: func(string, []string, func(k, v string)) error { return nil }, Reducers: 1},
+		{Name: "noreduce", Splits: [][]KV{{{Key: "a"}}},
+			Map: func(string, string, func(k, v string)) error { return nil }, Reducers: 1},
+		{Name: "noreducers", Splits: [][]KV{{{Key: "a"}}},
+			Map:    func(string, string, func(k, v string)) error { return nil },
+			Reduce: func(string, []string, func(k, v string)) error { return nil }},
+	}
+	for _, j := range bad {
+		if _, err := e.Run(context.Background(), j); err == nil {
+			t.Errorf("job %q accepted", j.Name)
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{Workers: 0}); err == nil {
+		t.Error("workers=0 accepted")
+	}
+	if _, err := New(Config{Workers: 1, Straggler: StragglerModel{Probability: 2}}); err == nil {
+		t.Error("probability=2 accepted")
+	}
+	if _, err := New(Config{Workers: 1, Straggler: StragglerModel{Probability: 0.5, SlowdownFactor: 0.5}}); err == nil {
+		t.Error("slowdown<1 accepted")
+	}
+	if _, err := New(Config{Workers: 1, Straggler: StragglerModel{BaseDelay: -1}}); err == nil {
+		t.Error("negative delay accepted")
+	}
+}
+
+func TestMapErrorPropagates(t *testing.T) {
+	e, err := New(Config{Workers: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantErr := errors.New("boom")
+	job := &Job{
+		Name:   "failing",
+		Splits: [][]KV{{{Key: "a", Value: "b"}}},
+		Map: func(string, string, func(k, v string)) error {
+			return wantErr
+		},
+		Reduce:   func(string, []string, func(k, v string)) error { return nil },
+		Reducers: 1,
+	}
+	if _, err := e.Run(context.Background(), job); !errors.Is(err, wantErr) {
+		t.Fatalf("want boom, got %v", err)
+	}
+}
+
+func TestContextCancellation(t *testing.T) {
+	e, err := New(Config{
+		Workers:   1,
+		Seed:      1,
+		Straggler: StragglerModel{BaseDelay: time.Minute}, // effectively hangs
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	job := wordCountJob([]string{"a"}, 1)
+	if _, err := e.Run(ctx, job); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want deadline exceeded, got %v", err)
+	}
+}
+
+func TestPolicyNames(t *testing.T) {
+	if (NoSpeculation{}).Name() != "none" {
+		t.Error("NoSpeculation name")
+	}
+	if (CloningPolicy{Copies: 3}).Name() != "clone-3" {
+		t.Error("CloningPolicy name")
+	}
+	if (CloningPolicy{}).InitialAttempts() != 1 {
+		t.Error("zero copies should clamp to 1")
+	}
+	if !strings.HasPrefix((DetectionPolicy{Threshold: 2}).Name(), "detect-") {
+		t.Error("DetectionPolicy name")
+	}
+}
+
+func TestMedianDuration(t *testing.T) {
+	if medianDuration(nil) != 0 {
+		t.Error("empty median")
+	}
+	ds := []time.Duration{5, 1, 3}
+	if medianDuration(ds) != 3 {
+		t.Errorf("median = %v", medianDuration(ds))
+	}
+	// Input must not be reordered.
+	if ds[0] != 5 || ds[1] != 1 || ds[2] != 3 {
+		t.Error("median mutated input")
+	}
+}
+
+func TestDetectionPolicyRule(t *testing.T) {
+	d := DetectionPolicy{Threshold: 2}
+	if d.ShouldBackup(10*time.Millisecond, 0, 1) {
+		t.Error("backup with no completed median")
+	}
+	if d.ShouldBackup(10*time.Millisecond, 20*time.Millisecond, 1) {
+		t.Error("backup below threshold")
+	}
+	if !d.ShouldBackup(50*time.Millisecond, 20*time.Millisecond, 1) {
+		t.Error("no backup above threshold")
+	}
+	if d.ShouldBackup(50*time.Millisecond, 20*time.Millisecond, 2) {
+		t.Error("second backup launched")
+	}
+	// Zero threshold defaults to 2x.
+	z := DetectionPolicy{}
+	if z.ShouldBackup(30*time.Millisecond, 20*time.Millisecond, 1) {
+		t.Error("default threshold should be 2x")
+	}
+}

@@ -1,0 +1,186 @@
+package mrengine
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"mrclone/internal/rng"
+)
+
+// workerPool bounds concurrent task attempts with a semaphore.
+type workerPool struct {
+	slots chan struct{}
+}
+
+func newWorkerPool(n int) *workerPool {
+	return &workerPool{slots: make(chan struct{}, n)}
+}
+
+// acquire blocks until a worker is free or ctx is done.
+func (p *workerPool) acquire(ctx context.Context) error {
+	select {
+	case p.slots <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (p *workerPool) release() { <-p.slots }
+
+func (p *workerPool) close() {}
+
+// attemptResult is the outcome of one task attempt.
+type attemptResult struct {
+	task    int
+	out     []KV
+	err     error
+	elapsed time.Duration
+}
+
+// taskState tracks a running task during a phase.
+type taskState struct {
+	started  time.Time
+	attempts int
+	done     bool
+}
+
+// runPhase executes every task with the configured speculation policy and
+// writes each task's first successful result into outputs[task]. It returns
+// phase statistics.
+func (e *Engine) runPhase(ctx context.Context, pool *workerPool, src *rng.Source,
+	tasks []func(int) ([]KV, error), outputs [][]KV) (Stats, error) {
+
+	phaseCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		mu       sync.Mutex
+		wg       sync.WaitGroup
+		states   = make([]taskState, len(tasks))
+		finished = 0
+		doneDur  []time.Duration
+		stats    Stats
+	)
+	stats.Tasks = len(tasks)
+	results := make(chan attemptResult, len(tasks))
+	phaseStart := time.Now()
+
+	// launchAttempt starts one attempt of task i on the pool. Delays are
+	// pre-drawn under the mutex so randomness stays deterministic even
+	// though goroutine completion order is not: the straggler injection,
+	// not the race winner, is what experiments key off.
+	launchAttempt := func(i int, delay time.Duration) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := pool.acquire(phaseCtx); err != nil {
+				return
+			}
+			defer pool.release()
+			start := time.Now()
+			if delay > 0 {
+				select {
+				case <-time.After(delay):
+				case <-phaseCtx.Done():
+					return
+				}
+			}
+			out, err := tasks[i](i)
+			select {
+			case results <- attemptResult{task: i, out: out, err: err, elapsed: time.Since(start)}:
+			case <-phaseCtx.Done():
+			}
+		}()
+	}
+
+	// Initial attempts per the policy.
+	initial := e.cfg.Speculation.InitialAttempts()
+	mu.Lock()
+	for i := range tasks {
+		states[i].started = time.Now()
+		for a := 0; a < initial; a++ {
+			states[i].attempts++
+			stats.Attempts++
+			if a > 0 {
+				stats.Backups++
+			}
+			launchAttempt(i, e.cfg.Straggler.delayFor(src))
+		}
+	}
+	mu.Unlock()
+
+	// Monitor loop for detection-based policies.
+	monitorDone := make(chan struct{})
+	go func() {
+		defer close(monitorDone)
+		ticker := time.NewTicker(e.cfg.MonitorInterval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-phaseCtx.Done():
+				return
+			case <-ticker.C:
+				mu.Lock()
+				median := medianDuration(doneDur)
+				for i := range states {
+					if states[i].done {
+						continue
+					}
+					elapsed := time.Since(states[i].started)
+					if e.cfg.Speculation.ShouldBackup(elapsed, median, states[i].attempts) {
+						states[i].attempts++
+						stats.Attempts++
+						stats.Backups++
+						launchAttempt(i, e.cfg.Straggler.delayFor(src))
+					}
+				}
+				mu.Unlock()
+			}
+		}
+	}()
+
+	var firstErr error
+	for finished < len(tasks) && firstErr == nil {
+		select {
+		case <-ctx.Done():
+			firstErr = ctx.Err()
+		case r := <-results:
+			mu.Lock()
+			if r.err != nil && !states[r.task].done {
+				firstErr = fmt.Errorf("task %d: %w", r.task, r.err)
+			} else if !states[r.task].done {
+				states[r.task].done = true
+				outputs[r.task] = r.out
+				doneDur = append(doneDur, r.elapsed)
+				if r.elapsed > stats.MaxTask {
+					stats.MaxTask = r.elapsed
+				}
+				finished++
+			}
+			mu.Unlock()
+		}
+	}
+	cancel()
+	<-monitorDone
+	wg.Wait()
+	stats.WallTime = time.Since(phaseStart)
+	if firstErr != nil {
+		return stats, firstErr
+	}
+	return stats, nil
+}
+
+// medianDuration returns the median of ds (0 when empty). ds is copied.
+func medianDuration(ds []time.Duration) time.Duration {
+	if len(ds) == 0 {
+		return 0
+	}
+	cp := make([]time.Duration, len(ds))
+	copy(cp, ds)
+	sort.Slice(cp, func(a, b int) bool { return cp[a] < cp[b] })
+	return cp[len(cp)/2]
+}

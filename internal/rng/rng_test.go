@@ -1,0 +1,119 @@
+package rng
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 1000; i++ {
+		if got, want := a.Float64(), b.Float64(); got != want {
+			t.Fatalf("draw %d: %v != %v", i, got, want)
+		}
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	root := New(7)
+	childA := root.Split("a")
+	// Drawing from childA must not perturb a later-split sibling.
+	for i := 0; i < 100; i++ {
+		childA.Float64()
+	}
+	childB := root.Split("b")
+
+	root2 := New(7)
+	childB2 := root2.Split("b")
+	for i := 0; i < 100; i++ {
+		if got, want := childB.Float64(), childB2.Float64(); got != want {
+			t.Fatalf("sibling stream perturbed at draw %d: %v != %v", i, got, want)
+		}
+	}
+}
+
+func TestSplitDistinctLabels(t *testing.T) {
+	root := New(1)
+	a := root.Split("alpha")
+	b := root.Split("beta")
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Float64() == b.Float64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("streams for distinct labels look identical: %d/100 equal draws", same)
+	}
+}
+
+func TestSplitNDistinct(t *testing.T) {
+	root := New(3)
+	seen := make(map[int64]bool)
+	for i := 0; i < 1000; i++ {
+		s := root.SplitN("task", i)
+		if seen[s.Seed()] {
+			t.Fatalf("duplicate derived seed for index %d", i)
+		}
+		seen[s.Seed()] = true
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	f := func(seed int64) bool {
+		s := New(seed)
+		for i := 0; i < 50; i++ {
+			v := s.Float64()
+			if v < 0 || v >= 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	s := New(11)
+	p := s.Perm(100)
+	seen := make([]bool, 100)
+	for _, v := range p {
+		if v < 0 || v >= 100 || seen[v] {
+			t.Fatalf("not a permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestMeanApproximatelyHalf(t *testing.T) {
+	s := New(99)
+	sum := 0.0
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sum += s.Float64()
+	}
+	mean := sum / n
+	if mean < 0.49 || mean > 0.51 {
+		t.Fatalf("uniform mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestShuffleKeepsElements(t *testing.T) {
+	s := New(5)
+	v := []int{1, 2, 3, 4, 5, 6, 7, 8}
+	sum := 0
+	for _, x := range v {
+		sum += x
+	}
+	s.Shuffle(len(v), func(i, j int) { v[i], v[j] = v[j], v[i] })
+	sum2 := 0
+	for _, x := range v {
+		sum2 += x
+	}
+	if sum != sum2 {
+		t.Fatalf("shuffle changed multiset: %v", v)
+	}
+}

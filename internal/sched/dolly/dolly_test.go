@@ -1,0 +1,134 @@
+package dolly
+
+import (
+	"testing"
+
+	"mrclone/internal/cluster"
+	"mrclone/internal/dist"
+	"mrclone/internal/job"
+)
+
+func run(t *testing.T, machines int, cfg Config, seed int64, specs []job.Spec) *cluster.Result {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := cluster.New(cluster.Config{Machines: machines, Seed: seed}, s, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestNewValidation(t *testing.T) {
+	bad := []Config{
+		{SmallJobTasks: -1},
+		{Copies: -2},
+		{BudgetFraction: -0.5},
+		{BudgetFraction: 1.5},
+	}
+	for i, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+	s, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.cfg.SmallJobTasks != DefaultSmallJobTasks || s.cfg.Copies != DefaultCopies ||
+		s.cfg.BudgetFraction != DefaultBudgetFraction {
+		t.Errorf("defaults not applied: %+v", s.cfg)
+	}
+	if s.Name() == "" {
+		t.Error("empty name")
+	}
+}
+
+func TestClonesSmallJobsOnly(t *testing.T) {
+	p, err := dist.NewPareto(5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := []job.Spec{
+		{ID: 0, Weight: 1, MapTasks: 2, MapDist: p},  // small: cloned x3
+		{ID: 1, Weight: 1, MapTasks: 40, MapDist: p}, // big: no clones
+	}
+	res := run(t, 100, Config{SmallJobTasks: 10, Copies: 3, BudgetFraction: 0.5}, 1, specs)
+	var smallCopies, bigCopies int
+	for _, jr := range res.Jobs {
+		if jr.ID == 0 {
+			smallCopies = jr.TotalCopies
+		} else {
+			bigCopies = jr.TotalCopies
+		}
+	}
+	if smallCopies != 6 { // 2 tasks x 3 copies
+		t.Errorf("small job copies = %d, want 6", smallCopies)
+	}
+	if bigCopies != 40 { // one copy per task
+		t.Errorf("big job copies = %d, want 40", bigCopies)
+	}
+}
+
+func TestBudgetBoundsCloning(t *testing.T) {
+	p, err := dist.NewPareto(5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 5 small jobs x 4 tasks: cloning x3 would need 40 extra machines, but
+	// the budget allows only 10% of 50 = 5 extra copies at any time.
+	var specs []job.Spec
+	for i := 0; i < 5; i++ {
+		specs = append(specs, job.Spec{ID: i, Weight: 1, MapTasks: 4, MapDist: p})
+	}
+	res := run(t, 50, Config{SmallJobTasks: 10, Copies: 3, BudgetFraction: 0.1}, 2, specs)
+	// Clone copies launched in the first wave cannot exceed the budget by
+	// much (budget is re-checked per slot; each slot adds at most budget).
+	if res.CloneCopies > 15 {
+		t.Fatalf("clones = %d, budget should keep this low", res.CloneCopies)
+	}
+	if res.FinishedJobs != 5 {
+		t.Fatalf("finished %d/5", res.FinishedJobs)
+	}
+}
+
+func TestFIFOOrder(t *testing.T) {
+	d, err := dist.NewDeterministic(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := []job.Spec{
+		{ID: 0, Arrival: 0, Weight: 1, MapTasks: 6, MapDist: d},
+		{ID: 1, Arrival: 1, Weight: 5, MapTasks: 1, MapDist: d},
+	}
+	res := run(t, 1, Config{}, 1, specs)
+	finish := map[int]int64{}
+	for _, jr := range res.Jobs {
+		finish[jr.ID] = jr.Finish
+	}
+	if finish[0] >= finish[1] {
+		t.Fatalf("FIFO violated: %v", finish)
+	}
+}
+
+func TestPrecedence(t *testing.T) {
+	d, err := dist.NewDeterministic(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := []job.Spec{{
+		ID: 0, Weight: 1,
+		MapTasks: 2, MapDist: d,
+		ReduceTask: 1, ReduceDist: d,
+	}}
+	res := run(t, 20, Config{}, 1, specs)
+	if res.Jobs[0].Flowtime != 10 {
+		t.Fatalf("flowtime = %d, want 10", res.Jobs[0].Flowtime)
+	}
+}

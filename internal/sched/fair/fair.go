@@ -1,0 +1,92 @@
+// Package fair implements a Hadoop-style weighted fair scheduler baseline:
+// alive jobs share the cluster in proportion to their weights, with no
+// cloning and no SRPT prioritization. It is the degenerate epsilon = 1 case
+// of the machine-sharing principle in Section V-A ("when epsilon is set to
+// 1, the scheduler just reduces to the fair scheduler in Hadoop"), minus
+// speculative copies.
+package fair
+
+import (
+	"mrclone/internal/cluster"
+	"mrclone/internal/job"
+	"mrclone/internal/sched/schedutil"
+)
+
+// Scheduler implements cluster.Scheduler.
+type Scheduler struct{}
+
+var _ cluster.Scheduler = Scheduler{}
+
+// New returns a fair scheduler.
+func New() Scheduler { return Scheduler{} }
+
+// Name implements cluster.Scheduler.
+func (Scheduler) Name() string { return "Fair" }
+
+// Schedule implements cluster.Scheduler: each job with unscheduled tasks is
+// entitled to w_i*M/W machines; surplus entitlement beyond a job's demand is
+// redistributed by a second greedy pass so the cluster does not idle.
+func (Scheduler) Schedule(ctx *cluster.Context) {
+	psi := schedutil.WithUnscheduledTasks(ctx.AliveJobs())
+	if len(psi) == 0 {
+		return
+	}
+	w := schedutil.TotalWeight(psi)
+	if w <= 0 {
+		return
+	}
+	m := float64(ctx.Machines())
+	shares := make([]float64, len(psi))
+	for i, j := range psi {
+		shares[i] = j.Spec.Weight * m / w
+	}
+	grant := schedutil.LargestRemainder(shares, ctx.Machines())
+
+	for i, j := range psi {
+		if ctx.FreeMachines() == 0 {
+			return
+		}
+		x := grant[i] - j.RunningCopies
+		if x <= 0 {
+			continue
+		}
+		if x > ctx.FreeMachines() {
+			x = ctx.FreeMachines()
+		}
+		launchUpTo(ctx, j, x)
+	}
+	// Work-conserving second pass: hand leftover machines to any job with
+	// unscheduled tasks, in arrival order.
+	for _, j := range psi {
+		if ctx.FreeMachines() == 0 {
+			return
+		}
+		launchUpTo(ctx, j, ctx.FreeMachines())
+	}
+}
+
+// launchUpTo launches at most x first copies of j's unscheduled tasks, maps
+// before (ungated) reduces. No clones are ever made.
+func launchUpTo(ctx *cluster.Context, j *job.Job, x int) {
+	for _, t := range j.UnscheduledTasks(job.PhaseMap) {
+		if x == 0 || ctx.FreeMachines() == 0 {
+			return
+		}
+		if _, err := ctx.Launch(j, t, 1, false); err != nil {
+			return
+		}
+		x--
+	}
+	if !j.MapPhaseDone() {
+		return
+	}
+	for _, t := range j.UnscheduledTasks(job.PhaseReduce) {
+		if x == 0 || ctx.FreeMachines() == 0 {
+			return
+		}
+		if _, err := ctx.Launch(j, t, 1, false); err != nil {
+			return
+		}
+		x--
+	}
+}

@@ -1,0 +1,100 @@
+package fair
+
+import (
+	"testing"
+
+	"mrclone/internal/cluster"
+	"mrclone/internal/dist"
+	"mrclone/internal/job"
+)
+
+func run(t *testing.T, machines int, seed int64, specs []job.Spec) *cluster.Result {
+	t.Helper()
+	eng, err := cluster.New(cluster.Config{Machines: machines, Seed: seed}, New(), specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestName(t *testing.T) {
+	if New().Name() != "Fair" {
+		t.Errorf("name = %q", New().Name())
+	}
+}
+
+func TestWeightedSharing(t *testing.T) {
+	// Two jobs, weights 3:1, 4 machines, plenty of tasks: the heavy job
+	// should finish its work roughly 3x as fast per unit of work.
+	d, err := dist.NewDeterministic(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := []job.Spec{
+		{ID: 0, Weight: 3, MapTasks: 12, MapDist: d},
+		{ID: 1, Weight: 1, MapTasks: 12, MapDist: d},
+	}
+	res := run(t, 4, 1, specs)
+	finish := map[int]int64{}
+	for _, jr := range res.Jobs {
+		finish[jr.ID] = jr.Finish
+	}
+	// Heavy job: 3 machines -> 12 tasks * 10s / 3 = 40s.
+	if finish[0] != 40 {
+		t.Errorf("heavy job finish = %d, want 40", finish[0])
+	}
+	// Light job: 1 machine until the heavy job drains, then more.
+	if finish[1] <= finish[0] {
+		t.Errorf("light job should finish after heavy: %v", finish)
+	}
+}
+
+func TestNeverClones(t *testing.T) {
+	p, err := dist.NewPareto(10, 1.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := []job.Spec{
+		{ID: 0, Weight: 1, MapTasks: 2, MapDist: p},
+		{ID: 1, Weight: 4, MapTasks: 1, MapDist: p},
+	}
+	res := run(t, 50, 9, specs)
+	if res.CloneCopies != 0 {
+		t.Fatalf("fair scheduler cloned %d copies", res.CloneCopies)
+	}
+}
+
+func TestWorkConserving(t *testing.T) {
+	// A single job must be able to use the whole cluster even though its
+	// fair share is everything anyway; more interestingly, a zero-surplus
+	// second pass hands leftovers out. 5 tasks, 5 machines: makespan 10.
+	d, err := dist.NewDeterministic(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := []job.Spec{{ID: 0, Weight: 1, MapTasks: 5, MapDist: d}}
+	res := run(t, 5, 1, specs)
+	if res.Jobs[0].Flowtime != 10 {
+		t.Fatalf("flowtime = %d, want 10 (all machines used)", res.Jobs[0].Flowtime)
+	}
+}
+
+func TestPrecedence(t *testing.T) {
+	d, err := dist.NewDeterministic(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := []job.Spec{{
+		ID: 0, Weight: 1,
+		MapTasks: 2, MapDist: d,
+		ReduceTask: 2, ReduceDist: d,
+	}}
+	res := run(t, 4, 1, specs)
+	if res.Jobs[0].Flowtime != 12 {
+		t.Fatalf("flowtime = %d, want 12", res.Jobs[0].Flowtime)
+	}
+}

@@ -1,0 +1,193 @@
+// Package late implements a LATE-style baseline (Zaharia et al., OSDI 2008,
+// reference [28] of the paper): Longest Approximate Time to End. LATE ranks
+// running tasks by their estimated remaining time and speculatively
+// re-executes the ones expected to finish farthest in the future, subject to
+// a cap on concurrent speculative copies, and only for tasks whose progress
+// is below a threshold relative to the phase average.
+//
+// Like Mantri it is a straggler-*detection* scheme with FIFO job order; the
+// two differ in the relaunch rule. It broadens the detection-family
+// comparison beyond the paper's Figures 4-6.
+package late
+
+import (
+	"fmt"
+	"sort"
+
+	"mrclone/internal/cluster"
+	"mrclone/internal/job"
+)
+
+// Config parameterizes LATE.
+type Config struct {
+	// SpeculativeCap bounds concurrently running speculative copies as a
+	// fraction of cluster size (LATE's SpeculativeCap, default 0.1).
+	SpeculativeCap float64
+	// SlowTaskThreshold: only tasks whose progress fraction is below this
+	// quantile-ish threshold of the phase mean are candidates (default 0.25
+	// below mean progress).
+	SlowTaskThreshold float64
+	// MinObservationSlots before a copy's progress is trusted (default 8).
+	MinObservationSlots int64
+}
+
+// Defaults for Config zero values.
+const (
+	DefaultSpeculativeCap    = 0.1
+	DefaultSlowTaskThreshold = 0.25
+	DefaultMinObservation    = 8
+)
+
+// Scheduler implements cluster.Scheduler.
+type Scheduler struct {
+	cfg Config
+}
+
+var _ cluster.Scheduler = (*Scheduler)(nil)
+
+// New returns a LATE-style scheduler.
+func New(cfg Config) (*Scheduler, error) {
+	if cfg.SpeculativeCap == 0 {
+		cfg.SpeculativeCap = DefaultSpeculativeCap
+	}
+	if cfg.SpeculativeCap < 0 || cfg.SpeculativeCap > 1 {
+		return nil, fmt.Errorf("late: speculative cap %v outside [0, 1]", cfg.SpeculativeCap)
+	}
+	if cfg.SlowTaskThreshold == 0 {
+		cfg.SlowTaskThreshold = DefaultSlowTaskThreshold
+	}
+	if cfg.SlowTaskThreshold < 0 || cfg.SlowTaskThreshold > 1 {
+		return nil, fmt.Errorf("late: slow-task threshold %v outside [0, 1]", cfg.SlowTaskThreshold)
+	}
+	if cfg.MinObservationSlots == 0 {
+		cfg.MinObservationSlots = DefaultMinObservation
+	}
+	if cfg.MinObservationSlots < 0 {
+		return nil, fmt.Errorf("late: negative observation window %d", cfg.MinObservationSlots)
+	}
+	return &Scheduler{cfg: cfg}, nil
+}
+
+// Name implements cluster.Scheduler.
+func (s *Scheduler) Name() string { return fmt.Sprintf("LATE(cap=%g)", s.cfg.SpeculativeCap) }
+
+// Schedule implements cluster.Scheduler.
+func (s *Scheduler) Schedule(ctx *cluster.Context) {
+	alive := ctx.AliveJobs() // FIFO
+
+	// Pass 1: first copies, FIFO, maps before reduces.
+	var specCopies int // currently running speculative copies (approximate)
+	for _, j := range alive {
+		if ctx.FreeMachines() == 0 {
+			return
+		}
+		for _, t := range j.UnscheduledTasks(job.PhaseMap) {
+			if ctx.FreeMachines() == 0 {
+				return
+			}
+			if _, err := ctx.Launch(j, t, 1, false); err != nil {
+				return
+			}
+		}
+		if !j.MapPhaseDone() {
+			continue
+		}
+		for _, t := range j.UnscheduledTasks(job.PhaseReduce) {
+			if ctx.FreeMachines() == 0 {
+				return
+			}
+			if _, err := ctx.Launch(j, t, 1, false); err != nil {
+				return
+			}
+		}
+	}
+	if ctx.FreeMachines() == 0 {
+		return
+	}
+
+	// Pass 2: rank candidate stragglers by longest approximate time to end.
+	type candidate struct {
+		j   *job.Job
+		t   *job.Task
+		tte float64 // approximate time to end
+	}
+	var cands []candidate
+	for _, j := range alive {
+		for _, p := range []job.Phase{job.PhaseMap, job.PhaseReduce} {
+			running := j.RunningTasks(p)
+			if len(running) == 0 {
+				continue
+			}
+			// Phase-average progress across running tasks.
+			var sum float64
+			var observed int
+			type obs struct {
+				t    *job.Task
+				prog cluster.CopyProgress
+			}
+			var obsList []obs
+			for _, t := range running {
+				pr, ok := ctx.BestProgress(t)
+				if !ok || pr.Gated || pr.Elapsed < s.cfg.MinObservationSlots {
+					continue
+				}
+				sum += pr.Fraction
+				observed++
+				obsList = append(obsList, obs{t: t, prog: pr})
+			}
+			if observed == 0 {
+				continue
+			}
+			mean := sum / float64(observed)
+			for _, o := range obsList {
+				if o.t.Copies > 1 {
+					continue // one speculative copy per task
+				}
+				if o.prog.Fraction >= mean-s.cfg.SlowTaskThreshold {
+					continue // not slow enough relative to the phase
+				}
+				if o.prog.Fraction <= 0 {
+					continue
+				}
+				tte := float64(o.prog.Elapsed) * (1 - o.prog.Fraction) / o.prog.Fraction
+				cands = append(cands, candidate{j: j, t: o.t, tte: tte})
+			}
+		}
+		specCopies += countSpeculative(j)
+	}
+	budget := int(s.cfg.SpeculativeCap*float64(ctx.Machines())) - specCopies
+	if budget <= 0 {
+		return
+	}
+	sort.SliceStable(cands, func(a, b int) bool {
+		if cands[a].tte != cands[b].tte {
+			return cands[a].tte > cands[b].tte // longest time-to-end first
+		}
+		if cands[a].j.Spec.ID != cands[b].j.Spec.ID {
+			return cands[a].j.Spec.ID < cands[b].j.Spec.ID
+		}
+		return cands[a].t.ID.Index < cands[b].t.ID.Index
+	})
+	for _, c := range cands {
+		if budget == 0 || ctx.FreeMachines() == 0 {
+			return
+		}
+		if _, err := ctx.Launch(c.j, c.t, 1, false); err != nil {
+			return
+		}
+		budget--
+	}
+}
+
+// countSpeculative counts running copies beyond one per task.
+func countSpeculative(j *job.Job) int {
+	n := 0
+	for _, p := range []job.Phase{job.PhaseMap, job.PhaseReduce} {
+		for _, t := range j.RunningTasks(p) {
+			if t.Copies > 1 {
+				n += t.Copies - 1
+			}
+		}
+	}
+	return n
+}

@@ -1,0 +1,113 @@
+package late
+
+import (
+	"testing"
+
+	"mrclone/internal/cluster"
+	"mrclone/internal/dist"
+	"mrclone/internal/job"
+)
+
+func run(t *testing.T, machines int, cfg Config, seed int64, specs []job.Spec) *cluster.Result {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := cluster.New(cluster.Config{Machines: machines, Seed: seed}, s, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestNewValidation(t *testing.T) {
+	bad := []Config{
+		{SpeculativeCap: -0.1},
+		{SpeculativeCap: 1.5},
+		{SlowTaskThreshold: -0.2},
+		{SlowTaskThreshold: 2},
+		{MinObservationSlots: -1},
+	}
+	for i, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("case %d (%+v) accepted", i, cfg)
+		}
+	}
+	s, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.cfg.SpeculativeCap != DefaultSpeculativeCap ||
+		s.cfg.SlowTaskThreshold != DefaultSlowTaskThreshold ||
+		s.cfg.MinObservationSlots != DefaultMinObservation {
+		t.Errorf("defaults not applied: %+v", s.cfg)
+	}
+	if s.Name() == "" {
+		t.Error("empty name")
+	}
+}
+
+func TestCompletesWorkload(t *testing.T) {
+	p, err := dist.NewPareto(5, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := []job.Spec{
+		{ID: 0, Weight: 1, MapTasks: 5, MapDist: p, ReduceTask: 2, ReduceDist: p},
+		{ID: 1, Arrival: 3, Weight: 2, MapTasks: 3, MapDist: p},
+	}
+	res := run(t, 6, Config{}, 4, specs)
+	if res.FinishedJobs != 2 {
+		t.Fatalf("finished %d/2", res.FinishedJobs)
+	}
+}
+
+func TestSpeculatesOnStragglers(t *testing.T) {
+	// Heavy tail with many tasks: the slowest tasks should attract
+	// speculative copies across seeds.
+	p, err := dist.NewPareto(10, 1.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := []job.Spec{{ID: 0, Weight: 1, MapTasks: 10, MapDist: p}}
+	var clones int64
+	for seed := int64(0); seed < 10; seed++ {
+		res := run(t, 30, Config{}, seed, specs)
+		clones += res.CloneCopies
+	}
+	if clones == 0 {
+		t.Fatal("LATE never speculated on heavy-tail stragglers")
+	}
+}
+
+func TestSpeculativeCapLimitsCopies(t *testing.T) {
+	p, err := dist.NewPareto(20, 1.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := []job.Spec{{ID: 0, Weight: 1, MapTasks: 10, MapDist: p}}
+	// Cap 0 machines of speculation via a tiny fraction on a small cluster.
+	res := run(t, 12, Config{SpeculativeCap: 0.0001}, 3, specs)
+	if res.CloneCopies != 0 {
+		t.Fatalf("speculation above cap: %d clones", res.CloneCopies)
+	}
+}
+
+func TestZeroVarianceNoSpeculation(t *testing.T) {
+	// With deterministic durations no task falls below the mean progress
+	// threshold, so nothing is speculated.
+	d, err := dist.NewDeterministic(30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := []job.Spec{{ID: 0, Weight: 1, MapTasks: 6, MapDist: d}}
+	res := run(t, 20, Config{}, 1, specs)
+	if res.CloneCopies != 0 {
+		t.Fatalf("speculated on deterministic tasks: %d", res.CloneCopies)
+	}
+}

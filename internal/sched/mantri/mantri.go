@@ -1,0 +1,210 @@
+// Package mantri implements the Mantri-style speculative-execution baseline
+// the paper compares against (Section VI-A): a straggler-*detection* scheme
+// that monitors task progress and launches a backup copy when the estimated
+// remaining time of a running task dwarfs the expected duration of a fresh
+// copy.
+//
+// The decision rule is the one the paper attributes to Mantri: relaunch when
+// P(t_rem > 2 * t_new) > delta. Because schedulers in this model only know
+// the first two moments of task duration, the probability is bounded with
+// the one-sided Chebyshev (Cantelli) inequality:
+//
+//	P(t_new >= t_rem/2) <= sigma^2 / (sigma^2 + (t_rem/2 - E)^2)  for t_rem/2 > E,
+//
+// so a backup launches when t_rem > 2E and 1 - that bound exceeds delta.
+// t_rem is estimated from the copy's reported progress fraction f as
+// t_rem = elapsed * (1-f) / f, the standard progress-rate estimator.
+//
+// Jobs are served in arrival (FIFO) order — Mantri mitigates stragglers
+// within jobs but does not prioritize across jobs, which is exactly the
+// weakness the paper's SRPT-based algorithms exploit.
+package mantri
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"mrclone/internal/cluster"
+	"mrclone/internal/job"
+)
+
+// Config parameterizes the Mantri baseline.
+type Config struct {
+	// Delta is the confidence threshold of the relaunch rule. The original
+	// system uses a high-confidence setting; 0.25 is a reasonable default
+	// given Cantelli's conservativeness. Must be in (0, 1).
+	Delta float64
+	// MinObservationSlots is the minimum elapsed time before a copy's
+	// progress is trusted — detection "needs to wait for the collection of
+	// enough samples" (Section II). Zero means DefaultMinObservation.
+	MinObservationSlots int64
+	// MaxBackupsPerTask caps speculative copies per task (Mantri restarts or
+	// duplicates at most once or twice in practice). Zero means 2.
+	MaxBackupsPerTask int
+	// CheckIntervalSlots is how often the straggler-detection scan runs.
+	// Production systems poll task progress periodically, not every second.
+	// Zero means DefaultCheckInterval; 1 scans every slot.
+	CheckIntervalSlots int64
+}
+
+// Defaults for Config zero values.
+const (
+	DefaultDelta          = 0.25
+	DefaultMinObservation = 8
+	DefaultMaxBackups     = 2
+	DefaultCheckInterval  = 5
+)
+
+// Scheduler implements cluster.Scheduler.
+type Scheduler struct {
+	cfg Config
+}
+
+var _ cluster.Scheduler = (*Scheduler)(nil)
+
+// New returns a Mantri-style scheduler.
+func New(cfg Config) (*Scheduler, error) {
+	if cfg.Delta == 0 {
+		cfg.Delta = DefaultDelta
+	}
+	if cfg.Delta <= 0 || cfg.Delta >= 1 || math.IsNaN(cfg.Delta) {
+		return nil, fmt.Errorf("mantri: delta %v outside (0, 1)", cfg.Delta)
+	}
+	if cfg.MinObservationSlots == 0 {
+		cfg.MinObservationSlots = DefaultMinObservation
+	}
+	if cfg.MinObservationSlots < 0 {
+		return nil, fmt.Errorf("mantri: negative observation window %d", cfg.MinObservationSlots)
+	}
+	if cfg.MaxBackupsPerTask == 0 {
+		cfg.MaxBackupsPerTask = DefaultMaxBackups
+	}
+	if cfg.MaxBackupsPerTask < 0 {
+		return nil, fmt.Errorf("mantri: negative backup cap %d", cfg.MaxBackupsPerTask)
+	}
+	if cfg.CheckIntervalSlots == 0 {
+		cfg.CheckIntervalSlots = DefaultCheckInterval
+	}
+	if cfg.CheckIntervalSlots < 0 {
+		return nil, fmt.Errorf("mantri: negative check interval %d", cfg.CheckIntervalSlots)
+	}
+	return &Scheduler{cfg: cfg}, nil
+}
+
+// Name implements cluster.Scheduler.
+func (s *Scheduler) Name() string { return fmt.Sprintf("Mantri(delta=%g)", s.cfg.Delta) }
+
+// Schedule implements cluster.Scheduler.
+func (s *Scheduler) Schedule(ctx *cluster.Context) {
+	alive := ctx.AliveJobs() // arrival order == FIFO
+
+	// Pass 1: launch first copies of unscheduled tasks, FIFO across jobs,
+	// maps before reduces within a job.
+	for _, j := range alive {
+		if ctx.FreeMachines() == 0 {
+			return
+		}
+		for _, t := range j.UnscheduledTasks(job.PhaseMap) {
+			if ctx.FreeMachines() == 0 {
+				return
+			}
+			if _, err := ctx.Launch(j, t, 1, false); err != nil {
+				return
+			}
+		}
+		if !j.MapPhaseDone() {
+			continue
+		}
+		for _, t := range j.UnscheduledTasks(job.PhaseReduce) {
+			if ctx.FreeMachines() == 0 {
+				return
+			}
+			if _, err := ctx.Launch(j, t, 1, false); err != nil {
+				return
+			}
+		}
+	}
+
+	// Pass 2: with leftover machines, launch backups for detected
+	// stragglers, worst (largest estimated remaining time) first. The scan
+	// runs on the configured polling cadence.
+	if ctx.FreeMachines() == 0 || ctx.Now()%s.cfg.CheckIntervalSlots != 0 {
+		return
+	}
+	type candidate struct {
+		j    *job.Job
+		t    *job.Task
+		trem float64
+	}
+	var cands []candidate
+	for _, j := range alive {
+		for _, p := range []job.Phase{job.PhaseMap, job.PhaseReduce} {
+			stats := j.PhaseStats(p)
+			for _, t := range j.RunningTasks(p) {
+				if t.Copies >= 1+s.cfg.MaxBackupsPerTask {
+					continue
+				}
+				trem, ok := s.estimateRemaining(ctx, t)
+				if !ok {
+					continue
+				}
+				if s.shouldBackup(trem, stats) {
+					cands = append(cands, candidate{j: j, t: t, trem: trem})
+				}
+			}
+		}
+	}
+	sort.SliceStable(cands, func(a, b int) bool {
+		if cands[a].trem != cands[b].trem {
+			return cands[a].trem > cands[b].trem
+		}
+		if cands[a].j.Spec.ID != cands[b].j.Spec.ID {
+			return cands[a].j.Spec.ID < cands[b].j.Spec.ID
+		}
+		return cands[a].t.ID.Index < cands[b].t.ID.Index
+	})
+	for _, c := range cands {
+		if ctx.FreeMachines() == 0 {
+			return
+		}
+		if _, err := ctx.Launch(c.j, c.t, 1, false); err != nil {
+			return
+		}
+	}
+}
+
+// estimateRemaining returns the progress-based remaining-time estimate of
+// the task's best copy (the task finishes when its best copy does), or
+// ok=false when no copy has been observed long enough.
+func (s *Scheduler) estimateRemaining(ctx *cluster.Context, t *job.Task) (float64, bool) {
+	p, ok := ctx.BestProgress(t)
+	if !ok || p.Elapsed < s.cfg.MinObservationSlots || p.Fraction <= 0 {
+		return 0, false
+	}
+	return float64(p.Elapsed) * (1 - p.Fraction) / p.Fraction, true
+}
+
+// shouldBackup applies the relaunch rule P(t_rem > 2 t_new) > delta using the
+// Cantelli bound over the phase's (E, sigma).
+func (s *Scheduler) shouldBackup(trem float64, stats job.Stats) bool {
+	if stats.Mean <= 0 {
+		return false
+	}
+	half := trem / 2
+	if half <= stats.Mean {
+		return false // a fresh copy is not expected to beat the running one
+	}
+	if stats.StdDev == 0 {
+		return true // deterministic t_new < t_rem/2 with certainty
+	}
+	if math.IsInf(stats.StdDev, 1) {
+		// Infinite variance (Pareto alpha <= 2): Cantelli is vacuous, so
+		// fall back to the expectation rule t_rem > 2 E[t_new], which the
+		// half > mean guard above has already established.
+		return true
+	}
+	d := half - stats.Mean
+	pNewExceeds := stats.StdDev * stats.StdDev / (stats.StdDev*stats.StdDev + d*d)
+	return 1-pNewExceeds > s.cfg.Delta
+}

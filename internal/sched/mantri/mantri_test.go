@@ -1,0 +1,166 @@
+package mantri
+
+import (
+	"testing"
+
+	"mrclone/internal/cluster"
+	"mrclone/internal/dist"
+	"mrclone/internal/job"
+)
+
+func run(t *testing.T, machines int, cfg Config, seed int64, specs []job.Spec) *cluster.Result {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := cluster.New(cluster.Config{Machines: machines, Seed: seed}, s, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestNewValidation(t *testing.T) {
+	bad := []Config{
+		{Delta: -0.1},
+		{Delta: 1},
+		{Delta: 2},
+		{Delta: 0.5, MinObservationSlots: -1},
+		{Delta: 0.5, MaxBackupsPerTask: -1},
+	}
+	for i, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("case %d (%+v): want error", i, cfg)
+		}
+	}
+	s, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.cfg.Delta != DefaultDelta ||
+		s.cfg.MinObservationSlots != DefaultMinObservation ||
+		s.cfg.MaxBackupsPerTask != DefaultMaxBackups {
+		t.Errorf("defaults not applied: %+v", s.cfg)
+	}
+	if s.Name() == "" {
+		t.Error("empty name")
+	}
+}
+
+func TestShouldBackupRule(t *testing.T) {
+	s, err := New(Config{Delta: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := job.Stats{Mean: 10, StdDev: 5}
+	cases := []struct {
+		trem float64
+		want bool
+	}{
+		{5, false},   // trem/2 < mean: fresh copy no better
+		{20, false},  // trem/2 == mean: boundary, no backup
+		{25, false},  // trem/2 = 12.5, d=2.5: Cantelli P(exceed) = 25/31.25 = 0.8 -> 1-0.8 < delta
+		{60, true},   // trem/2 = 30, d=20: P = 25/425 ~ 0.06 -> 0.94 > delta
+		{1000, true}, // extreme straggler
+	}
+	for _, tc := range cases {
+		if got := s.shouldBackup(tc.trem, stats); got != tc.want {
+			t.Errorf("shouldBackup(trem=%v) = %v, want %v", tc.trem, got, tc.want)
+		}
+	}
+	// Deterministic durations: any trem > 2E triggers.
+	if !s.shouldBackup(21, job.Stats{Mean: 10, StdDev: 0}) {
+		t.Error("deterministic straggler not backed up")
+	}
+	if s.shouldBackup(21, job.Stats{}) {
+		t.Error("zero-mean stats should never back up")
+	}
+}
+
+func TestBackupsLaunchForStragglers(t *testing.T) {
+	// Heavy-tail durations: across seeds, Mantri should launch some backups
+	// when machines are plentiful.
+	p, err := dist.NewPareto(10, 1.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := []job.Spec{
+		{ID: 0, Weight: 1, MapTasks: 6, MapDist: p},
+	}
+	var clones int64
+	for seed := int64(0); seed < 10; seed++ {
+		res := run(t, 20, Config{}, seed, specs)
+		clones += res.CloneCopies
+	}
+	if clones == 0 {
+		t.Fatal("Mantri never launched a backup copy on heavy-tailed tasks")
+	}
+}
+
+func TestBackupCapRespected(t *testing.T) {
+	p, err := dist.NewPareto(50, 1.1) // extremely heavy tail
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := []job.Spec{{ID: 0, Weight: 1, MapTasks: 1, MapDist: p}}
+	res := run(t, 50, Config{MaxBackupsPerTask: 2}, 3, specs)
+	// 1 original + at most 2 backups.
+	if res.TotalCopies > 3 {
+		t.Fatalf("copies = %d, exceeds 1 original + 2 backups", res.TotalCopies)
+	}
+}
+
+func TestFIFOOrderAcrossJobs(t *testing.T) {
+	// Mantri does not prioritize small jobs: with FIFO and one machine, the
+	// first-arrived big job finishes before the later small job.
+	d, err := dist.NewDeterministic(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := []job.Spec{
+		{ID: 0, Arrival: 0, Weight: 1, MapTasks: 5, MapDist: d},
+		{ID: 1, Arrival: 1, Weight: 1, MapTasks: 1, MapDist: d},
+	}
+	res := run(t, 1, Config{}, 1, specs)
+	finish := map[int]int64{}
+	for _, jr := range res.Jobs {
+		finish[jr.ID] = jr.Finish
+	}
+	if finish[0] >= finish[1] {
+		t.Fatalf("FIFO violated: big job %d, small job %d", finish[0], finish[1])
+	}
+}
+
+func TestMapReducePrecedenceUnderMantri(t *testing.T) {
+	d, err := dist.NewDeterministic(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := []job.Spec{{
+		ID: 0, Weight: 1,
+		MapTasks: 2, MapDist: d,
+		ReduceTask: 1, ReduceDist: d,
+	}}
+	res := run(t, 10, Config{}, 1, specs)
+	if res.Jobs[0].Flowtime != 20 {
+		t.Fatalf("flowtime = %d, want 20", res.Jobs[0].Flowtime)
+	}
+}
+
+func TestNoBackupBeforeObservationWindow(t *testing.T) {
+	// With a huge observation window, no backups can ever launch.
+	p, err := dist.NewPareto(10, 1.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := []job.Spec{{ID: 0, Weight: 1, MapTasks: 4, MapDist: p}}
+	res := run(t, 20, Config{MinObservationSlots: 1 << 40}, 5, specs)
+	if res.CloneCopies != 0 {
+		t.Fatalf("backups launched despite infinite observation window: %d", res.CloneCopies)
+	}
+}

@@ -1,0 +1,106 @@
+// Package sched ties the individual scheduler implementations together
+// behind a name-based registry so command-line tools and experiments can
+// construct any of them uniformly.
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"mrclone/internal/cluster"
+	"mrclone/internal/sched/dolly"
+	"mrclone/internal/sched/fair"
+	"mrclone/internal/sched/late"
+	"mrclone/internal/sched/mantri"
+	"mrclone/internal/sched/offline"
+	"mrclone/internal/sched/sca"
+	"mrclone/internal/sched/srpt"
+	"mrclone/internal/sched/srptms"
+)
+
+// Params carries the tunables a scheduler factory may consume; unknown
+// fields are ignored by schedulers that do not use them.
+type Params struct {
+	// Epsilon is SRPTMS+C's sharing fraction (default 0.6, the paper's pick).
+	Epsilon float64
+	// DeviationFactor is r, the standard-deviation weight in effective
+	// workloads (default 3, the paper's pick for the unweighted metric).
+	DeviationFactor float64
+	// MaxClonesPerTask caps cloning for the cloning schedulers (0 = default).
+	MaxClonesPerTask int
+	// Delta is Mantri's relaunch confidence threshold (0 = default).
+	Delta float64
+	// GateReduces lets the offline algorithm occupy machines with reduce
+	// tasks whose map phase is still running.
+	GateReduces bool
+}
+
+// DefaultParams returns the parameter values selected by the paper's
+// evaluation (Section VI-C): epsilon = 0.6, r = 3.
+func DefaultParams() Params {
+	return Params{Epsilon: 0.6, DeviationFactor: 3}
+}
+
+// Factory builds a scheduler from parameters.
+type Factory func(Params) (cluster.Scheduler, error)
+
+// registry maps canonical lower-case names to factories.
+var registry = map[string]Factory{
+	"srptms+c": func(p Params) (cluster.Scheduler, error) {
+		eps := p.Epsilon
+		if eps == 0 {
+			eps = 0.6
+		}
+		return srptms.New(srptms.Config{
+			Epsilon:          eps,
+			DeviationFactor:  p.DeviationFactor,
+			MaxClonesPerTask: p.MaxClonesPerTask,
+		})
+	},
+	"sca": func(p Params) (cluster.Scheduler, error) {
+		return sca.New(sca.Config{
+			DeviationFactor:  p.DeviationFactor,
+			MaxClonesPerTask: p.MaxClonesPerTask,
+		})
+	},
+	"mantri": func(p Params) (cluster.Scheduler, error) {
+		return mantri.New(mantri.Config{Delta: p.Delta})
+	},
+	"fair": func(Params) (cluster.Scheduler, error) {
+		return fair.New(), nil
+	},
+	"late": func(Params) (cluster.Scheduler, error) {
+		return late.New(late.Config{})
+	},
+	"dolly": func(p Params) (cluster.Scheduler, error) {
+		return dolly.New(dolly.Config{Copies: p.MaxClonesPerTask})
+	},
+	"srpt": func(p Params) (cluster.Scheduler, error) {
+		return srpt.New(srpt.Config{DeviationFactor: p.DeviationFactor})
+	},
+	"offline": func(p Params) (cluster.Scheduler, error) {
+		return offline.New(offline.Config{
+			DeviationFactor: p.DeviationFactor,
+			GateReduces:     p.GateReduces,
+		})
+	},
+}
+
+// Names returns the registered scheduler names, sorted.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for name := range registry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Build constructs the named scheduler with the given parameters.
+func Build(name string, p Params) (cluster.Scheduler, error) {
+	f, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("sched: unknown scheduler %q (have %v)", name, Names())
+	}
+	return f(p)
+}

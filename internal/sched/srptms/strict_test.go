@@ -1,0 +1,79 @@
+package srptms
+
+import (
+	"testing"
+
+	"mrclone/internal/cluster"
+	"mrclone/internal/dist"
+	"mrclone/internal/job"
+)
+
+// TestStrictModeCompletes: the letter-of-Algorithm-2 variant (no surplus
+// pass) must still finish every job — below-band jobs eventually rise into
+// the band as higher-priority work drains.
+func TestStrictModeCompletes(t *testing.T) {
+	p, err := dist.NewPareto(5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(Config{Epsilon: 0.5, Strict: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var specs []job.Spec
+	for i := 0; i < 8; i++ {
+		specs = append(specs, job.Spec{
+			ID: i, Arrival: int64(i * 2), Weight: float64(1 + i%4),
+			MapTasks: 2 + i, MapDist: p,
+		})
+	}
+	eng, err := cluster.New(cluster.Config{Machines: 10, Seed: 3}, s, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FinishedJobs != len(specs) {
+		t.Fatalf("strict mode finished %d/%d", res.FinishedJobs, len(specs))
+	}
+}
+
+// TestStrictNeverWorseBusyThanWorkConserving: the surplus pass can only add
+// usefully-busy machines, so the work-conserving variant must finish no
+// later overall than strict on the same workload and seed.
+func TestStrictVersusWorkConserving(t *testing.T) {
+	p, err := dist.NewPareto(8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var specs []job.Spec
+	for i := 0; i < 12; i++ {
+		specs = append(specs, job.Spec{
+			ID: i, Arrival: int64(i), Weight: float64(1 + i%3),
+			MapTasks: 1 + i%5, MapDist: p,
+		})
+	}
+	runWith := func(strict bool) int64 {
+		t.Helper()
+		s, err := New(Config{Epsilon: 0.4, Strict: strict})
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng, err := cluster.New(cluster.Config{Machines: 6, Seed: 9}, s, specs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := eng.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Slots
+	}
+	strict := runWith(true)
+	wc := runWith(false)
+	if wc > strict {
+		t.Fatalf("work-conserving makespan %d exceeds strict %d", wc, strict)
+	}
+}

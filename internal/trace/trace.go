@@ -1,0 +1,474 @@
+// Package trace generates and serializes synthetic MapReduce workload
+// traces calibrated to the Google cluster-usage statistics the paper reports
+// in Table II:
+//
+//	jobs                 6064
+//	trace duration (s)   35032
+//	avg tasks per job    26.31
+//	min task duration    12.8 s
+//	max task duration    22919.3 s
+//	avg task duration    1179.7 s
+//	priorities           0–11, used as job weights
+//
+// The paper consumes the real trace only through per-job task counts,
+// per-task duration statistics, arrival times, and priorities; the generator
+// reproduces those marginals (heavy-tailed task counts and durations) so the
+// schedulers exercise identical code paths. See DESIGN.md §2 for the
+// substitution argument.
+//
+// Each job's task durations follow Scaled(BoundedPareto(1, ratio, alpha)),
+// i.e. a bounded Pareto with per-job scale: heavy-tailed within-job
+// variation is exactly the straggler model of Section III-A.
+package trace
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"mrclone/internal/dist"
+	"mrclone/internal/job"
+	"mrclone/internal/rng"
+)
+
+// Table II constants from the paper.
+const (
+	GoogleJobs        = 6064
+	GoogleSpanSeconds = 35032
+	GoogleMeanTasks   = 26.31
+	GoogleMinTaskDur  = 12.8
+	GoogleMaxTaskDur  = 22919.3
+	GoogleMeanTaskDur = 1179.7
+	GoogleMaxPriority = 11
+)
+
+// Params configures the generator. The zero value is invalid; use
+// GoogleParams for a Table II-calibrated workload.
+type Params struct {
+	Jobs int   // number of jobs
+	Span int64 // arrival window in slots (seconds)
+
+	MeanTasksPerJob float64 // target mean of the heavy-tailed task count
+	MaxTasksPerJob  int     // cap on tasks per job
+
+	MeanTaskDuration float64 // target mean task duration across all tasks
+	MinTaskDuration  float64 // support floor (Table II minimum)
+	MaxTaskDuration  float64 // support ceiling (Table II maximum)
+
+	// WithinJobAlpha is the bounded-Pareto tail index of task durations
+	// inside one job phase; smaller is heavier (more stragglers). 1.5
+	// reproduces the heavy tails reported for production clusters.
+	WithinJobAlpha float64
+	// WithinJobRatio is max/min duration within one job phase.
+	WithinJobRatio float64
+	// DurationCV is the coefficient of variation of the per-job duration
+	// noise across jobs (between-job skew on top of the size correlation).
+	DurationCV float64
+	// CountDurationExponent couples task duration to job size: a job with n
+	// tasks scales its duration by (n / MeanTasksPerJob)^exponent. Positive
+	// values reproduce the production-trace pattern that small jobs have
+	// short tasks (which is why mean job flowtime sits far below mean task
+	// duration in the paper's evaluation).
+	CountDurationExponent float64
+	// ReduceFraction is the expected fraction of a job's tasks that are
+	// reduce tasks.
+	ReduceFraction float64
+	// PriorityBias in (0,1) skews priorities low: P(priority=k) ~ bias^k.
+	PriorityBias float64
+
+	Seed int64
+}
+
+// GoogleParams returns parameters calibrated to Table II.
+func GoogleParams() Params {
+	return Params{
+		Jobs:                  GoogleJobs,
+		Span:                  GoogleSpanSeconds,
+		MeanTasksPerJob:       GoogleMeanTasks,
+		MaxTasksPerJob:        500,
+		MeanTaskDuration:      GoogleMeanTaskDur,
+		MinTaskDuration:       GoogleMinTaskDur,
+		MaxTaskDuration:       GoogleMaxTaskDur,
+		WithinJobAlpha:        2.5,
+		WithinJobRatio:        5,
+		DurationCV:            2,
+		CountDurationExponent: 0.8,
+		ReduceFraction:        0.3,
+		PriorityBias:          0.65,
+		Seed:                  1,
+	}
+}
+
+// Validate checks generator parameters.
+func (p Params) Validate() error {
+	switch {
+	case p.Jobs <= 0:
+		return fmt.Errorf("trace: jobs %d", p.Jobs)
+	case p.Span <= 0:
+		return fmt.Errorf("trace: span %d", p.Span)
+	case p.MeanTasksPerJob < 1:
+		return fmt.Errorf("trace: mean tasks %v", p.MeanTasksPerJob)
+	case p.MaxTasksPerJob < 2:
+		return fmt.Errorf("trace: max tasks %d", p.MaxTasksPerJob)
+	case p.MeanTaskDuration <= 0 || p.MinTaskDuration <= 0:
+		return fmt.Errorf("trace: durations mean=%v min=%v", p.MeanTaskDuration, p.MinTaskDuration)
+	case p.MaxTaskDuration <= p.MinTaskDuration:
+		return fmt.Errorf("trace: max duration %v <= min %v", p.MaxTaskDuration, p.MinTaskDuration)
+	case p.WithinJobAlpha <= 1:
+		return fmt.Errorf("trace: within-job alpha %v must exceed 1", p.WithinJobAlpha)
+	case p.WithinJobRatio <= 1:
+		return fmt.Errorf("trace: within-job ratio %v must exceed 1", p.WithinJobRatio)
+	case p.DurationCV <= 0:
+		return fmt.Errorf("trace: duration CV %v", p.DurationCV)
+	case p.CountDurationExponent < 0 || p.CountDurationExponent > 2:
+		return fmt.Errorf("trace: count-duration exponent %v outside [0, 2]", p.CountDurationExponent)
+	case p.ReduceFraction < 0 || p.ReduceFraction >= 1:
+		return fmt.Errorf("trace: reduce fraction %v outside [0,1)", p.ReduceFraction)
+	case p.PriorityBias <= 0 || p.PriorityBias >= 1:
+		return fmt.Errorf("trace: priority bias %v outside (0,1)", p.PriorityBias)
+	}
+	return nil
+}
+
+// JobRow is the serializable description of one trace job. Durations use the
+// Scaled(BoundedPareto(1, Ratio, Alpha)) parametrization per phase.
+type JobRow struct {
+	ID          int
+	Arrival     int64
+	Priority    int // 0..11; job weight = Priority + 1 (weights must be > 0)
+	MapTasks    int
+	ReduceTasks int
+	MapScale    float64
+	ReduceScale float64
+	Ratio       float64
+	Alpha       float64
+}
+
+// Weight returns the job weight derived from the trace priority. The paper
+// treats the 0–11 priority as the weight; our model requires strictly
+// positive weights, so priority k maps to weight k+1 (a uniform shift that
+// preserves all orderings).
+func (r JobRow) Weight() float64 { return float64(r.Priority + 1) }
+
+// Trace is a generated or loaded workload.
+type Trace struct {
+	Rows   []JobRow
+	Params Params // zero for loaded traces without metadata
+}
+
+// Generate produces a trace from parameters. The same parameters always
+// produce the same trace.
+func Generate(p Params) (*Trace, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	src := rng.New(p.Seed).Split("trace")
+	arrivalSrc := src.Split("arrivals")
+	countSrc := src.Split("counts")
+	durSrc := src.Split("durations")
+	prioSrc := src.Split("priorities")
+	splitSrc := src.Split("splits")
+
+	// Task-count distribution: bounded Pareto on [1, MaxTasks] with alpha
+	// calibrated by bisection so the (rounded) mean hits MeanTasksPerJob.
+	countAlpha, err := calibrateCountAlpha(p.MeanTasksPerJob, p.MaxTasksPerJob)
+	if err != nil {
+		return nil, err
+	}
+	countDist, err := dist.NewBoundedPareto(1, float64(p.MaxTasksPerJob), countAlpha)
+	if err != nil {
+		return nil, err
+	}
+
+	// Per-job mean duration: lognormal across jobs with the target mean and
+	// CV, then a correction pass rescales so the task-weighted mean of the
+	// clamped values matches MeanTaskDuration.
+	ln, err := dist.LognormalFromMoments(p.MeanTaskDuration, p.DurationCV*p.MeanTaskDuration)
+	if err != nil {
+		return nil, err
+	}
+	base, err := dist.NewBoundedPareto(1, p.WithinJobRatio, p.WithinJobAlpha)
+	if err != nil {
+		return nil, err
+	}
+	bpMean := base.Mean()
+	minScale := p.MinTaskDuration
+	maxScale := p.MaxTaskDuration / p.WithinJobRatio
+
+	rows := make([]JobRow, p.Jobs)
+	var taskCountSum int64
+	for i := range rows {
+		n := int(math.Round(countDist.Sample(countSrc)))
+		if n < 1 {
+			n = 1
+		}
+		if n > p.MaxTasksPerJob {
+			n = p.MaxTasksPerJob
+		}
+		reduces := int(math.Round(p.ReduceFraction * float64(n)))
+		if reduces >= n {
+			reduces = n - 1
+		}
+		// A small fraction of jobs are map-only, as in the real trace.
+		if reduces > 0 && splitSrc.Float64() < 0.15 {
+			reduces = 0
+		}
+		maps := n - reduces
+
+		mu := ln.Sample(durSrc) *
+			math.Pow(float64(n)/p.MeanTasksPerJob, p.CountDurationExponent)
+		scale := clamp(mu/bpMean, minScale, maxScale)
+
+		// Priorities skew low overall but correlate positively with job
+		// size, as in the Google trace: long-running production services
+		// hold both many tasks and high priority, while the numerous small
+		// batch jobs run at the lowest priorities.
+		prio := samplePriority(prioSrc, p.PriorityBias) + sizeBoost(n, p.MeanTasksPerJob)
+		if prio > GoogleMaxPriority {
+			prio = GoogleMaxPriority
+		}
+		rows[i] = JobRow{
+			ID:          i,
+			Arrival:     int64(arrivalSrc.Float64() * float64(p.Span)),
+			Priority:    prio,
+			MapTasks:    maps,
+			ReduceTasks: reduces,
+			MapScale:    scale,
+			ReduceScale: scale * (0.8 + 0.4*durSrc.Float64()), // reduces differ mildly
+			Ratio:       p.WithinJobRatio,
+			Alpha:       p.WithinJobAlpha,
+		}
+		rows[i].ReduceScale = clamp(rows[i].ReduceScale, minScale, maxScale)
+		taskCountSum += int64(n)
+	}
+
+	// Correction passes: rescale job scales so the task-weighted mean
+	// duration matches the target. Clamping to the Table II support bounds
+	// compresses the tail, so a single rescale undershoots; iterating the
+	// fixed point converges because the all-at-cap mean exceeds the target.
+	for iter := 0; iter < 50; iter++ {
+		var weightedMean float64
+		for _, r := range rows {
+			weightedMean += r.MapScale * bpMean * float64(r.MapTasks)
+			weightedMean += r.ReduceScale * bpMean * float64(r.ReduceTasks)
+		}
+		weightedMean /= float64(taskCountSum)
+		if weightedMean <= 0 {
+			break
+		}
+		factor := p.MeanTaskDuration / weightedMean
+		if math.Abs(factor-1) < 0.005 {
+			break
+		}
+		for i := range rows {
+			rows[i].MapScale = clamp(rows[i].MapScale*factor, minScale, maxScale)
+			rows[i].ReduceScale = clamp(rows[i].ReduceScale*factor, minScale, maxScale)
+		}
+	}
+
+	sort.SliceStable(rows, func(a, b int) bool { return rows[a].Arrival < rows[b].Arrival })
+	for i := range rows {
+		rows[i].ID = i // re-key in arrival order for readability
+	}
+	return &Trace{Rows: rows, Params: p}, nil
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// sizeBoost raises the priority of jobs much larger than the mean:
+// +2 levels per decade of size above the mean task count.
+func sizeBoost(tasks int, meanTasks float64) int {
+	if float64(tasks) <= meanTasks {
+		return 0
+	}
+	return int(2 * math.Log10(float64(tasks)/meanTasks))
+}
+
+// samplePriority draws a 0..11 priority with geometric bias toward 0.
+func samplePriority(src *rng.Source, bias float64) int {
+	u := src.Float64()
+	// P(k) proportional to bias^k over k = 0..11.
+	total := (1 - math.Pow(bias, GoogleMaxPriority+1)) / (1 - bias)
+	cum := 0.0
+	for k := 0; k <= GoogleMaxPriority; k++ {
+		cum += math.Pow(bias, float64(k)) / total
+		if u <= cum {
+			return k
+		}
+	}
+	return GoogleMaxPriority
+}
+
+// calibrateCountAlpha bisects the bounded-Pareto tail index so that the mean
+// task count matches the target.
+func calibrateCountAlpha(target float64, maxTasks int) (float64, error) {
+	hi := float64(maxTasks)
+	meanAt := func(alpha float64) float64 {
+		b := dist.BoundedPareto{Lo: 1, Hi: hi, Alpha: alpha}
+		return b.Mean()
+	}
+	// Mean decreases in alpha; bracket the target. Task counts need a tail
+	// index below 1 (the support is bounded, so the mean stays finite).
+	loA, hiA := 0.02, 10.0
+	if meanAt(loA) < target {
+		return 0, fmt.Errorf("trace: mean tasks %v unreachable with max %d", target, maxTasks)
+	}
+	if meanAt(hiA) > target {
+		return 0, fmt.Errorf("trace: mean tasks %v below the bounded-Pareto floor", target)
+	}
+	for i := 0; i < 200; i++ {
+		mid := (loA + hiA) / 2
+		if meanAt(mid) > target {
+			loA = mid
+		} else {
+			hiA = mid
+		}
+	}
+	return (loA + hiA) / 2, nil
+}
+
+// Specs converts a trace into engine-ready job specs.
+func (t *Trace) Specs() ([]job.Spec, error) {
+	specs := make([]job.Spec, 0, len(t.Rows))
+	for _, r := range t.Rows {
+		spec, err := r.Spec()
+		if err != nil {
+			return nil, err
+		}
+		specs = append(specs, spec)
+	}
+	return specs, nil
+}
+
+// Spec converts one row into a job spec.
+func (r JobRow) Spec() (job.Spec, error) {
+	spec := job.Spec{
+		ID:         r.ID,
+		Arrival:    r.Arrival,
+		Weight:     r.Weight(),
+		MapTasks:   r.MapTasks,
+		ReduceTask: r.ReduceTasks,
+	}
+	if r.MapTasks > 0 {
+		d, err := phaseDist(r.MapScale, r.Ratio, r.Alpha)
+		if err != nil {
+			return job.Spec{}, fmt.Errorf("trace: job %d map dist: %w", r.ID, err)
+		}
+		spec.MapDist = d
+	}
+	if r.ReduceTasks > 0 {
+		d, err := phaseDist(r.ReduceScale, r.Ratio, r.Alpha)
+		if err != nil {
+			return job.Spec{}, fmt.Errorf("trace: job %d reduce dist: %w", r.ID, err)
+		}
+		spec.ReduceDist = d
+	}
+	if err := spec.Validate(); err != nil {
+		return job.Spec{}, err
+	}
+	return spec, nil
+}
+
+func phaseDist(scale, ratio, alpha float64) (dist.Distribution, error) {
+	base, err := dist.NewBoundedPareto(1, ratio, alpha)
+	if err != nil {
+		return nil, err
+	}
+	return dist.NewScaled(base, scale)
+}
+
+// Stats are the Table II-style summary statistics of a trace.
+type Stats struct {
+	Jobs            int
+	SpanSeconds     int64   // last arrival minus first arrival
+	MeanTasksPerJob float64 //
+	MinTaskDur      float64 // support minimum across all tasks
+	MaxTaskDur      float64 // support maximum across all tasks
+	MeanTaskDur     float64 // task-weighted mean of per-task expected durations
+	MeanPriority    float64
+	MapTasks        int64
+	ReduceTasks     int64
+}
+
+// ErrEmptyTrace is returned for stats over an empty trace.
+var ErrEmptyTrace = errors.New("trace: empty trace")
+
+// ComputeStats summarizes a trace in the shape of Table II.
+func (t *Trace) ComputeStats() (Stats, error) {
+	if len(t.Rows) == 0 {
+		return Stats{}, ErrEmptyTrace
+	}
+	var s Stats
+	s.Jobs = len(t.Rows)
+	minArr, maxArr := int64(math.MaxInt64), int64(math.MinInt64)
+	minDur, maxDur := math.Inf(1), math.Inf(-1)
+	var taskSum int64
+	var durSum, prioSum float64
+	for _, r := range t.Rows {
+		n := r.MapTasks + r.ReduceTasks
+		taskSum += int64(n)
+		s.MapTasks += int64(r.MapTasks)
+		s.ReduceTasks += int64(r.ReduceTasks)
+		prioSum += float64(r.Priority)
+		if r.Arrival < minArr {
+			minArr = r.Arrival
+		}
+		if r.Arrival > maxArr {
+			maxArr = r.Arrival
+		}
+		base := dist.BoundedPareto{Lo: 1, Hi: r.Ratio, Alpha: r.Alpha}
+		bpMean := base.Mean()
+		if r.MapTasks > 0 {
+			durSum += r.MapScale * bpMean * float64(r.MapTasks)
+			minDur = math.Min(minDur, r.MapScale)
+			maxDur = math.Max(maxDur, r.MapScale*r.Ratio)
+		}
+		if r.ReduceTasks > 0 {
+			durSum += r.ReduceScale * bpMean * float64(r.ReduceTasks)
+			minDur = math.Min(minDur, r.ReduceScale)
+			maxDur = math.Max(maxDur, r.ReduceScale*r.Ratio)
+		}
+	}
+	s.SpanSeconds = maxArr - minArr
+	s.MeanTasksPerJob = float64(taskSum) / float64(s.Jobs)
+	s.MinTaskDur = minDur
+	s.MaxTaskDur = maxDur
+	s.MeanTaskDur = durSum / float64(taskSum)
+	s.MeanPriority = prioSum / float64(s.Jobs)
+	return s, nil
+}
+
+// Subset returns a trace containing the first n rows (by arrival order),
+// useful for scaled-down experiments. It panics if n < 0; n beyond the end
+// is clipped.
+func (t *Trace) Subset(n int) *Trace {
+	if n > len(t.Rows) {
+		n = len(t.Rows)
+	}
+	rows := make([]JobRow, n)
+	copy(rows, t.Rows[:n])
+	return &Trace{Rows: rows, Params: t.Params}
+}
+
+// ScaleArrivals multiplies every arrival time by f (compressing or
+// stretching load) and returns a new trace.
+func (t *Trace) ScaleArrivals(f float64) (*Trace, error) {
+	if f <= 0 || math.IsNaN(f) {
+		return nil, fmt.Errorf("trace: arrival scale %v", f)
+	}
+	rows := make([]JobRow, len(t.Rows))
+	copy(rows, t.Rows)
+	for i := range rows {
+		rows[i].Arrival = int64(float64(rows[i].Arrival) * f)
+	}
+	return &Trace{Rows: rows, Params: t.Params}, nil
+}

@@ -1,0 +1,41 @@
+package mrclone
+
+import (
+	"mrclone/internal/mrengine"
+)
+
+// Re-exported MapReduce-engine types: a small real in-process MapReduce
+// engine whose speculative-execution policy is pluggable with the paper's
+// strategies (see internal/mrengine).
+type (
+	// KV is one key-value pair.
+	KV = mrengine.KV
+	// MapFunc transforms one input pair into intermediate pairs.
+	MapFunc = mrengine.MapFunc
+	// ReduceFunc folds the values of one key into output pairs.
+	ReduceFunc = mrengine.ReduceFunc
+	// MapReduceJob describes an in-process MapReduce computation.
+	MapReduceJob = mrengine.Job
+	// MapReduceConfig parameterizes the engine (workers, stragglers, policy).
+	MapReduceConfig = mrengine.Config
+	// MapReduceEngine executes MapReduce jobs on a bounded worker pool.
+	MapReduceEngine = mrengine.Engine
+	// MapReduceResult is the output of a completed MapReduce job.
+	MapReduceResult = mrengine.Result
+	// StragglerModel injects execution-time skew into task attempts.
+	StragglerModel = mrengine.StragglerModel
+	// SpeculationPolicy decides cloning/backup behaviour per task.
+	SpeculationPolicy = mrengine.SpeculationPolicy
+	// NoSpeculation runs one attempt per task.
+	NoSpeculation = mrengine.NoSpeculation
+	// CloningPolicy launches parallel attempts up-front (the paper's way).
+	CloningPolicy = mrengine.CloningPolicy
+	// DetectionPolicy launches backups for observed stragglers
+	// (Mantri/LATE's way).
+	DetectionPolicy = mrengine.DetectionPolicy
+)
+
+// NewMapReduceEngine returns an in-process MapReduce engine.
+func NewMapReduceEngine(cfg MapReduceConfig) (*MapReduceEngine, error) {
+	return mrengine.New(cfg)
+}

@@ -1,0 +1,220 @@
+package mrclone
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"mrclone/internal/cluster"
+	"mrclone/internal/experiments"
+	"mrclone/internal/job"
+	"mrclone/internal/metrics"
+	"mrclone/internal/sched"
+	"mrclone/internal/trace"
+)
+
+// Re-exported core types. The internal packages hold the implementations;
+// these aliases form the stable public surface.
+type (
+	// JobSpec describes one two-phase job (tasks, arrival, weight, duration
+	// distributions).
+	JobSpec = job.Spec
+	// Phase identifies the Map or Reduce phase.
+	Phase = job.Phase
+	// Result is the outcome of a simulation run.
+	Result = cluster.Result
+	// JobRecord is one job's outcome within a Result.
+	JobRecord = cluster.JobRecord
+	// Scheduler is the per-slot scheduling interface.
+	Scheduler = cluster.Scheduler
+	// SchedulerContext is the per-slot view handed to a Scheduler; custom
+	// schedulers implement Schedule(*SchedulerContext).
+	SchedulerContext = cluster.Context
+	// Job is the runtime job state visible to schedulers.
+	Job = job.Job
+	// Task is the runtime task state visible to schedulers.
+	Task = job.Task
+	// SchedulerParams carries scheduler tunables (epsilon, r, clone caps).
+	SchedulerParams = sched.Params
+	// Trace is a workload trace (generated or loaded).
+	Trace = trace.Trace
+	// TraceParams configures the synthetic trace generator.
+	TraceParams = trace.Params
+	// FlowtimeSummary aggregates flowtime statistics.
+	FlowtimeSummary = metrics.FlowtimeSummary
+	// CDFPoint is one point of an empirical flowtime CDF.
+	CDFPoint = metrics.CDFPoint
+	// ExperimentOptions configures the paper-reproduction experiments.
+	ExperimentOptions = experiments.Options
+)
+
+// Phases of a MapReduce job.
+const (
+	PhaseMap    = job.PhaseMap
+	PhaseReduce = job.PhaseReduce
+)
+
+// GoogleTraceParams returns generator parameters calibrated to the Google
+// cluster trace statistics of the paper's Table II.
+func GoogleTraceParams() TraceParams { return trace.GoogleParams() }
+
+// GenerateTrace produces a synthetic workload trace.
+func GenerateTrace(p TraceParams) (*Trace, error) { return trace.Generate(p) }
+
+// ReadTraceCSV loads a trace written by Trace.WriteCSV.
+func ReadTraceCSV(r io.Reader) (*Trace, error) { return trace.ReadCSV(r) }
+
+// SchedulerNames lists the available scheduler implementations.
+func SchedulerNames() []string { return sched.Names() }
+
+// NewScheduler builds a named scheduler ("srptms+c", "sca", "mantri",
+// "fair", "srpt", "offline") with the given parameters.
+func NewScheduler(name string, p SchedulerParams) (Scheduler, error) {
+	return sched.Build(name, p)
+}
+
+// Summarize computes flowtime statistics over a finished run.
+func Summarize(res *Result) (FlowtimeSummary, error) { return metrics.Summarize(res) }
+
+// FlowtimeCDF evaluates the empirical flowtime CDF of a run on [lo, hi].
+func FlowtimeCDF(res *Result, lo, hi float64, points int) ([]CDFPoint, error) {
+	return metrics.FlowtimeCDF(res, lo, hi, points)
+}
+
+// Simulation is a configured cluster simulation, built with NewSimulation
+// and executed with Run.
+type Simulation struct {
+	specs     []JobSpec
+	machines  int
+	speed     float64
+	seed      int64
+	schedName string
+	params    SchedulerParams
+	scheduler Scheduler // overrides schedName when non-nil
+}
+
+// Option configures a Simulation.
+type Option func(*Simulation) error
+
+// WithMachines sets the cluster size M (required, > 0).
+func WithMachines(m int) Option {
+	return func(s *Simulation) error {
+		if m <= 0 {
+			return fmt.Errorf("mrclone: machines %d", m)
+		}
+		s.machines = m
+		return nil
+	}
+}
+
+// WithScheduler selects a registered scheduler by name. The default is
+// "srptms+c" with the tuned parameters.
+func WithScheduler(name string) Option {
+	return func(s *Simulation) error {
+		s.schedName = name
+		return nil
+	}
+}
+
+// WithCustomScheduler installs a caller-provided Scheduler implementation.
+func WithCustomScheduler(sc Scheduler) Option {
+	return func(s *Simulation) error {
+		if sc == nil {
+			return errors.New("mrclone: nil scheduler")
+		}
+		s.scheduler = sc
+		return nil
+	}
+}
+
+// WithSchedulerParams overrides the scheduler tunables.
+func WithSchedulerParams(p SchedulerParams) Option {
+	return func(s *Simulation) error {
+		s.params = p
+		return nil
+	}
+}
+
+// WithSeed fixes the random seed; equal seeds give identical runs.
+func WithSeed(seed int64) Option {
+	return func(s *Simulation) error {
+		s.seed = seed
+		return nil
+	}
+}
+
+// WithSpeed sets the machine speed for resource-augmentation experiments
+// (Definition 1 of the paper); 0 means unit speed.
+func WithSpeed(speed float64) Option {
+	return func(s *Simulation) error {
+		if speed < 0 {
+			return fmt.Errorf("mrclone: speed %v", speed)
+		}
+		s.speed = speed
+		return nil
+	}
+}
+
+// NewSimulation prepares a simulation of the trace under the configured
+// scheduler and cluster.
+func NewSimulation(tr *Trace, opts ...Option) (*Simulation, error) {
+	if tr == nil || len(tr.Rows) == 0 {
+		return nil, errors.New("mrclone: empty trace")
+	}
+	specs, err := tr.Specs()
+	if err != nil {
+		return nil, err
+	}
+	return NewSimulationFromSpecs(specs, opts...)
+}
+
+// NewSimulationFromSpecs prepares a simulation over explicit job specs.
+func NewSimulationFromSpecs(specs []JobSpec, opts ...Option) (*Simulation, error) {
+	if len(specs) == 0 {
+		return nil, errors.New("mrclone: no jobs")
+	}
+	s := &Simulation{
+		specs:     specs,
+		machines:  12000,
+		schedName: "srptms+c",
+		params: SchedulerParams{
+			Epsilon:         experiments.TunedEpsilon,
+			DeviationFactor: experiments.TunedDeviationFactor,
+		},
+	}
+	for _, opt := range opts {
+		if err := opt(s); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// Run executes the simulation to completion.
+func (s *Simulation) Run() (*Result, error) {
+	scheduler := s.scheduler
+	if scheduler == nil {
+		var err error
+		scheduler, err = sched.Build(s.schedName, s.params)
+		if err != nil {
+			return nil, err
+		}
+	}
+	eng, err := cluster.New(cluster.Config{
+		Machines: s.machines,
+		Speed:    s.speed,
+		Seed:     s.seed,
+	}, scheduler, s.specs)
+	if err != nil {
+		return nil, err
+	}
+	return eng.Run()
+}
+
+// Experiment presets mirroring the paper's evaluation scale.
+var (
+	// FullExperimentOptions is the paper's setup (6064 jobs, 12K machines).
+	FullExperimentOptions = experiments.FullOptions
+	// QuickExperimentOptions is a laptop-scale preset with the same load.
+	QuickExperimentOptions = experiments.QuickOptions
+)
