@@ -10,6 +10,11 @@
 //   - a time-slotted MapReduce cluster simulator with Map→Reduce precedence
 //     and min-of-copies cloning semantics (Section III of the paper);
 //   - a synthetic Google-trace generator calibrated to the paper's Table II;
+//   - a statistical-distribution library (internal/dist) with the paper's
+//     heavy-tailed workload models — Pareto, bounded Pareto, lognormal, and
+//     the closed-form Pareto cloning-speedup — plus exponential, Weibull,
+//     empirical (trace-fitted), and mixture families for scenario diversity,
+//     all sampled from seeded deterministic streams;
 //   - the full experiment harness regenerating every figure and table of the
 //     paper's evaluation plus numerical checks of both theorems;
 //   - a small real in-process MapReduce engine whose speculative-execution

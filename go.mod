@@ -1,0 +1,3 @@
+module mrclone
+
+go 1.24

@@ -1,0 +1,40 @@
+// Package dist provides the statistical workload distributions the paper's
+// schedulers and trace generator are built on: the heavy-tailed task-duration
+// models of Section III (Pareto, bounded Pareto, lognormal) plus light-tailed
+// and data-driven families (exponential, Weibull, empirical, mixtures) for
+// scenario diversity beyond the paper's evaluation.
+//
+// Every distribution exposes its first two moments analytically — the
+// scheduler information model of the paper is exactly (E, sigma) per phase —
+// and samples from a deterministic rng.Source stream — by inverse-CDF
+// transformation where the quantile function has a closed form — so equal
+// seeds give equal traces regardless of sampling order elsewhere. Heavy-tailed families report +Inf moments where the analytic
+// moment diverges (Pareto with alpha <= 1 has no mean, alpha <= 2 no
+// variance); consumers such as the analysis package treat an infinite sigma
+// as a vacuous concentration bound.
+//
+// Constructors validate their parameters and return wrapped ErrBadParam
+// errors; composite literals (used by the trace generator for serialized
+// rows) bypass validation, mirroring the job.Spec convention.
+package dist
+
+import (
+	"errors"
+
+	"mrclone/internal/rng"
+)
+
+// Distribution is a non-negative workload distribution with analytically
+// known first and second moments.
+//
+// Sample draws one variate from the given deterministic stream. Mean and
+// StdDev are the analytic moments E[X] and sqrt(Var[X]); they return +Inf
+// when the moment diverges (heavy tails), never NaN.
+type Distribution interface {
+	Sample(src *rng.Source) float64
+	Mean() float64
+	StdDev() float64
+}
+
+// ErrBadParam is wrapped by every constructor error in this package.
+var ErrBadParam = errors.New("dist: invalid parameter")

@@ -1,0 +1,432 @@
+package dist
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"mrclone/internal/rng"
+)
+
+// sampleMoments draws n variates and returns the empirical mean and
+// (population) standard deviation.
+func sampleMoments(t *testing.T, d Distribution, seed int64, n int) (mean, sd float64) {
+	t.Helper()
+	src := rng.New(seed)
+	xs := make([]float64, n)
+	var sum float64
+	for i := range xs {
+		xs[i] = d.Sample(src)
+		sum += xs[i]
+	}
+	mean = sum / float64(n)
+	var ss float64
+	for _, x := range xs {
+		dx := x - mean
+		ss += dx * dx
+	}
+	return mean, math.Sqrt(ss / float64(n))
+}
+
+// TestAnalyticMomentsMatchEmpirical: for every finite-moment family, a large
+// seeded sample must land within a few percent of the analytic moments.
+func TestAnalyticMomentsMatchEmpirical(t *testing.T) {
+	mk := func(d Distribution, err error) Distribution {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	empirical, err := NewEmpirical([]float64{1, 2, 2, 3, 5, 8, 13, 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mixture, err := NewMixture(
+		[]Distribution{mk(NewDeterministic(5)), mk(NewUniform(10, 20))},
+		[]float64{1, 3},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		d    Distribution
+		tol  float64 // relative tolerance on both moments
+	}{
+		{"deterministic", mk(NewDeterministic(7)), 1e-12},
+		{"uniform", mk(NewUniform(5, 15)), 0.02},
+		{"pareto-light", mk(NewPareto(5, 4)), 0.05},
+		{"bounded-pareto", mk(NewBoundedPareto(1, 100, 1.5)), 0.05},
+		{"bounded-pareto-sub1", mk(NewBoundedPareto(1, 500, 0.5)), 0.05},
+		{"lognormal", Lognormal{MuLog: 2, SigmaLog: 0.5}, 0.03},
+		{"lognormal-moments", mk(LognormalFromMoments(100, 50)), 0.03},
+		{"exponential", mk(NewExponential(0.25)), 0.02},
+		{"weibull-heavy", mk(NewWeibull(10, 0.8)), 0.03},
+		{"weibull-peaked", mk(NewWeibull(10, 3)), 0.02},
+		{"scaled", mk(NewScaled(mk(NewUniform(1, 3)), 10)), 0.02},
+		{"empirical", empirical, 0.03},
+		{"mixture", mixture, 0.03},
+	}
+	const n = 200000
+	for i, tc := range cases {
+		mean, sd := sampleMoments(t, tc.d, int64(100+i), n)
+		wantMean, wantSD := tc.d.Mean(), tc.d.StdDev()
+		if math.IsInf(wantMean, 0) || math.IsInf(wantSD, 0) {
+			t.Fatalf("%s: analytic moments must be finite here (mean=%v sd=%v)",
+				tc.name, wantMean, wantSD)
+		}
+		if relErr(mean, wantMean) > tc.tol {
+			t.Errorf("%s: empirical mean %v vs analytic %v", tc.name, mean, wantMean)
+		}
+		if relErr(sd, wantSD) > 3*tc.tol { // second moment converges slower
+			t.Errorf("%s: empirical sd %v vs analytic %v", tc.name, sd, wantSD)
+		}
+	}
+}
+
+func relErr(got, want float64) float64 {
+	if want == 0 {
+		return math.Abs(got)
+	}
+	return math.Abs(got-want) / math.Abs(want)
+}
+
+// TestHeavyTailInfiniteMoments: the Pareto moments must diverge exactly where
+// theory says (mean at alpha <= 1, variance at alpha <= 2), never NaN.
+func TestHeavyTailInfiniteMoments(t *testing.T) {
+	cases := []struct {
+		alpha          float64
+		infMean, infSD bool
+	}{
+		{0.8, true, true},
+		{1.0, true, true},
+		{1.5, false, true},
+		{2.0, false, true},
+		{2.5, false, false},
+	}
+	for _, tc := range cases {
+		p, err := NewPareto(5, tc.alpha)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := math.IsInf(p.Mean(), 1); got != tc.infMean {
+			t.Errorf("alpha=%v: mean inf=%v, want %v", tc.alpha, got, tc.infMean)
+		}
+		if got := math.IsInf(p.StdDev(), 1); got != tc.infSD {
+			t.Errorf("alpha=%v: sd inf=%v, want %v", tc.alpha, got, tc.infSD)
+		}
+		if math.IsNaN(p.Mean()) || math.IsNaN(p.StdDev()) {
+			t.Errorf("alpha=%v: NaN moment", tc.alpha)
+		}
+	}
+}
+
+// TestParetoFiniteMeanFormula pins the closed forms the speedup model and
+// engine tests rely on: alpha=2, xm=10 has mean 20.
+func TestParetoFiniteMeanFormula(t *testing.T) {
+	p, err := NewPareto(10, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Mean(); math.Abs(got-20) > 1e-12 {
+		t.Fatalf("Pareto(10,2) mean = %v, want 20", got)
+	}
+	p3, err := NewPareto(6, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p3.StdDev(); math.Abs(got-3*math.Sqrt(3)) > 1e-12 {
+		t.Fatalf("Pareto(6,3) sd = %v, want 3*sqrt(3)", got)
+	}
+}
+
+// TestSupportBounds: every draw must stay inside the distribution's support.
+func TestSupportBounds(t *testing.T) {
+	src := rng.New(11)
+	bp, err := NewBoundedPareto(2, 50, 1.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewPareto(5, 1.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, err := NewUniform(3, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100000; i++ {
+		if x := bp.Sample(src); x < 2 || x > 50 {
+			t.Fatalf("bounded pareto draw %v outside [2, 50]", x)
+		}
+		if x := p.Sample(src); x < 5 {
+			t.Fatalf("pareto draw %v below minimum 5", x)
+		}
+		if x := u.Sample(src); x < 3 || x >= 9 {
+			t.Fatalf("uniform draw %v outside [3, 9)", x)
+		}
+	}
+}
+
+// TestBoundedParetoSpansSupport: the truncated sampler must actually reach
+// both edges of its support, not just stay inside it.
+func TestBoundedParetoSpansSupport(t *testing.T) {
+	bp, err := NewBoundedPareto(1, 10, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := rng.New(3)
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for i := 0; i < 100000; i++ {
+		x := bp.Sample(src)
+		lo = math.Min(lo, x)
+		hi = math.Max(hi, x)
+	}
+	if lo > 1.01 || hi < 9 {
+		t.Fatalf("draws span [%v, %v], want nearly [1, 10]", lo, hi)
+	}
+}
+
+// TestBoundedParetoMomentContinuity: the moment formula must be continuous
+// across its alpha=k singularities (log branch vs power branch).
+func TestBoundedParetoMomentContinuity(t *testing.T) {
+	for _, k := range []float64{1, 2} {
+		at := func(alpha float64) float64 {
+			return BoundedPareto{Lo: 1, Hi: 100, Alpha: alpha}.moment(k)
+		}
+		exact, below, above := at(k), at(k-1e-7), at(k+1e-7)
+		if relErr(below, exact) > 1e-4 || relErr(above, exact) > 1e-4 {
+			t.Errorf("moment %v discontinuous at alpha=%v: %v / %v / %v",
+				k, k, below, exact, above)
+		}
+	}
+}
+
+// TestDeterminism: equal seeds must give identical streams, distinct seeds
+// distinct streams.
+func TestDeterminism(t *testing.T) {
+	ln, err := LognormalFromMoments(100, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	draw := func(seed int64) []float64 {
+		src := rng.New(seed)
+		out := make([]float64, 50)
+		for i := range out {
+			out[i] = ln.Sample(src)
+		}
+		return out
+	}
+	a, b, c := draw(7), draw(7), draw(8)
+	diff := false
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at draw %d", i)
+		}
+		if a[i] != c[i] {
+			diff = true
+		}
+	}
+	if !diff {
+		t.Fatal("distinct seeds produced identical streams")
+	}
+}
+
+// TestConstructorErrorPaths: every invalid parameter must be rejected with an
+// error wrapping ErrBadParam.
+func TestConstructorErrorPaths(t *testing.T) {
+	nan := math.NaN()
+	inf := math.Inf(1)
+	ok, err := NewDeterministic(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		err  error
+	}{
+		{"det-negative", errOf(NewDeterministic(-1))},
+		{"det-nan", errOf(NewDeterministic(nan))},
+		{"det-inf", errOf(NewDeterministic(inf))},
+		{"uniform-lo>=hi", errOf(NewUniform(5, 5))},
+		{"uniform-inverted", errOf(NewUniform(9, 3))},
+		{"uniform-negative", errOf(NewUniform(-1, 3))},
+		{"pareto-zero-xm", errOf(NewPareto(0, 2))},
+		{"pareto-negative-xm", errOf(NewPareto(-5, 2))},
+		{"pareto-zero-alpha", errOf(NewPareto(5, 0))},
+		{"pareto-negative-alpha", errOf(NewPareto(5, -1))},
+		{"pareto-nan-alpha", errOf(NewPareto(5, nan))},
+		{"bp-zero-lo", errOf(NewBoundedPareto(0, 10, 1))},
+		{"bp-lo>=hi", errOf(NewBoundedPareto(10, 10, 1))},
+		{"bp-alpha<=0", errOf(NewBoundedPareto(1, 10, 0))},
+		{"lognormal-nan-mu", errOf(NewLognormal(nan, 1))},
+		{"lognormal-negative-sigma", errOf(NewLognormal(0, -1))},
+		{"lognormal-moments-zero-mean", errOf(LognormalFromMoments(0, 1))},
+		{"lognormal-moments-negative-sd", errOf(LognormalFromMoments(1, -1))},
+		{"exponential-zero-rate", errOf(NewExponential(0))},
+		{"exponential-negative-rate", errOf(NewExponential(-2))},
+		{"weibull-zero-scale", errOf(NewWeibull(0, 1))},
+		{"weibull-zero-shape", errOf(NewWeibull(1, 0))},
+		{"scaled-nil", errOf(NewScaled(nil, 2))},
+		{"scaled-zero", errOf(NewScaled(ok, 0))},
+		{"scaled-negative", errOf(NewScaled(ok, -3))},
+		{"scaled-nan", errOf(NewScaled(ok, nan))},
+		{"empirical-empty", errOfE(NewEmpirical(nil))},
+		{"empirical-negative", errOfE(NewEmpirical([]float64{1, -2}))},
+		{"empirical-nan", errOfE(NewEmpirical([]float64{nan}))},
+		{"mixture-empty", errOfM(NewMixture(nil, nil))},
+		{"mixture-length-mismatch", errOfM(NewMixture([]Distribution{ok}, []float64{1, 2}))},
+		{"mixture-nil-component", errOfM(NewMixture([]Distribution{nil}, []float64{1}))},
+		{"mixture-negative-weight", errOfM(NewMixture([]Distribution{ok}, []float64{-1}))},
+		{"mixture-zero-weights", errOfM(NewMixture([]Distribution{ok}, []float64{0}))},
+		{"speedup-alpha<=1", errOfS(NewParetoSpeedup(1))},
+		{"speedup-nan", errOfS(NewParetoSpeedup(nan))},
+	}
+	for _, tc := range cases {
+		if tc.err == nil {
+			t.Errorf("%s: no error", tc.name)
+			continue
+		}
+		if !errors.Is(tc.err, ErrBadParam) {
+			t.Errorf("%s: error %v does not wrap ErrBadParam", tc.name, tc.err)
+		}
+	}
+}
+
+func errOf(_ Distribution, err error) error { return err }
+func errOfE(_ *Empirical, err error) error  { return err }
+func errOfM(_ *Mixture, err error) error    { return err }
+func errOfS(_ Speedup, err error) error     { return err }
+
+// TestValidZeroCases: boundary parameters that must be accepted.
+func TestValidZeroCases(t *testing.T) {
+	if _, err := NewDeterministic(0); err != nil {
+		t.Errorf("deterministic 0 rejected: %v", err)
+	}
+	if _, err := NewUniform(0, 1); err != nil {
+		t.Errorf("uniform lo=0 rejected: %v", err)
+	}
+	d, err := LognormalFromMoments(10, 0)
+	if err != nil {
+		t.Fatalf("lognormal sd=0 rejected: %v", err)
+	}
+	if got := d.Sample(rng.New(1)); math.Abs(got-10) > 1e-9 {
+		t.Errorf("degenerate lognormal draw %v, want 10", got)
+	}
+}
+
+// TestEmpiricalQuantileAndResampling: draws come only from the fitted values
+// and quantiles follow sorted order.
+func TestEmpiricalQuantileAndResampling(t *testing.T) {
+	obs := []float64{9, 1, 4, 4, 25}
+	e, err := NewEmpirical(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.N() != len(obs) {
+		t.Fatalf("N = %d, want %d", e.N(), len(obs))
+	}
+	if e.Quantile(0) != 1 || e.Quantile(1) != 25 {
+		t.Fatalf("extreme quantiles %v, %v", e.Quantile(0), e.Quantile(1))
+	}
+	if q := e.Quantile(0.5); q != 4 {
+		t.Fatalf("median %v, want 4", q)
+	}
+	if q := e.Quantile(math.NaN()); !math.IsNaN(q) {
+		t.Fatalf("NaN quantile returned %v, want NaN", q)
+	}
+	allowed := map[float64]bool{1: true, 4: true, 9: true, 25: true}
+	src := rng.New(2)
+	for i := 0; i < 1000; i++ {
+		if x := e.Sample(src); !allowed[x] {
+			t.Fatalf("draw %v not among fitted values", x)
+		}
+	}
+}
+
+// TestMixtureComposition: the mixture must actually draw from all components
+// in proportion to its weights.
+func TestMixtureComposition(t *testing.T) {
+	lo, err := NewUniform(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi, err := NewUniform(100, 101)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMixture([]Distribution{lo, hi}, []float64{3, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := rng.New(5)
+	const n = 100000
+	highDraws := 0
+	for i := 0; i < n; i++ {
+		if m.Sample(src) >= 100 {
+			highDraws++
+		}
+	}
+	if frac := float64(highDraws) / n; math.Abs(frac-0.25) > 0.01 {
+		t.Fatalf("high-component fraction %v, want 0.25", frac)
+	}
+	// Law of total variance on a hand example: means 0.5 and 100.5,
+	// mixture mean 25.5.
+	if got := m.Mean(); math.Abs(got-25.5) > 1e-12 {
+		t.Fatalf("mixture mean %v, want 25.5", got)
+	}
+	if got, want := m.StdDev(), math.Sqrt(0.75*(1.0/12+0.25)+0.25*(1.0/12+100.5*100.5)-25.5*25.5); relErr(got, want) > 1e-12 {
+		t.Fatalf("mixture sd %v, want %v", got, want)
+	}
+	// An infinite-variance component makes the mixture sigma infinite.
+	p, err := NewPareto(1, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	heavy, err := NewMixture([]Distribution{lo, p}, []float64{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(heavy.StdDev(), 1) {
+		t.Fatalf("heavy mixture sd %v, want +Inf", heavy.StdDev())
+	}
+	// An infinite-MEAN component must give +Inf moments, never NaN
+	// (naive law-of-total-variance arithmetic yields Inf - Inf).
+	noMean, err := NewPareto(1, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	heavier, err := NewMixture([]Distribution{lo, noMean}, []float64{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(heavier.Mean(), 1) || !math.IsInf(heavier.StdDev(), 1) {
+		t.Fatalf("infinite-mean mixture moments (%v, %v), want both +Inf",
+			heavier.Mean(), heavier.StdDev())
+	}
+	// A zero-weight component can never be drawn: its infinite moments must
+	// not poison the mixture (0 * Inf is NaN).
+	zeroed, err := NewMixture([]Distribution{lo, noMean}, []float64{1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := zeroed.Mean(); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("zero-weight mixture mean %v, want 0.5", got)
+	}
+	if got, want := zeroed.StdDev(), 1/math.Sqrt(12); relErr(got, want) > 1e-12 {
+		t.Fatalf("zero-weight mixture sd %v, want %v", got, want)
+	}
+	// A trailing zero-weight component must have an EMPTY selection interval:
+	// cum must reach exactly 1 at the last positive-weight component, so even
+	// a draw of u = 1 - 1ulp cannot select the excluded component.
+	if zeroed.cum[0] != 1 || zeroed.cum[1] != 1 {
+		t.Fatalf("trailing zero-weight cum = %v, want [1 1]", zeroed.cum)
+	}
+	src2 := rng.New(6)
+	for i := 0; i < 10000; i++ {
+		if x := zeroed.Sample(src2); x >= 1 {
+			t.Fatalf("zero-weight component drawn: %v", x)
+		}
+	}
+}

@@ -1,0 +1,189 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"mrclone/internal/rng"
+)
+
+// Empirical is the empirical distribution of an observed sample: draws are
+// uniform resamples of the observations, and the moments are the sample
+// moments. It turns a recorded trace column (real task durations, say) into
+// a Distribution the simulator and schedulers can consume unchanged.
+type Empirical struct {
+	values []float64
+	mean   float64
+	stddev float64
+}
+
+var _ Distribution = (*Empirical)(nil)
+
+// NewEmpirical fits an empirical distribution to the observed samples. It
+// requires at least one sample; every sample must be finite and
+// non-negative. The input slice is copied.
+func NewEmpirical(samples []float64) (*Empirical, error) {
+	if len(samples) == 0 {
+		return nil, fmt.Errorf("%w: empirical fit of zero samples", ErrBadParam)
+	}
+	e := &Empirical{values: make([]float64, len(samples))}
+	var sum float64
+	for i, v := range samples {
+		if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+			return nil, fmt.Errorf("%w: empirical sample %d is %v", ErrBadParam, i, v)
+		}
+		e.values[i] = v
+		sum += v
+	}
+	sort.Float64s(e.values) // canonical order: fits of permuted samples are equal
+	n := float64(len(e.values))
+	e.mean = sum / n
+	var ss float64
+	for _, v := range e.values {
+		d := v - e.mean
+		ss += d * d
+	}
+	e.stddev = math.Sqrt(ss / n)
+	return e, nil
+}
+
+// N returns the number of fitted samples.
+func (e *Empirical) N() int { return len(e.values) }
+
+// Quantile returns the q-th empirical quantile for q in [0, 1]. A NaN
+// argument returns NaN (converting NaN to an index would panic).
+func (e *Empirical) Quantile(q float64) float64 {
+	if math.IsNaN(q) {
+		return math.NaN()
+	}
+	if q <= 0 {
+		return e.values[0]
+	}
+	if q >= 1 {
+		return e.values[len(e.values)-1]
+	}
+	return e.values[int(q*float64(len(e.values)))]
+}
+
+// Sample implements Distribution by resampling the observations uniformly.
+func (e *Empirical) Sample(src *rng.Source) float64 {
+	return e.values[src.Intn(len(e.values))]
+}
+
+// Mean implements Distribution with the sample mean.
+func (e *Empirical) Mean() float64 { return e.mean }
+
+// StdDev implements Distribution with the (population) sample deviation.
+func (e *Empirical) StdDev() float64 { return e.stddev }
+
+// Mixture is a finite weighted mixture of component distributions, for
+// workloads with distinct task classes (short interactive maps mixed with
+// heavy batch reduces, bimodal production traces).
+type Mixture struct {
+	components []Distribution
+	cum        []float64 // normalized cumulative weights; last entry is 1
+	weights    []float64 // normalized weights
+}
+
+var _ Distribution = (*Mixture)(nil)
+
+// NewMixture builds a mixture of the given components with proportional
+// weights. Components and weights must be equal-length and non-empty, every
+// component non-nil, every weight finite and non-negative with a positive
+// sum. Weights are normalized internally.
+func NewMixture(components []Distribution, weights []float64) (*Mixture, error) {
+	if len(components) == 0 {
+		return nil, fmt.Errorf("%w: empty mixture", ErrBadParam)
+	}
+	if len(components) != len(weights) {
+		return nil, fmt.Errorf("%w: mixture of %d components with %d weights",
+			ErrBadParam, len(components), len(weights))
+	}
+	var total float64
+	for i, w := range weights {
+		if components[i] == nil {
+			return nil, fmt.Errorf("%w: mixture component %d is nil", ErrBadParam, i)
+		}
+		if math.IsNaN(w) || math.IsInf(w, 0) || w < 0 {
+			return nil, fmt.Errorf("%w: mixture weight %d is %v", ErrBadParam, i, w)
+		}
+		total += w
+	}
+	if total <= 0 {
+		return nil, fmt.Errorf("%w: mixture weights sum to %v", ErrBadParam, total)
+	}
+	m := &Mixture{
+		components: append([]Distribution(nil), components...),
+		cum:        make([]float64, len(weights)),
+		weights:    make([]float64, len(weights)),
+	}
+	cum := 0.0
+	lastPos := 0
+	for i, w := range weights {
+		m.weights[i] = w / total
+		cum += m.weights[i]
+		m.cum[i] = cum
+		if w > 0 {
+			lastPos = i
+		}
+	}
+	// Absorb round-off so selection never falls off the end — pinned at the
+	// last positive-weight component, not the last slot, so a trailing
+	// zero-weight component keeps an empty selection interval (its moments
+	// are excluded from Mean/StdDev on the premise it is never drawn).
+	for i := lastPos; i < len(m.cum); i++ {
+		m.cum[i] = 1
+	}
+	return m, nil
+}
+
+// Sample implements Distribution: select a component by weight, then draw
+// from it. Both decisions consume the same stream, keeping runs reproducible.
+func (m *Mixture) Sample(src *rng.Source) float64 {
+	u := src.Float64()
+	for i, c := range m.cum {
+		if u < c {
+			return m.components[i].Sample(src)
+		}
+	}
+	return m.components[len(m.components)-1].Sample(src)
+}
+
+// Mean implements Distribution: the weight-averaged component means.
+// Zero-weight components are skipped — they can never be drawn, so an
+// infinite moment there must not poison the sum (0 * Inf is NaN).
+func (m *Mixture) Mean() float64 {
+	var mean float64
+	for i, c := range m.components {
+		if m.weights[i] == 0 {
+			continue
+		}
+		mean += m.weights[i] * c.Mean()
+	}
+	return mean
+}
+
+// StdDev implements Distribution via the law of total variance:
+// Var = sum_i w_i (sigma_i^2 + mu_i^2) - mu^2. Any drawable component with
+// an infinite mean or deviation makes the mixture sigma +Inf (never NaN,
+// which the naive Inf - Inf subtraction would produce).
+func (m *Mixture) StdDev() float64 {
+	var second float64
+	for i, c := range m.components {
+		if m.weights[i] == 0 {
+			continue
+		}
+		mu, sd := c.Mean(), c.StdDev()
+		if math.IsInf(mu, 1) || math.IsInf(sd, 1) {
+			return math.Inf(1)
+		}
+		second += m.weights[i] * (sd*sd + mu*mu)
+	}
+	mean := m.Mean()
+	v := second - mean*mean
+	if v <= 0 {
+		return 0 // round-off on near-degenerate mixtures
+	}
+	return math.Sqrt(v)
+}

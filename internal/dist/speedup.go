@@ -1,0 +1,50 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+)
+
+// Speedup is a concave cloning-speedup model: At(k) is the factor by which
+// running k parallel copies of one task divides its expected duration,
+// E[X] / E[min of k copies]. SCA's convex program optimizes a separable
+// objective over such a model; concavity (diminishing returns per copy) is
+// what makes greedy marginal allocation exact.
+type Speedup interface {
+	// At returns the expected speedup of k copies. At(1) = 1; At is
+	// non-decreasing and concave for k >= 1.
+	At(k float64) float64
+}
+
+// ParetoSpeedup is the closed-form speedup under Pareto task durations with
+// tail index Alpha: the minimum of k i.i.d. Pareto(xm, alpha) variates is
+// Pareto(xm, k*alpha), so
+//
+//	s(k) = E[X] / E[min_k] = (k*Alpha - 1) / ((Alpha - 1) * k),
+//
+// which increases from s(1) = 1 toward the ceiling Alpha/(Alpha-1). Heavier
+// tails (smaller Alpha) make cloning more profitable — the paper's central
+// observation.
+type ParetoSpeedup struct {
+	Alpha float64
+}
+
+var _ Speedup = ParetoSpeedup{}
+
+// NewParetoSpeedup returns the Pareto cloning-speedup model. alpha must
+// exceed 1: at alpha <= 1 the Pareto mean diverges and the expected-speedup
+// ratio is undefined.
+func NewParetoSpeedup(alpha float64) (Speedup, error) {
+	if math.IsNaN(alpha) || math.IsInf(alpha, 0) || alpha <= 1 {
+		return nil, fmt.Errorf("%w: pareto speedup alpha %v must exceed 1", ErrBadParam, alpha)
+	}
+	return ParetoSpeedup{Alpha: alpha}, nil
+}
+
+// At implements Speedup. Arguments below one copy clamp to k = 1.
+func (p ParetoSpeedup) At(k float64) float64 {
+	if k <= 1 {
+		return 1
+	}
+	return (k*p.Alpha - 1) / ((p.Alpha - 1) * k)
+}

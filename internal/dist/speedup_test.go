@@ -1,0 +1,93 @@
+package dist
+
+import (
+	"math"
+	"testing"
+
+	"mrclone/internal/rng"
+)
+
+// TestParetoSpeedupClosedForm pins the values the SCA tests and the paper's
+// examples rely on: alpha=2 gives s(4) = 7/4 with ceiling 2.
+func TestParetoSpeedupClosedForm(t *testing.T) {
+	s, err := NewParetoSpeedup(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct{ k, want float64 }{
+		{1, 1},
+		{2, 1.5},
+		{4, 1.75},
+		{8, 1.875},
+	}
+	for _, tc := range cases {
+		if got := s.At(tc.k); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("At(%v) = %v, want %v", tc.k, got, tc.want)
+		}
+	}
+}
+
+// TestParetoSpeedupShape: At(1)=1, monotone non-decreasing, concave, bounded
+// by alpha/(alpha-1), and clamped below one copy.
+func TestParetoSpeedupShape(t *testing.T) {
+	for _, alpha := range []float64{1.2, 1.5, 2, 3, 10} {
+		s, err := NewParetoSpeedup(alpha)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := s.At(1); got != 1 {
+			t.Fatalf("alpha=%v: At(1) = %v", alpha, got)
+		}
+		if got := s.At(0.5); got != 1 {
+			t.Fatalf("alpha=%v: At(0.5) = %v, want clamp to 1", alpha, got)
+		}
+		ceiling := alpha / (alpha - 1)
+		prev, prevGain := 1.0, math.Inf(1)
+		for k := 2.0; k <= 64; k++ {
+			v := s.At(k)
+			gain := v - prev
+			if v < prev {
+				t.Fatalf("alpha=%v: speedup decreased at k=%v", alpha, k)
+			}
+			if gain > prevGain+1e-12 {
+				t.Fatalf("alpha=%v: marginal gain increased at k=%v", alpha, k)
+			}
+			if v >= ceiling {
+				t.Fatalf("alpha=%v: At(%v) = %v reached ceiling %v", alpha, k, v, ceiling)
+			}
+			prev, prevGain = v, gain
+		}
+	}
+}
+
+// TestSpeedupMatchesMinOfKSampling: the closed form must agree with the
+// simulated expected speedup of min-of-k Pareto cloning, which is exactly how
+// the cluster engine realizes clones.
+func TestSpeedupMatchesMinOfKSampling(t *testing.T) {
+	const alpha = 2.0
+	p, err := NewPareto(10, alpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewParetoSpeedup(alpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := rng.New(9)
+	const n = 300000
+	for _, k := range []int{2, 4} {
+		var sum float64
+		for i := 0; i < n; i++ {
+			m := math.Inf(1)
+			for c := 0; c < k; c++ {
+				m = math.Min(m, p.Sample(src))
+			}
+			sum += m
+		}
+		gotSpeedup := p.Mean() / (sum / n)
+		if relErr(gotSpeedup, s.At(float64(k))) > 0.05 {
+			t.Errorf("k=%d: sampled speedup %v vs closed form %v",
+				k, gotSpeedup, s.At(float64(k)))
+		}
+	}
+}
