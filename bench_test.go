@@ -12,11 +12,15 @@ package mrclone
 //	go test -bench=. -benchtime=1x -benchmem
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"runtime"
 	"testing"
 
+	"mrclone/internal/cluster"
 	"mrclone/internal/experiments"
+	"mrclone/internal/runner"
 	"mrclone/internal/sched"
 	"mrclone/internal/trace"
 )
@@ -156,6 +160,100 @@ func BenchmarkTheorem2SpeedAugmentation(b *testing.B) {
 				b.Fatalf("eps=%v: ratio %v exceeds ceiling %v", p.Epsilon, p.Ratio, p.Ceiling)
 			}
 		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Engine and runner throughput
+// ---------------------------------------------------------------------------
+
+// benchEngineRun measures one full simulation of the bench workload with or
+// without the idle-slot fast-forward in the cluster engine.
+func benchEngineRun(b *testing.B, disableFF bool) {
+	b.Helper()
+	o := benchOptions()
+	tr, err := trace.Generate(o.TraceParams)
+	if err != nil {
+		b.Fatal(err)
+	}
+	specs, err := tr.Specs()
+	if err != nil {
+		b.Fatal(err)
+	}
+	var slots int64
+	for i := 0; i < b.N; i++ {
+		s, err := sched.Build("srptms+c", sched.Params{
+			Epsilon: experiments.TunedEpsilon, DeviationFactor: 3,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		eng, err := cluster.New(cluster.Config{
+			Machines:           o.Machines,
+			Seed:               1,
+			DisableFastForward: disableFF,
+		}, s, specs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := eng.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		slots = res.Slots
+	}
+	b.ReportMetric(float64(slots), "final-slot")
+}
+
+// BenchmarkEngineFastForward is the production engine configuration.
+func BenchmarkEngineFastForward(b *testing.B) { benchEngineRun(b, false) }
+
+// BenchmarkEngineNaiveLoop is the slot-by-slot validation loop, kept as the
+// baseline the fast-forward is measured against.
+func BenchmarkEngineNaiveLoop(b *testing.B) { benchEngineRun(b, true) }
+
+// BenchmarkRunnerMatrix executes the Figure 6 comparison matrix (3
+// algorithms × 2 seeds) through internal/runner at parallelism 1 versus all
+// cores — the orchestration speedup on one number.
+func BenchmarkRunnerMatrix(b *testing.B) {
+	o := benchOptions()
+	tr, err := trace.Generate(o.TraceParams)
+	if err != nil {
+		b.Fatal(err)
+	}
+	specs, err := tr.Specs()
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := sched.Params{Epsilon: experiments.TunedEpsilon, DeviationFactor: 3}
+	spec := runner.Spec{
+		Specs: specs,
+		Schedulers: []runner.SchedulerSpec{
+			{Name: "srptms+c", Params: p}, {Name: "sca", Params: p}, {Name: "mantri", Params: p},
+		},
+		Points:   []runner.Point{{X: float64(o.Machines), Machines: o.Machines}},
+		Runs:     2,
+		BaseSeed: 1,
+	}
+	wide := runtime.NumCPU()
+	if wide < 4 {
+		wide = 4 // keep the comparison meaningful on small CI machines
+	}
+	for _, tc := range []struct {
+		name string
+		par  int
+	}{
+		{"parallel1", 1},
+		{fmt.Sprintf("parallel%d", wide), wide},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := runner.Run(context.Background(), spec,
+					runner.Options{Parallelism: tc.par}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -2,11 +2,14 @@
 //
 // Usage:
 //
-//	mrexperiments [-scale quick|full] [-runs N] [-seed S] [-csv dir] [names...]
+//	mrexperiments [-scale quick|full] [-runs N] [-seed S] [-parallel W]
+//	              [-csv dir] [names...]
 //
 // With no names it runs every experiment: table2 fig1 fig2 fig3 fig4 fig5
 // fig6 theorem1 theorem2. With -csv the figure data are also written as CSV
-// files into the given directory.
+// files into the given directory. Each experiment's run matrix (schedulers
+// × sweep points × seeds) is simulated on -parallel workers; results are
+// byte-identical at any worker count.
 package main
 
 import (
@@ -15,6 +18,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 
 	"mrclone/internal/experiments"
 )
@@ -35,9 +39,14 @@ func run(args []string, out io.Writer) error {
 	scale := fs.String("scale", "quick", "experiment scale: quick or full")
 	runs := fs.Int("runs", 0, "override runs per configuration (0 = preset)")
 	seed := fs.Int64("seed", 0, "override base seed (0 = preset)")
+	parallel := fs.Int("parallel", runtime.NumCPU(),
+		"simulation cells run concurrently; >= 1 (results do not depend on it)")
 	csvDir := fs.String("csv", "", "directory to also write CSV data into")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *parallel < 1 {
+		return fmt.Errorf("-parallel %d: need at least one worker", *parallel)
 	}
 
 	var opts experiments.Options
@@ -55,6 +64,7 @@ func run(args []string, out io.Writer) error {
 	if *seed != 0 {
 		opts.Seed = *seed
 	}
+	opts.Parallelism = *parallel
 	names := fs.Args()
 	if len(names) == 0 {
 		names = allExperiments

@@ -16,6 +16,12 @@ func TestBadArgs(t *testing.T) {
 	if err := run([]string{"-scale", "quick", "nonsense"}, &buf); err == nil {
 		t.Error("unknown experiment accepted")
 	}
+	if err := run([]string{"-parallel", "0", "table2"}, &buf); err == nil {
+		t.Error("zero parallelism accepted")
+	}
+	if err := run([]string{"-parallel", "-2", "table2"}, &buf); err == nil {
+		t.Error("negative parallelism accepted")
+	}
 }
 
 func TestTable2AndTheorems(t *testing.T) {

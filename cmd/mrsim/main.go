@@ -1,21 +1,26 @@
-// Command mrsim runs one cluster simulation: a trace (generated or loaded
-// from CSV) under a chosen scheduler, printing the flowtime summary.
+// Command mrsim runs cluster simulations: a trace (generated or loaded
+// from CSV) under a chosen scheduler, printing the flowtime summary. With
+// -runs N the simulation is replicated over N deterministic seeds on
+// -parallel workers (via internal/runner) and the replicate-averaged
+// metrics are printed; results are identical at any worker count.
 //
 // Usage:
 //
 //	mrsim [-sched srptms+c] [-machines 12000] [-jobs N] [-eps 0.9] [-r 3]
-//	      [-seed 1] [-speed 1] [-trace trace.csv] [-cdf lo:hi]
+//	      [-seed 1] [-speed 1] [-runs 1] [-parallel NumCPU]
+//	      [-trace trace.csv] [-cdf lo:hi]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"strings"
 
-	"mrclone/internal/cluster"
-	"mrclone/internal/metrics"
+	"mrclone/internal/runner"
 	"mrclone/internal/sched"
 	"mrclone/internal/trace"
 )
@@ -34,23 +39,33 @@ func run(args []string, out io.Writer) error {
 	jobs := fs.Int("jobs", 0, "truncate trace to first N jobs (0 = all)")
 	eps := fs.Float64("eps", 0.9, "SRPTMS+C sharing fraction epsilon")
 	rFactor := fs.Float64("r", 3, "deviation factor r in effective workloads")
-	seed := fs.Int64("seed", 1, "simulation seed")
+	seed := fs.Int64("seed", 1, "base simulation seed")
 	speed := fs.Float64("speed", 1, "machine speed (resource augmentation)")
+	runs := fs.Int("runs", 1, "seed replicates to average over; >= 1")
+	parallel := fs.Int("parallel", runtime.NumCPU(),
+		"replicates simulated concurrently; >= 1 (results do not depend on it)")
 	tracePath := fs.String("trace", "", "trace CSV (default: generate Table II trace)")
 	cdfRange := fs.String("cdf", "", "also print a flowtime CDF over lo:hi seconds")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *runs < 1 {
+		return fmt.Errorf("-runs %d: need at least one replicate", *runs)
+	}
+	if *parallel < 1 {
+		return fmt.Errorf("-parallel %d: need at least one worker", *parallel)
+	}
+	var cdfLo, cdfHi float64
+	if *cdfRange != "" {
+		if _, err := fmt.Sscanf(*cdfRange, "%f:%f", &cdfLo, &cdfHi); err != nil {
+			return fmt.Errorf("bad -cdf %q (want lo:hi): %v", *cdfRange, err)
+		}
+		if cdfHi <= cdfLo {
+			return fmt.Errorf("bad -cdf %q: hi must exceed lo", *cdfRange)
+		}
+	}
 
 	tr, err := loadTrace(*tracePath, *jobs)
-	if err != nil {
-		return err
-	}
-	s, err := sched.Build(*schedName, sched.Params{
-		Epsilon:         *eps,
-		DeviationFactor: *rFactor,
-		GateReduces:     true,
-	})
 	if err != nil {
 		return err
 	}
@@ -58,38 +73,43 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	eng, err := cluster.New(cluster.Config{
-		Machines: *machines,
-		Speed:    *speed,
-		Seed:     *seed,
-	}, s, specs)
+	res, err := runner.Run(context.Background(), runner.Spec{
+		Specs: specs,
+		Schedulers: []runner.SchedulerSpec{{
+			Name: *schedName,
+			Params: sched.Params{
+				Epsilon:         *eps,
+				DeviationFactor: *rFactor,
+				GateReduces:     true,
+			},
+		}},
+		Points:   []runner.Point{{X: 0, Machines: *machines, Speed: *speed}},
+		Runs:     *runs,
+		BaseSeed: *seed,
+	}, runner.Options{Parallelism: *parallel, KeepRaw: *cdfRange != ""})
 	if err != nil {
 		return err
 	}
-	res, err := eng.Run()
-	if err != nil {
-		return err
+
+	agg := res.Aggregate(0, 0)
+	cell := res.Cell(0, 0, 0)
+	fmt.Fprintf(out, "scheduler            %s\n", cell.SchedulerName)
+	fmt.Fprintf(out, "machines             %d (speed %.2f)\n", cell.Machines, cell.Speed)
+	fmt.Fprintf(out, "jobs finished        %d\n", cell.FinishedJobs)
+	if *runs > 1 {
+		fmt.Fprintf(out, "seed replicates      %d (base seed %d)\n", *runs, *seed)
+		fmt.Fprintf(out, "makespan (s)         %.1f\n", agg.MeanSlots)
+	} else {
+		fmt.Fprintf(out, "makespan (s)         %d\n", cell.Slots)
 	}
-	sum, err := metrics.Summarize(res)
-	if err != nil {
-		return err
-	}
-	fmt.Fprintf(out, "scheduler            %s\n", res.Scheduler)
-	fmt.Fprintf(out, "machines             %d (speed %.2f)\n", res.Machines, res.Speed)
-	fmt.Fprintf(out, "jobs finished        %d\n", res.FinishedJobs)
-	fmt.Fprintf(out, "makespan (s)         %d\n", res.Slots)
-	fmt.Fprintf(out, "avg flowtime (s)     %.1f\n", sum.MeanFlowtime)
-	fmt.Fprintf(out, "weighted avg (s)     %.1f\n", sum.WeightedFlowtime)
-	fmt.Fprintf(out, "p50/p90/p99 (s)      %.0f / %.0f / %.0f\n", sum.P50, sum.P90, sum.P99)
-	fmt.Fprintf(out, "copies launched      %d (%d clones)\n", res.TotalCopies, res.CloneCopies)
-	fmt.Fprintf(out, "wasted clone work    %.0f machine-seconds\n", res.WastedCopyWrk)
+	fmt.Fprintf(out, "avg flowtime (s)     %.1f\n", agg.MeanFlowtime)
+	fmt.Fprintf(out, "weighted avg (s)     %.1f\n", agg.WeightedFlowtime)
+	fmt.Fprintf(out, "p50/p90/p99 (s)      %.0f / %.0f / %.0f\n", agg.P50, agg.P90, agg.P99)
+	fmt.Fprintf(out, "copies launched      %.0f (%.0f clones)\n", agg.MeanTotalCopies, agg.MeanCloneCopies)
+	fmt.Fprintf(out, "wasted clone work    %.0f machine-seconds\n", agg.MeanWastedWork)
 
 	if *cdfRange != "" {
-		var lo, hi float64
-		if _, err := fmt.Sscanf(*cdfRange, "%f:%f", &lo, &hi); err != nil {
-			return fmt.Errorf("bad -cdf %q (want lo:hi): %v", *cdfRange, err)
-		}
-		pts, err := metrics.FlowtimeCDF(res, lo, hi, 11)
+		pts, err := res.CDF(0, 0, cdfLo, cdfHi, 11)
 		if err != nil {
 			return err
 		}

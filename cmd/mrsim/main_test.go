@@ -33,6 +33,29 @@ func TestAllSchedulersRunnable(t *testing.T) {
 	}
 }
 
+// TestParallelismDoesNotChangeOutput runs the same replicated simulation
+// at parallelism 1 and 4 and requires byte-identical stdout.
+func TestParallelismDoesNotChangeOutput(t *testing.T) {
+	outputs := make([]string, 0, 2)
+	for _, par := range []string{"1", "4"} {
+		var buf bytes.Buffer
+		err := run([]string{
+			"-jobs", "50", "-machines", "120", "-runs", "3",
+			"-parallel", par, "-seed", "4", "-cdf", "0:300",
+		}, &buf)
+		if err != nil {
+			t.Fatalf("parallel %s: %v", par, err)
+		}
+		outputs = append(outputs, buf.String())
+	}
+	if outputs[0] != outputs[1] {
+		t.Fatalf("output depends on -parallel:\n%s\nvs\n%s", outputs[0], outputs[1])
+	}
+	if !strings.Contains(outputs[0], "seed replicates      3") {
+		t.Errorf("replicated run missing seed line:\n%s", outputs[0])
+	}
+}
+
 func TestBadFlags(t *testing.T) {
 	var buf bytes.Buffer
 	if err := run([]string{"-sched", "bogus", "-jobs", "10", "-machines", "10"}, &buf); err == nil {
@@ -46,6 +69,15 @@ func TestBadFlags(t *testing.T) {
 	}
 	if err := run([]string{"-not-a-flag"}, &buf); err == nil {
 		t.Error("unknown flag accepted")
+	}
+	if err := run([]string{"-jobs", "10", "-machines", "10", "-runs", "0"}, &buf); err == nil {
+		t.Error("zero runs accepted")
+	}
+	if err := run([]string{"-jobs", "10", "-machines", "10", "-parallel", "0"}, &buf); err == nil {
+		t.Error("zero parallelism accepted")
+	}
+	if err := run([]string{"-jobs", "10", "-machines", "10", "-parallel", "-3"}, &buf); err == nil {
+		t.Error("negative parallelism accepted")
 	}
 }
 

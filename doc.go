@@ -15,10 +15,23 @@
 //     the closed-form Pareto cloning-speedup — plus exponential, Weibull,
 //     empirical (trace-fitted), and mixture families for scenario diversity,
 //     all sampled from seeded deterministic streams;
+//   - a parallel experiment-orchestration subsystem (internal/runner) that
+//     expresses a study as a run matrix — schedulers × sweep points × seed
+//     replicates — and executes its cells on a bounded worker pool with
+//     deterministic per-cell seed derivation, so results and artifacts are
+//     byte-identical at any parallelism level (exported as RunMatrix with
+//     WithParallelism / WithProgress / WithRawResults);
 //   - the full experiment harness regenerating every figure and table of the
-//     paper's evaluation plus numerical checks of both theorems;
+//     paper's evaluation plus numerical checks of both theorems, all running
+//     on the matrix runner;
 //   - a small real in-process MapReduce engine whose speculative-execution
 //     policy is pluggable with the same strategies.
+//
+// The cluster engine itself is event-accelerated: slots on which provably
+// nothing can happen (no free machine, no alive job, or an event-driven
+// scheduler that launched nothing) are skipped in one jump to the next
+// arrival or copy completion, with results identical slot-for-slot to the
+// naive loop.
 //
 // # Quick start
 //

@@ -1,9 +1,12 @@
 // Sweep: the paper's parameter studies (Figures 1-3) at laptop scale — how
 // the sharing fraction epsilon, the deviation factor r, and the cluster size
-// shape the average flowtimes of SRPTMS+C.
+// shape the average flowtimes of SRPTMS+C. Each study is expressed as a run
+// matrix and executed by mrclone.RunMatrix on all cores; the results are
+// identical to a sequential run.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -23,59 +26,61 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	specs, err := tr.Specs()
+	if err != nil {
+		return err
+	}
 
-	measure := func(eps, r float64, machines int) (mean, weighted float64, err error) {
-		sim, err := mrclone.NewSimulation(tr,
-			mrclone.WithMachines(machines),
-			mrclone.WithScheduler("srptms+c"),
-			mrclone.WithSchedulerParams(mrclone.SchedulerParams{
-				Epsilon: eps, DeviationFactor: r,
-			}),
-			mrclone.WithSeed(1),
-		)
+	// sweep runs one srptms+c matrix over the given points and prints the
+	// replicate-averaged flowtimes per point.
+	sweep := func(points []mrclone.MatrixPoint) error {
+		res, err := mrclone.RunMatrix(context.Background(), mrclone.MatrixSpec{
+			Specs:      specs,
+			Schedulers: []mrclone.MatrixSchedulerSpec{{Name: "srptms+c"}},
+			Points:     points,
+			Runs:       1,
+			BaseSeed:   1,
+		}, mrclone.WithParallelism(0))
 		if err != nil {
-			return 0, 0, err
+			return err
 		}
-		res, err := sim.Run()
-		if err != nil {
-			return 0, 0, err
+		for pi := range points {
+			agg := res.Aggregate(0, pi)
+			fmt.Printf("%-9g %-13.1f %.1f\n", agg.X, agg.MeanFlowtime, agg.WeightedFlowtime)
 		}
-		sum, err := mrclone.Summarize(res)
-		if err != nil {
-			return 0, 0, err
-		}
-		return sum.MeanFlowtime, sum.WeightedFlowtime, nil
+		return nil
+	}
+	point := func(x, eps, r float64, machines int) mrclone.MatrixPoint {
+		p := mrclone.SchedulerParams{Epsilon: eps, DeviationFactor: r}
+		return mrclone.MatrixPoint{X: x, Machines: machines, Params: &p}
 	}
 
 	const machines = 800
 	fmt.Println("-- Figure 1: epsilon sweep (r = 0)")
-	fmt.Println("eps   avg flow (s)  weighted (s)")
+	fmt.Println("eps       avg flow (s)  weighted (s)")
+	var epsPoints []mrclone.MatrixPoint
 	for _, eps := range []float64{0.2, 0.4, 0.6, 0.8, 1.0} {
-		mean, weighted, err := measure(eps, 0, machines)
-		if err != nil {
-			return err
-		}
-		fmt.Printf("%.1f   %-13.1f %.1f\n", eps, mean, weighted)
+		epsPoints = append(epsPoints, point(eps, eps, 0, machines))
+	}
+	if err := sweep(epsPoints); err != nil {
+		return err
 	}
 
 	fmt.Println("\n-- Figure 2: deviation factor sweep (eps = 0.9)")
-	fmt.Println("r     avg flow (s)  weighted (s)")
+	fmt.Println("r         avg flow (s)  weighted (s)")
+	var rPoints []mrclone.MatrixPoint
 	for _, r := range []float64{0, 2, 4, 8} {
-		mean, weighted, err := measure(0.9, r, machines)
-		if err != nil {
-			return err
-		}
-		fmt.Printf("%.0f     %-13.1f %.1f\n", r, mean, weighted)
+		rPoints = append(rPoints, point(r, 0.9, r, machines))
+	}
+	if err := sweep(rPoints); err != nil {
+		return err
 	}
 
 	fmt.Println("\n-- Figure 3: cluster size sweep (eps = 0.9, r = 3)")
 	fmt.Println("machines  avg flow (s)  weighted (s)")
+	var mPoints []mrclone.MatrixPoint
 	for _, m := range []int{400, 550, 700, 800} {
-		mean, weighted, err := measure(0.9, 3, m)
-		if err != nil {
-			return err
-		}
-		fmt.Printf("%-9d %-13.1f %.1f\n", m, mean, weighted)
+		mPoints = append(mPoints, point(float64(m), 0.9, 3, m))
 	}
-	return nil
+	return sweep(mPoints)
 }

@@ -28,8 +28,12 @@ func (c *Context) FreeMachines() int { return c.engine.free }
 // order. The returned slice is freshly allocated; the *job.Job values are
 // shared with the engine and must not be mutated except through Launch.
 func (c *Context) AliveJobs() []*job.Job {
-	out := make([]*job.Job, len(c.engine.alive))
-	copy(out, c.engine.alive)
+	out := make([]*job.Job, 0, c.engine.aliveCount)
+	for _, j := range c.engine.alive {
+		if j != nil {
+			out = append(out, j)
+		}
+	}
 	return out
 }
 
@@ -43,8 +47,15 @@ func (c *Context) Launch(j *job.Job, t *job.Task, n int, gated bool) (int, error
 }
 
 // Rand returns a deterministic random stream for scheduler tie-breaking
-// (for example, "choose one unscheduled task at random").
-func (c *Context) Rand() *rng.Source { return c.engine.schedRand }
+// (for example, "choose one unscheduled task at random"). Accessing the
+// stream marks the slot as randomized, which disables the engine's
+// idle-slot fast-forward for the slot: skipping invocations that consume
+// randomness would shift every later draw. Schedulers must obtain the
+// stream through this method each slot rather than caching it.
+func (c *Context) Rand() *rng.Source {
+	c.engine.randUsed = true
+	return c.engine.schedRand
+}
 
 // CopyProgress describes one live copy of a task as a progress-reporting
 // execution layer would: how long it has been running and what fraction of

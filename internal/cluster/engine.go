@@ -29,6 +29,23 @@ type Scheduler interface {
 	Schedule(ctx *Context)
 }
 
+// EventDriven marks schedulers whose Schedule is a pure function of the
+// observable cluster state — alive jobs' task states, free-machine count,
+// cluster size — so their decisions can only change when a completion or an
+// arrival changes that state. The engine fast-forwards idle slots for such
+// schedulers: whenever an event-driven scheduler launches nothing and draws
+// no randomness, the simulation jumps straight to the next arrival or copy
+// completion instead of re-invoking it slot by slot.
+//
+// Schedulers with time-based triggers — polling cadences keyed on Now(),
+// progress-age thresholds as in Mantri or LATE, or any internal mutable
+// state — must NOT implement this interface (or must return false): they can
+// legitimately launch a copy on a slot where nothing else happened.
+type EventDriven interface {
+	// EventDriven reports whether the idle-slot fast-forward is safe.
+	EventDriven() bool
+}
+
 // Config parameterizes a simulation run.
 type Config struct {
 	// Machines is M, the number of machines in the cluster. Required > 0.
@@ -43,6 +60,11 @@ type Config struct {
 	// Seed drives all stochastic choices (copy workloads, scheduler
 	// tie-breaking). Runs with equal seeds and schedulers are identical.
 	Seed int64
+	// DisableFastForward forces the naive slot-by-slot loop even where the
+	// idle-slot fast-forward is provably equivalent. It exists so tests and
+	// validation runs can compare the two paths; production runs should
+	// leave it false.
+	DisableFastForward bool
 }
 
 const defaultMaxSlots = 50_000_000
@@ -118,17 +140,26 @@ type Result struct {
 
 // Engine runs one simulation.
 type Engine struct {
-	cfg   Config
-	sched Scheduler
+	cfg         Config
+	sched       Scheduler
+	eventDriven bool // sched implements EventDriven and opted in
 
 	slot    int64
 	free    int
 	seq     int64
 	arrived int
 
-	pending []job.Spec // sorted by arrival
-	jobs    []*job.Job // all materialized jobs, arrival order
-	alive   []*job.Job // arrived and not finished
+	pending     []job.Spec // sorted by arrival; consumed via nextPending
+	nextPending int        // cursor into pending: first spec not yet admitted
+	jobs        []*job.Job // all materialized jobs, arrival order
+
+	// alive holds arrived-and-unfinished jobs in arrival order. Retired jobs
+	// leave nil holes (O(1) removal via alivePos); the slice is compacted
+	// once holes outnumber live entries, so per-retire cost is amortized
+	// O(1) while iteration order stays arrival order.
+	alive      []*job.Job
+	alivePos   map[*job.Job]int // index of each live job within alive
+	aliveCount int
 
 	heap      copyHeap
 	taskCopy  map[*job.Task][]*copyRecord // live copies per task
@@ -136,6 +167,7 @@ type Engine struct {
 
 	durations *rng.Source // stream for copy workload sampling
 	schedRand *rng.Source // stream handed to the scheduler
+	randUsed  bool        // scheduler touched schedRand this slot
 
 	busy         int64
 	totalCopies  int64
@@ -173,19 +205,31 @@ func New(cfg Config, sched Scheduler, specs []job.Spec) (*Engine, error) {
 		return pending[i].Arrival < pending[j].Arrival
 	})
 	root := rng.New(cfg.Seed)
+	ed, _ := sched.(EventDriven)
 	return &Engine{
-		cfg:       cfg,
-		sched:     sched,
-		free:      cfg.Machines,
-		pending:   pending,
-		taskCopy:  make(map[*job.Task][]*copyRecord),
-		gatedJobs: make(map[*job.Job][]*copyRecord),
-		durations: root.Split("durations"),
-		schedRand: root.Split("scheduler"),
+		cfg:         cfg,
+		sched:       sched,
+		eventDriven: ed != nil && ed.EventDriven(),
+		free:        cfg.Machines,
+		pending:     pending,
+		alivePos:    make(map[*job.Job]int),
+		taskCopy:    make(map[*job.Task][]*copyRecord),
+		gatedJobs:   make(map[*job.Job][]*copyRecord),
+		durations:   root.Split("durations"),
+		schedRand:   root.Split("scheduler"),
 	}, nil
 }
 
 // Run executes the simulation to completion and returns the result.
+//
+// The loop is event-accelerated: slots on which provably nothing can happen
+// are skipped in one jump to min(next arrival, next copy completion). A slot
+// is skippable when no machine is free (the scheduler is never invoked
+// then), when no job is alive, or when an EventDriven scheduler was invoked
+// but launched nothing and drew no randomness — by the EventDriven contract
+// it would keep deciding the same until the state changes. Results are
+// slot-for-slot identical to the naive loop (see Config.DisableFastForward
+// and TestFastForwardEquivalence).
 func (e *Engine) Run() (*Result, error) {
 	total := len(e.pending)
 	for e.finishedJobs < total {
@@ -195,28 +239,76 @@ func (e *Engine) Run() (*Result, error) {
 		}
 		e.admitArrivals()
 		e.processCompletions()
-		if e.free > 0 && len(e.alive) > 0 {
+		launchedBefore := e.totalCopies
+		e.randUsed = false
+		if e.free > 0 && e.aliveCount > 0 {
 			ctx := &Context{engine: e}
 			e.sched.Schedule(ctx)
 		}
 		e.busy += int64(e.cfg.Machines - e.free)
-		e.slot++
+		next := e.slot + 1
+		if e.finishedJobs < total && !e.cfg.DisableFastForward {
+			idle := e.free == 0 || e.aliveCount == 0 ||
+				(e.eventDriven && e.totalCopies == launchedBefore && !e.randUsed)
+			if idle {
+				if t, ok := e.nextEventSlot(); !ok {
+					// No future arrival or completion can ever occur while
+					// jobs remain unfinished: the run is starved (for
+					// example, only gated copies are left). Jump past
+					// MaxSlots so the overflow guard reports it rather than
+					// grinding there one slot at a time.
+					next = e.cfg.MaxSlots + 1
+				} else if t > next {
+					// Slots next..t-1 are identical no-ops; account their
+					// occupancy in bulk (busy level cannot change between
+					// events) and land exactly on the next event.
+					e.busy += int64(e.cfg.Machines-e.free) * (t - next)
+					next = t
+				}
+			}
+		}
+		e.slot = next
 	}
 	return e.result(), nil
 }
 
-// admitArrivals materializes jobs whose arrival slot has come.
+// nextEventSlot returns the earliest future slot at which the cluster state
+// can change: the next pending arrival or the next live copy completion.
+// ok is false when neither exists.
+func (e *Engine) nextEventSlot() (int64, bool) {
+	t, ok := int64(0), false
+	if e.nextPending < len(e.pending) {
+		t, ok = e.pending[e.nextPending].Arrival, true
+	}
+	// Drop dead heap tops so the peek sees a live completion.
+	for len(e.heap) > 0 && e.heap[0].dead {
+		heap.Pop(&e.heap)
+	}
+	if len(e.heap) > 0 && e.heap[0].finish >= 0 {
+		if f := e.heap[0].finish; !ok || f < t {
+			t, ok = f, true
+		}
+	}
+	return t, ok
+}
+
+// admitArrivals materializes jobs whose arrival slot has come. The cursor
+// walk keeps per-arrival work O(1) without re-slicing pending (which would
+// pin the backing array's head while shifting the window one spec at a
+// time).
 func (e *Engine) admitArrivals() {
-	for len(e.pending) > 0 && e.pending[0].Arrival <= e.slot {
-		spec := e.pending[0]
-		e.pending = e.pending[1:]
+	for e.nextPending < len(e.pending) && e.pending[e.nextPending].Arrival <= e.slot {
+		spec := e.pending[e.nextPending]
+		e.nextPending++
 		j, err := job.New(spec)
 		if err != nil {
 			// Specs were validated in New; this is unreachable in practice.
 			panic(fmt.Sprintf("cluster: invalid spec slipped through: %v", err))
 		}
 		e.jobs = append(e.jobs, j)
+		e.alivePos[j] = len(e.alive)
 		e.alive = append(e.alive, j)
+		e.aliveCount++
 		e.arrived++
 	}
 }
@@ -292,15 +384,34 @@ func (e *Engine) openGate(j *job.Job) {
 	delete(e.gatedJobs, j)
 }
 
-// retireJob removes a finished job from the alive set.
+// retireJob removes a finished job from the alive set in amortized O(1):
+// the job's slot (found via alivePos) becomes a nil hole, and the slice is
+// compacted — preserving arrival order — once holes outnumber live jobs.
 func (e *Engine) retireJob(j *job.Job) {
-	for i, a := range e.alive {
-		if a == j {
-			e.alive = append(e.alive[:i], e.alive[i+1:]...)
-			break
+	if i, ok := e.alivePos[j]; ok {
+		e.alive[i] = nil
+		delete(e.alivePos, j)
+		e.aliveCount--
+		if len(e.alive) >= 32 && e.aliveCount*2 < len(e.alive) {
+			e.compactAlive()
 		}
 	}
 	e.finishedJobs++
+}
+
+// compactAlive rewrites alive without holes and refreshes alivePos.
+func (e *Engine) compactAlive() {
+	live := e.alive[:0]
+	for _, a := range e.alive {
+		if a != nil {
+			e.alivePos[a] = len(live)
+			live = append(live, a)
+		}
+	}
+	for i := len(live); i < len(e.alive); i++ {
+		e.alive[i] = nil // release references past the new length
+	}
+	e.alive = live
 }
 
 // durationSlots converts a workload into occupied slots at the configured

@@ -1,0 +1,102 @@
+package cluster_test
+
+// Equivalence proof for the idle-slot fast-forward: for every registered
+// scheduler — event-driven (SRPTMS+C, SCA, Fair, SRPT, Offline, Dolly) and
+// time-driven (Mantri, LATE) alike — the accelerated engine must produce a
+// Result identical field-for-field (per-job finish slots, busy integral,
+// copy counts, final slot) to the naive slot-by-slot loop on a mixed
+// map/reduce trace with staggered arrivals.
+
+import (
+	"reflect"
+	"testing"
+
+	"mrclone/internal/cluster"
+	"mrclone/internal/sched"
+	"mrclone/internal/trace"
+)
+
+// mixedTrace builds a small Google-calibrated workload containing both map
+// and reduce tasks with staggered arrivals.
+func mixedTrace(t *testing.T, jobs int) *trace.Trace {
+	t.Helper()
+	p := trace.GoogleParams()
+	p.Jobs = jobs
+	tr, err := trace.Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var reduces int
+	for _, row := range tr.Rows {
+		reduces += row.ReduceTasks
+	}
+	if reduces == 0 {
+		t.Fatal("trace has no reduce tasks; equivalence test needs a mixed workload")
+	}
+	return tr
+}
+
+func runWith(t *testing.T, name string, disableFF bool, machines int, seed int64,
+	tr *trace.Trace) *cluster.Result {
+	t.Helper()
+	s, err := sched.Build(name, sched.Params{
+		Epsilon:         0.9,
+		DeviationFactor: 3,
+		GateReduces:     true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs, err := tr.Specs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := cluster.New(cluster.Config{
+		Machines:           machines,
+		Seed:               seed,
+		DisableFastForward: disableFF,
+	}, s, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestFastForwardEquivalence(t *testing.T) {
+	tr := mixedTrace(t, 40)
+	for _, name := range sched.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			naive := runWith(t, name, true, 100, 7, tr)
+			fast := runWith(t, name, false, 100, 7, tr)
+			if naive.Slots != fast.Slots {
+				t.Errorf("final slot differs: naive %d, fast %d", naive.Slots, fast.Slots)
+			}
+			if naive.MachineSlots != fast.MachineSlots {
+				t.Errorf("busy integral differs: naive %d, fast %d",
+					naive.MachineSlots, fast.MachineSlots)
+			}
+			if !reflect.DeepEqual(naive, fast) {
+				t.Errorf("results differ:\nnaive: %+v\nfast:  %+v", naive, fast)
+			}
+		})
+	}
+}
+
+// TestFastForwardEquivalenceUnderload exercises the regime where the
+// fast-forward matters most: a lightly loaded cluster with long stretches
+// of empty slots between arrivals.
+func TestFastForwardEquivalenceUnderload(t *testing.T) {
+	tr := mixedTrace(t, 12)
+	for _, name := range []string{"srptms+c", "mantri"} {
+		naive := runWith(t, name, true, 2000, 3, tr)
+		fast := runWith(t, name, false, 2000, 3, tr)
+		if !reflect.DeepEqual(naive, fast) {
+			t.Errorf("%s: underloaded results differ", name)
+		}
+	}
+}

@@ -18,11 +18,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 
-	"mrclone/internal/cluster"
 	"mrclone/internal/metrics"
+	"mrclone/internal/runner"
 	"mrclone/internal/sched"
 	"mrclone/internal/trace"
 )
@@ -54,6 +55,13 @@ type Options struct {
 	Seed int64
 	// MaxClonesPerTask caps cloning in the cloning schedulers (0 = default).
 	MaxClonesPerTask int
+	// Parallelism bounds concurrently simulated matrix cells (0 = all
+	// cores). Results are byte-identical at any parallelism level; see
+	// internal/runner.
+	Parallelism int
+	// Progress, when non-nil, receives (done, total) cell-completion
+	// callbacks from the underlying runner.
+	Progress func(done, total int)
 }
 
 // FullOptions mirrors the paper's setup: the whole 6064-job trace on 12K
@@ -97,64 +105,41 @@ func (o Options) buildTrace() (*trace.Trace, error) {
 	return tr, nil
 }
 
-// runOnce simulates one scheduler over the trace with one seed.
-func runOnce(tr *trace.Trace, name string, p sched.Params, machines int,
-	speed float64, seed int64) (*cluster.Result, error) {
-	s, err := sched.Build(name, p)
-	if err != nil {
-		return nil, err
-	}
+// runMatrix executes a run matrix over the trace via internal/runner: all
+// (scheduler × point × run) cells are simulated on a bounded worker pool,
+// and the assembled result is deterministic at any parallelism level.
+func (o Options) runMatrix(tr *trace.Trace, schedulers []runner.SchedulerSpec,
+	points []runner.Point, keepRaw bool) (*runner.Result, error) {
 	specs, err := tr.Specs()
 	if err != nil {
 		return nil, err
 	}
-	eng, err := cluster.New(cluster.Config{
-		Machines: machines,
-		Speed:    speed,
-		Seed:     seed,
-	}, s, specs)
+	return runner.Run(context.Background(), runner.Spec{
+		Specs:      specs,
+		Schedulers: schedulers,
+		Points:     points,
+		Runs:       o.Runs,
+		BaseSeed:   o.Seed,
+	}, runner.Options{
+		Parallelism: o.Parallelism,
+		Progress:    o.Progress,
+		KeepRaw:     keepRaw,
+	})
+}
+
+// sweepSRPTMSC runs the paper's core scheduler over a sweep and extracts
+// the two flowtime averages per point.
+func (o Options) sweepSRPTMSC(tr *trace.Trace, points []runner.Point) ([]SweepPoint, error) {
+	res, err := o.runMatrix(tr, []runner.SchedulerSpec{{Name: "srptms+c"}}, points, false)
 	if err != nil {
 		return nil, err
 	}
-	return eng.Run()
-}
-
-// averagedSummary runs a configuration Runs times and averages the summary
-// metrics.
-func (o Options) averagedSummary(tr *trace.Trace, name string, p sched.Params,
-	machines int, speed float64) (metrics.FlowtimeSummary, error) {
-	var acc metrics.FlowtimeSummary
-	for run := 0; run < o.Runs; run++ {
-		res, err := runOnce(tr, name, p, machines, speed, o.Seed+int64(run)*7919)
-		if err != nil {
-			return metrics.FlowtimeSummary{}, fmt.Errorf("%s run %d: %w", name, run, err)
-		}
-		s, err := metrics.Summarize(res)
-		if err != nil {
-			return metrics.FlowtimeSummary{}, err
-		}
-		acc.Jobs = s.Jobs
-		acc.MeanFlowtime += s.MeanFlowtime
-		acc.WeightedFlowtime += s.WeightedFlowtime
-		acc.TotalWeighted += s.TotalWeighted
-		acc.P50 += s.P50
-		acc.P90 += s.P90
-		acc.P99 += s.P99
-		if run == 0 || s.MinFlowtime < acc.MinFlowtime {
-			acc.MinFlowtime = s.MinFlowtime
-		}
-		if s.MaxFlowtime > acc.MaxFlowtime {
-			acc.MaxFlowtime = s.MaxFlowtime
-		}
+	out := make([]SweepPoint, len(points))
+	for pi := range points {
+		agg := res.Aggregate(0, pi)
+		out[pi] = SweepPoint{X: agg.X, Mean: agg.MeanFlowtime, Weighted: agg.WeightedFlowtime}
 	}
-	n := float64(o.Runs)
-	acc.MeanFlowtime /= n
-	acc.WeightedFlowtime /= n
-	acc.TotalWeighted /= n
-	acc.P50 /= n
-	acc.P90 /= n
-	acc.P99 /= n
-	return acc, nil
+	return out, nil
 }
 
 // ---------------------------------------------------------------------------
@@ -215,23 +200,24 @@ func Fig1(o Options) (*Fig1Result, error) {
 	return Fig1Epsilons(o, []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0})
 }
 
-// Fig1Epsilons sweeps an explicit epsilon grid.
+// Fig1Epsilons sweeps an explicit epsilon grid. All epsilon points (times
+// Runs seeds) are simulated concurrently on the runner's worker pool.
 func Fig1Epsilons(o Options, epsilons []float64) (*Fig1Result, error) {
 	o = o.normalize()
 	tr, err := o.buildTrace()
 	if err != nil {
 		return nil, err
 	}
-	out := &Fig1Result{}
-	for _, eps := range epsilons {
+	points := make([]runner.Point, len(epsilons))
+	for i, eps := range epsilons {
 		p := sched.Params{Epsilon: eps, DeviationFactor: 0, MaxClonesPerTask: o.MaxClonesPerTask}
-		s, err := o.averagedSummary(tr, "srptms+c", p, o.Machines, 1)
-		if err != nil {
-			return nil, err
-		}
-		out.Points = append(out.Points, SweepPoint{X: eps, Mean: s.MeanFlowtime, Weighted: s.WeightedFlowtime})
+		points[i] = runner.Point{X: eps, Machines: o.Machines, Params: &p}
 	}
-	return out, nil
+	pts, err := o.sweepSRPTMSC(tr, points)
+	if err != nil {
+		return nil, err
+	}
+	return &Fig1Result{Points: pts}, nil
 }
 
 // BestEpsilon returns the epsilon minimizing the unweighted average.
@@ -263,23 +249,23 @@ func Fig2(o Options) (*Fig2Result, error) {
 	return Fig2Factors(o, rs)
 }
 
-// Fig2Factors sweeps an explicit r grid.
+// Fig2Factors sweeps an explicit r grid on the runner's worker pool.
 func Fig2Factors(o Options, factors []float64) (*Fig2Result, error) {
 	o = o.normalize()
 	tr, err := o.buildTrace()
 	if err != nil {
 		return nil, err
 	}
-	out := &Fig2Result{}
-	for _, r := range factors {
+	points := make([]runner.Point, len(factors))
+	for i, r := range factors {
 		p := sched.Params{Epsilon: TunedEpsilon, DeviationFactor: r, MaxClonesPerTask: o.MaxClonesPerTask}
-		s, err := o.averagedSummary(tr, "srptms+c", p, o.Machines, 1)
-		if err != nil {
-			return nil, err
-		}
-		out.Points = append(out.Points, SweepPoint{X: r, Mean: s.MeanFlowtime, Weighted: s.WeightedFlowtime})
+		points[i] = runner.Point{X: r, Machines: o.Machines, Params: &p}
 	}
-	return out, nil
+	pts, err := o.sweepSRPTMSC(tr, points)
+	if err != nil {
+		return nil, err
+	}
+	return &Fig2Result{Points: pts}, nil
 }
 
 // ---------------------------------------------------------------------------
@@ -302,23 +288,23 @@ func Fig3(o Options) (*Fig3Result, error) {
 	return Fig3Machines(o, machines)
 }
 
-// Fig3Machines sweeps an explicit machine grid.
+// Fig3Machines sweeps an explicit machine grid on the runner's worker pool.
 func Fig3Machines(o Options, machines []int) (*Fig3Result, error) {
 	o = o.normalize()
 	tr, err := o.buildTrace()
 	if err != nil {
 		return nil, err
 	}
-	out := &Fig3Result{}
 	p := sched.Params{Epsilon: TunedEpsilon, DeviationFactor: TunedDeviationFactor, MaxClonesPerTask: o.MaxClonesPerTask}
-	for _, m := range machines {
-		s, err := o.averagedSummary(tr, "srptms+c", p, m, 1)
-		if err != nil {
-			return nil, err
-		}
-		out.Points = append(out.Points, SweepPoint{X: float64(m), Mean: s.MeanFlowtime, Weighted: s.WeightedFlowtime})
+	points := make([]runner.Point, len(machines))
+	for i, m := range machines {
+		points[i] = runner.Point{X: float64(m), Machines: m, Params: &p}
 	}
-	return out, nil
+	pts, err := o.sweepSRPTMSC(tr, points)
+	if err != nil {
+		return nil, err
+	}
+	return &Fig3Result{Points: pts}, nil
 }
 
 // ---------------------------------------------------------------------------
@@ -346,30 +332,32 @@ func cdfCompare(o Options, lo, hi float64, points int) (*CDFResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	res, err := o.runMatrix(tr, comparedSchedulerSpecs(o), []runner.Point{
+		{X: 0, Machines: o.Machines},
+	}, true)
+	if err != nil {
+		return nil, err
+	}
 	out := &CDFResult{Lo: lo, Hi: hi, Curves: make(map[string][]metrics.CDFPoint, len(ComparedAlgorithms))}
-	p := sched.Params{Epsilon: TunedEpsilon, DeviationFactor: TunedDeviationFactor, MaxClonesPerTask: o.MaxClonesPerTask}
-	for _, name := range ComparedAlgorithms {
-		acc := make([]metrics.CDFPoint, points)
-		for run := 0; run < o.Runs; run++ {
-			res, err := runOnce(tr, name, p, o.Machines, 1, o.Seed+int64(run)*7919)
-			if err != nil {
-				return nil, fmt.Errorf("%s run %d: %w", name, run, err)
-			}
-			pts, err := metrics.FlowtimeCDF(res, lo, hi, points)
-			if err != nil {
-				return nil, err
-			}
-			for i, pt := range pts {
-				acc[i].X = pt.X
-				acc[i].Fraction += pt.Fraction
-			}
+	for si, name := range ComparedAlgorithms {
+		curve, err := res.CDF(si, 0, lo, hi, points)
+		if err != nil {
+			return nil, err
 		}
-		for i := range acc {
-			acc[i].Fraction /= float64(o.Runs)
-		}
-		out.Curves[name] = acc
+		out.Curves[name] = curve
 	}
 	return out, nil
+}
+
+// comparedSchedulerSpecs builds the matrix rows of Figures 4-6: the three
+// compared algorithms at the tuned operating point.
+func comparedSchedulerSpecs(o Options) []runner.SchedulerSpec {
+	p := sched.Params{Epsilon: TunedEpsilon, DeviationFactor: TunedDeviationFactor, MaxClonesPerTask: o.MaxClonesPerTask}
+	specs := make([]runner.SchedulerSpec, len(ComparedAlgorithms))
+	for i, name := range ComparedAlgorithms {
+		specs[i] = runner.SchedulerSpec{Name: name, Params: p}
+	}
+	return specs
 }
 
 // ---------------------------------------------------------------------------
@@ -391,22 +379,25 @@ type Fig6Result struct {
 }
 
 // Fig6 compares SRPTMS+C, SCA, and Mantri (eps=0.6, r=3, Section VI-C).
+// All algorithm × seed cells run concurrently on the runner's worker pool.
 func Fig6(o Options) (*Fig6Result, error) {
 	o = o.normalize()
 	tr, err := o.buildTrace()
 	if err != nil {
 		return nil, err
 	}
+	res, err := o.runMatrix(tr, comparedSchedulerSpecs(o), []runner.Point{
+		{X: 0, Machines: o.Machines},
+	}, false)
+	if err != nil {
+		return nil, err
+	}
 	out := &Fig6Result{}
-	p := sched.Params{Epsilon: TunedEpsilon, DeviationFactor: TunedDeviationFactor, MaxClonesPerTask: o.MaxClonesPerTask}
-	for _, name := range ComparedAlgorithms {
-		s, err := o.averagedSummary(tr, name, p, o.Machines, 1)
-		if err != nil {
-			return nil, err
-		}
+	for si, name := range ComparedAlgorithms {
+		agg := res.Aggregate(si, 0)
 		out.Summaries = append(out.Summaries, AlgoSummary{
-			Name: name, Mean: s.MeanFlowtime, Weighted: s.WeightedFlowtime,
-			P50: s.P50, P90: s.P90,
+			Name: name, Mean: agg.MeanFlowtime, Weighted: agg.WeightedFlowtime,
+			P50: agg.P50, P90: agg.P90,
 		})
 	}
 	return out, nil

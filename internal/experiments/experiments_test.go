@@ -223,6 +223,63 @@ func TestTheorem2Experiment(t *testing.T) {
 	}
 }
 
+// TestParallelismInvariance pins the tentpole guarantee at the experiments
+// layer: the same experiment run at parallelism 1, 4, and 16 must render
+// byte-identical artifacts.
+func TestParallelismInvariance(t *testing.T) {
+	base := tinyOptions()
+	base.Runs = 2
+	var artifacts []string
+	for _, par := range []int{1, 4, 16} {
+		o := base
+		o.Parallelism = par
+		var buf bytes.Buffer
+		fig1, err := Fig1Epsilons(o, []float64{0.2, 0.8})
+		if err != nil {
+			t.Fatalf("parallelism %d: %v", par, err)
+		}
+		if err := fig1.WriteCSV(&buf); err != nil {
+			t.Fatal(err)
+		}
+		fig6, err := Fig6(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := fig6.WriteCSV(&buf); err != nil {
+			t.Fatal(err)
+		}
+		fig4, err := Fig4(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := fig4.WriteCSV(&buf); err != nil {
+			t.Fatal(err)
+		}
+		artifacts = append(artifacts, buf.String())
+	}
+	if artifacts[0] != artifacts[1] || artifacts[0] != artifacts[2] {
+		t.Fatal("artifacts differ across parallelism 1/4/16")
+	}
+}
+
+// TestProgressCallback checks the runner progress plumbing through Options.
+func TestProgressCallback(t *testing.T) {
+	o := tinyOptions()
+	var last, calls int
+	o.Progress = func(done, total int) {
+		last, calls = done, calls+1
+		if total != 3 { // 3 algorithms x 1 point x 1 run
+			t.Errorf("total = %d, want 3", total)
+		}
+	}
+	if _, err := Fig6(o); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 3 || last != 3 {
+		t.Errorf("progress calls=%d last=%d, want 3/3", calls, last)
+	}
+}
+
 func TestRenderTable(t *testing.T) {
 	var buf bytes.Buffer
 	err := RenderTable(&buf, []string{"a", "bb"}, [][]string{{"1", "2"}, {"333", "4"}})

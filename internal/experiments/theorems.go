@@ -1,12 +1,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"mrclone/internal/analysis"
 	"mrclone/internal/cluster"
 	"mrclone/internal/dist"
 	"mrclone/internal/job"
+	"mrclone/internal/runner"
 	"mrclone/internal/sched"
 	"mrclone/internal/sched/offline"
 )
@@ -71,31 +73,36 @@ func Theorem1(o Options) (*Theorem1Result, error) {
 	}
 	out.JobsPerRun = len(specs)
 
-	offSched, err := offline.New(offline.Config{DeviationFactor: rFactor, GateReduces: true})
+	// The replicate axis runs on the runner's worker pool: one cell per
+	// seed, with unit seed stride matching the historical sequential loop.
+	matrix, err := runner.Run(context.Background(), runner.Spec{
+		Specs: specs,
+		Schedulers: []runner.SchedulerSpec{
+			{Name: "offline", Params: sched.Params{DeviationFactor: rFactor, GateReduces: true}},
+		},
+		Points:     []runner.Point{{X: 0, Machines: machines}},
+		Runs:       out.Runs,
+		BaseSeed:   o.Seed,
+		SeedStride: 1,
+	}, runner.Options{Parallelism: o.Parallelism, Progress: o.Progress, KeepRaw: true})
 	if err != nil {
 		return nil, err
 	}
+	bounds := make([]float64, len(specs))
+	for i := range specs {
+		if bounds[i], err = analysis.Theorem1Bound(specs, i, machines, rFactor); err != nil {
+			return nil, err
+		}
+	}
 	for run := 0; run < out.Runs; run++ {
-		eng, err := cluster.New(cluster.Config{Machines: machines, Seed: o.Seed + int64(run)},
-			offSched, specs)
-		if err != nil {
-			return nil, err
-		}
-		res, err := eng.Run()
-		if err != nil {
-			return nil, err
-		}
+		res := matrix.Cell(0, 0, run).Raw
 		flow := make(map[int]int64, len(res.Jobs))
 		for _, jr := range res.Jobs {
 			flow[jr.ID] = jr.Flowtime
 		}
 		for i := range specs {
-			bound, err := analysis.Theorem1Bound(specs, i, machines, rFactor)
-			if err != nil {
-				return nil, err
-			}
 			out.Checks++
-			if float64(flow[specs[i].ID]) > bound {
+			if float64(flow[specs[i].ID]) > bounds[i] {
 				out.Violations++
 			}
 		}
@@ -189,22 +196,44 @@ func Theorem2Epsilons(o Options, epsilons []float64) (*Theorem2Result, error) {
 	if maxClones == 0 {
 		maxClones = 8
 	}
-	out := &Theorem2Result{}
-	for _, eps := range epsilons {
+	specs, err := tr.Specs()
+	if err != nil {
+		return nil, err
+	}
+	// One matrix covers the whole sweep: the srpt row is the unit-speed
+	// baseline (identical at every epsilon, so it is a single point), and
+	// the srptms+c row sweeps epsilon with speed 1+eps per point.
+	points := make([]runner.Point, len(epsilons))
+	for i, eps := range epsilons {
 		p := sched.Params{Epsilon: eps, DeviationFactor: 3, MaxClonesPerTask: maxClones}
-		aug, err := runOnce(tr, "srptms+c", p, o.Machines, 1+eps, o.Seed)
-		if err != nil {
-			return nil, fmt.Errorf("theorem2 eps=%v: %w", eps, err)
-		}
-		augW, err := analysis.WeightedFlowtime(aug)
-		if err != nil {
-			return nil, err
-		}
-		base, err := runOnce(tr, "srpt", sched.Params{DeviationFactor: 0}, o.Machines, 1, o.Seed)
-		if err != nil {
-			return nil, err
-		}
-		baseW, err := analysis.WeightedFlowtime(base)
+		points[i] = runner.Point{X: eps, Machines: o.Machines, Speed: 1 + eps, Params: &p}
+	}
+	runOpts := runner.Options{Parallelism: o.Parallelism, Progress: o.Progress, KeepRaw: true}
+	aug, err := runner.Run(context.Background(), runner.Spec{
+		Specs:      specs,
+		Schedulers: []runner.SchedulerSpec{{Name: "srptms+c"}},
+		Points:     points,
+		BaseSeed:   o.Seed,
+	}, runOpts)
+	if err != nil {
+		return nil, fmt.Errorf("theorem2 augmented sweep: %w", err)
+	}
+	base, err := runner.Run(context.Background(), runner.Spec{
+		Specs:      specs,
+		Schedulers: []runner.SchedulerSpec{{Name: "srpt", Params: sched.Params{DeviationFactor: 0}}},
+		Points:     []runner.Point{{X: 0, Machines: o.Machines, Speed: 1}},
+		BaseSeed:   o.Seed,
+	}, runOpts)
+	if err != nil {
+		return nil, fmt.Errorf("theorem2 baseline: %w", err)
+	}
+	baseW, err := analysis.WeightedFlowtime(base.Cell(0, 0, 0).Raw)
+	if err != nil {
+		return nil, err
+	}
+	out := &Theorem2Result{}
+	for i, eps := range epsilons {
+		augW, err := analysis.WeightedFlowtime(aug.Cell(0, i, 0).Raw)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,83 @@
+package runner
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// artifact is the JSON schema of a completed matrix: the axes, every cell,
+// and the replicate-averaged aggregates. Field order is fixed by the struct,
+// and all values are pure functions of (workload, base seed), so the
+// encoding is byte-identical across runs at any parallelism level.
+type artifact struct {
+	Schedulers []string     `json:"schedulers"`
+	Points     []float64    `json:"points"`
+	Runs       int          `json:"runs"`
+	BaseSeed   int64        `json:"base_seed"`
+	Cells      []CellResult `json:"cells"`
+	Aggregates []Aggregate  `json:"aggregates"`
+}
+
+// WriteJSON writes the matrix result (cells plus aggregates) as indented
+// JSON. The output is deterministic: identical matrices produce identical
+// bytes regardless of the parallelism they ran at.
+func (r *Result) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(artifact{
+		Schedulers: r.Schedulers,
+		Points:     r.Points,
+		Runs:       r.Runs,
+		BaseSeed:   r.BaseSeed,
+		Cells:      r.Cells,
+		Aggregates: r.Aggregates(),
+	})
+}
+
+// ftoa formats floats with the shortest round-trip representation so CSV
+// artifacts are deterministic and lossless.
+func ftoa(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// WriteCSV writes one row per cell in matrix order (scheduler-major, then
+// point, then run). Deterministic for the same reasons as WriteJSON.
+func (r *Result) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "scheduler,x,run,seed,jobs,mean_flowtime,weighted_flowtime,"+
+		"p50,p90,p99,slots,total_copies,clone_copies,wasted_copy_work,machine_slots"); err != nil {
+		return err
+	}
+	for i := range r.Cells {
+		c := &r.Cells[i]
+		_, err := fmt.Fprintf(w, "%s,%s,%d,%d,%d,%s,%s,%s,%s,%s,%d,%d,%d,%s,%d\n",
+			r.Schedulers[c.Scheduler], ftoa(c.X), c.Run, c.Seed, c.Summary.Jobs,
+			ftoa(c.Summary.MeanFlowtime), ftoa(c.Summary.WeightedFlowtime),
+			ftoa(c.Summary.P50), ftoa(c.Summary.P90), ftoa(c.Summary.P99),
+			c.Slots, c.TotalCopies, c.CloneCopies, ftoa(c.WastedCopyWrk), c.MachineSlots)
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteAggregateCSV writes one row per (scheduler, point) pair with the
+// replicate-averaged metrics — the shape the paper's figures plot.
+func (r *Result) WriteAggregateCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "scheduler,x,runs,jobs,mean_flowtime,weighted_flowtime,"+
+		"p50,p90,p99,mean_slots,mean_total_copies,mean_clone_copies,mean_wasted_work,mean_occupancy"); err != nil {
+		return err
+	}
+	for _, a := range r.Aggregates() {
+		_, err := fmt.Fprintf(w, "%s,%s,%d,%d,%s,%s,%s,%s,%s,%s,%s,%s,%s,%s\n",
+			a.Scheduler, ftoa(a.X), a.Runs, a.Jobs,
+			ftoa(a.MeanFlowtime), ftoa(a.WeightedFlowtime),
+			ftoa(a.P50), ftoa(a.P90), ftoa(a.P99), ftoa(a.MeanSlots),
+			ftoa(a.MeanTotalCopies), ftoa(a.MeanCloneCopies),
+			ftoa(a.MeanWastedWork), ftoa(a.MeanOccupancy))
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,344 @@
+// Package runner orchestrates experiment run matrices: the cross product of
+// schedulers × sweep points × seed replicates that every figure of the
+// paper's evaluation (and every ad-hoc parameter study) reduces to. Cells
+// are executed on a bounded worker pool with context cancellation, and the
+// whole matrix is deterministic: each cell's RNG seed is a pure function of
+// the base seed and the cell's replicate coordinate, results are stored by
+// cell index rather than completion order, and every reduction (averages,
+// CDFs, artifacts) folds runs in index order — so artifacts are
+// byte-identical at any parallelism level, including 1.
+//
+// Seed derivation deliberately uses common random numbers: only the
+// replicate index shifts the seed (CellSeed), never the scheduler or sweep
+// coordinate, so every scheduler and every sweep point face the same
+// random workload realizations. That is the paired-comparison design of the
+// paper's evaluation (each configuration averaged over the same ten seeds)
+// and a classic variance-reduction technique for A/B scheduler comparisons.
+//
+// See README.md in this directory for the matrix model, the seed-derivation
+// scheme, and the aggregation semantics.
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"mrclone/internal/cluster"
+	"mrclone/internal/job"
+	"mrclone/internal/metrics"
+	"mrclone/internal/sched"
+)
+
+// DefaultSeedStride separates replicate seeds. The stride is a prime large
+// enough that replicate streams do not trivially overlap; it matches the
+// historical sequential harness so regenerated artifacts stay comparable.
+const DefaultSeedStride = 7919
+
+// Errors reported by the runner.
+var (
+	ErrNoWorkload   = errors.New("runner: matrix needs a non-empty workload")
+	ErrNoSchedulers = errors.New("runner: matrix needs at least one scheduler")
+	ErrNoPoints     = errors.New("runner: matrix needs at least one sweep point")
+	ErrNoRaw        = errors.New("runner: raw results were not kept (set Options.KeepRaw)")
+)
+
+// SchedulerSpec is one row of the matrix: a registered scheduler name plus
+// its tunables.
+type SchedulerSpec struct {
+	// Name is the registry name passed to sched.Build ("srptms+c", "sca",
+	// "mantri", ...).
+	Name string
+	// Params are the scheduler tunables; a sweep point may override them.
+	Params sched.Params
+}
+
+// Point is one column of the matrix: a sweep coordinate with the cluster
+// shape (and optionally the scheduler tunables) it maps to. Sweeping
+// epsilon or r varies Params; sweeping cluster size varies Machines;
+// speed-augmentation studies vary Speed.
+type Point struct {
+	// X is the coordinate as plotted (epsilon, r, machine count, ...).
+	X float64
+	// Machines is the cluster size M for this point. Required > 0.
+	Machines int
+	// Speed is the machine speed (0 means unit speed).
+	Speed float64
+	// Params, when non-nil, replaces the scheduler's Params at this point.
+	Params *sched.Params
+}
+
+// Spec describes a run matrix over one workload.
+type Spec struct {
+	// Specs is the shared workload; every cell simulates the same jobs.
+	// Treated as read-only: cells running concurrently share it.
+	Specs []job.Spec
+	// Schedulers is the scheduler axis. Required non-empty.
+	Schedulers []SchedulerSpec
+	// Points is the sweep axis. Required non-empty.
+	Points []Point
+	// Runs is the number of seed replicates per (scheduler, point) pair
+	// (the paper repeats each simulation ten times). 0 means 1.
+	Runs int
+	// BaseSeed anchors the replicate seeds; see CellSeed.
+	BaseSeed int64
+	// SeedStride overrides the replicate seed spacing (0 = DefaultSeedStride).
+	SeedStride int64
+	// MaxSlots is passed through to cluster.Config.
+	MaxSlots int64
+}
+
+// CellSeed derives the RNG seed of replicate run from the base seed. The
+// scheduler and sweep coordinates are deliberately excluded (common random
+// numbers — see the package comment); the replicate index is the only
+// coordinate that shifts the seed, so results are reproducible at any
+// parallelism level and paired across the other two axes.
+func CellSeed(base int64, stride int64, run int) int64 {
+	if stride == 0 {
+		stride = DefaultSeedStride
+	}
+	return base + int64(run)*stride
+}
+
+// normalize fills Spec defaults.
+func (s Spec) normalize() Spec {
+	if s.Runs <= 0 {
+		s.Runs = 1
+	}
+	return s
+}
+
+// validate rejects malformed matrices before any cell runs.
+func (s Spec) validate() error {
+	if len(s.Specs) == 0 {
+		return ErrNoWorkload
+	}
+	if len(s.Schedulers) == 0 {
+		return ErrNoSchedulers
+	}
+	if len(s.Points) == 0 {
+		return ErrNoPoints
+	}
+	for i, p := range s.Points {
+		if p.Machines <= 0 {
+			return fmt.Errorf("runner: point %d (x=%v): machines %d, need > 0", i, p.X, p.Machines)
+		}
+	}
+	return nil
+}
+
+// Options configures matrix execution, not matrix content.
+type Options struct {
+	// Parallelism bounds concurrently running cells. <= 0 means
+	// runtime.GOMAXPROCS(0). Results do not depend on it.
+	Parallelism int
+	// Progress, when non-nil, is called after each cell completes with the
+	// number of finished cells and the matrix size. Calls are serialized
+	// and monotone in done; keep the callback cheap.
+	Progress func(done, total int)
+	// KeepRaw retains each cell's full *cluster.Result (per-job records),
+	// enabling CDF reductions at the cost of memory proportional to
+	// jobs × cells.
+	KeepRaw bool
+}
+
+// CellResult is the outcome of one matrix cell, identified by its
+// coordinates (Scheduler, Point, Run) on the three axes.
+type CellResult struct {
+	Scheduler int   `json:"scheduler"` // index into Spec.Schedulers
+	Point     int   `json:"point"`     // index into Spec.Points
+	Run       int   `json:"run"`       // replicate index
+	Seed      int64 `json:"seed"`
+
+	SchedulerName string  `json:"scheduler_name"` // engine-reported name
+	X             float64 `json:"x"`
+	Machines      int     `json:"machines"`
+	Speed         float64 `json:"speed"`
+
+	Summary       metrics.FlowtimeSummary `json:"summary"`
+	Slots         int64                   `json:"slots"`
+	TotalCopies   int64                   `json:"total_copies"`
+	CloneCopies   int64                   `json:"clone_copies"`
+	MachineSlots  int64                   `json:"machine_slots"`
+	WastedCopyWrk float64                 `json:"wasted_copy_work"`
+	FinishedJobs  int                     `json:"finished_jobs"`
+
+	// Raw is the full simulation result; nil unless Options.KeepRaw.
+	Raw *cluster.Result `json:"-"`
+}
+
+// Result holds a completed matrix, cells stored scheduler-major, then
+// point, then run — a fixed order independent of execution interleaving.
+type Result struct {
+	Schedulers []string     `json:"schedulers"` // registry names, matrix order
+	Points     []float64    `json:"points"`     // sweep coordinates, matrix order
+	Runs       int          `json:"runs"`
+	BaseSeed   int64        `json:"base_seed"`
+	Cells      []CellResult `json:"cells"`
+}
+
+// cellIndex maps coordinates to the flat cell slot.
+func (r *Result) cellIndex(si, pi, run int) int {
+	return (si*len(r.Points)+pi)*r.Runs + run
+}
+
+// Cell returns the result of one cell by coordinates.
+func (r *Result) Cell(si, pi, run int) *CellResult {
+	return &r.Cells[r.cellIndex(si, pi, run)]
+}
+
+// Run executes every cell of the matrix on a bounded worker pool and
+// returns the assembled result. The first cell error (or a context
+// cancellation) stops the feed, drains in-flight cells, and is returned.
+func Run(ctx context.Context, spec Spec, opts Options) (*Result, error) {
+	spec = spec.normalize()
+	if err := spec.validate(); err != nil {
+		return nil, err
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	total := len(spec.Schedulers) * len(spec.Points) * spec.Runs
+	workers := opts.Parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > total {
+		workers = total
+	}
+
+	res := &Result{
+		Schedulers: make([]string, len(spec.Schedulers)),
+		Points:     make([]float64, len(spec.Points)),
+		Runs:       spec.Runs,
+		BaseSeed:   spec.BaseSeed,
+		Cells:      make([]CellResult, total),
+	}
+	for i, s := range spec.Schedulers {
+		res.Schedulers[i] = s.Name
+	}
+	for i, p := range spec.Points {
+		res.Points[i] = p.X
+	}
+
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		mu       sync.Mutex
+		firstErr error
+		done     int
+		wg       sync.WaitGroup
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+			cancel()
+		}
+		mu.Unlock()
+	}
+	idxCh := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range idxCh {
+				cell, err := spec.runCell(idx, opts.KeepRaw)
+				if err != nil {
+					fail(err)
+					continue
+				}
+				mu.Lock()
+				res.Cells[idx] = *cell
+				done++
+				if opts.Progress != nil {
+					opts.Progress(done, total)
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+feed:
+	for idx := 0; idx < total; idx++ {
+		select {
+		case idxCh <- idx:
+		case <-runCtx.Done():
+			break feed
+		}
+	}
+	close(idxCh)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("runner: canceled after %d/%d cells: %w", done, total, err)
+	}
+	return res, nil
+}
+
+// runCell simulates one cell. It is called concurrently: everything it
+// touches on spec is read-only, and it builds a private scheduler and
+// engine.
+func (s *Spec) runCell(idx int, keepRaw bool) (*CellResult, error) {
+	run := idx % s.Runs
+	pi := (idx / s.Runs) % len(s.Points)
+	si := idx / (s.Runs * len(s.Points))
+
+	ss := s.Schedulers[si]
+	pt := s.Points[pi]
+	params := ss.Params
+	if pt.Params != nil {
+		params = *pt.Params
+	}
+	seed := CellSeed(s.BaseSeed, s.SeedStride, run)
+	fail := func(err error) (*CellResult, error) {
+		return nil, fmt.Errorf("runner: cell %s x=%v run=%d: %w", ss.Name, pt.X, run, err)
+	}
+
+	schedImpl, err := sched.Build(ss.Name, params)
+	if err != nil {
+		return fail(err)
+	}
+	eng, err := cluster.New(cluster.Config{
+		Machines: pt.Machines,
+		Speed:    pt.Speed,
+		MaxSlots: s.MaxSlots,
+		Seed:     seed,
+	}, schedImpl, s.Specs)
+	if err != nil {
+		return fail(err)
+	}
+	raw, err := eng.Run()
+	if err != nil {
+		return fail(err)
+	}
+	sum, err := metrics.Summarize(raw)
+	if err != nil {
+		return fail(err)
+	}
+	cell := &CellResult{
+		Scheduler:     si,
+		Point:         pi,
+		Run:           run,
+		Seed:          seed,
+		SchedulerName: raw.Scheduler,
+		X:             pt.X,
+		Machines:      raw.Machines,
+		Speed:         raw.Speed,
+		Summary:       sum,
+		Slots:         raw.Slots,
+		TotalCopies:   raw.TotalCopies,
+		CloneCopies:   raw.CloneCopies,
+		MachineSlots:  raw.MachineSlots,
+		WastedCopyWrk: raw.WastedCopyWrk,
+		FinishedJobs:  raw.FinishedJobs,
+	}
+	if keepRaw {
+		cell.Raw = raw
+	}
+	return cell, nil
+}

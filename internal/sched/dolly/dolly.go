@@ -71,6 +71,11 @@ func (s *Scheduler) Name() string {
 	return fmt.Sprintf("Dolly(<=%d tasks x%d)", s.cfg.SmallJobTasks, s.cfg.Copies)
 }
 
+// EventDriven implements cluster.EventDriven: the clone budget and copy
+// counts are recomputed from task states each slot, so idle slots may be
+// skipped.
+func (s *Scheduler) EventDriven() bool { return true }
+
 // Schedule implements cluster.Scheduler.
 func (s *Scheduler) Schedule(ctx *cluster.Context) {
 	alive := ctx.AliveJobs() // FIFO

@@ -23,6 +23,10 @@ func New() Scheduler { return Scheduler{} }
 // Name implements cluster.Scheduler.
 func (Scheduler) Name() string { return "Fair" }
 
+// EventDriven implements cluster.EventDriven: the weighted shares depend
+// only on alive jobs' task states, so idle slots may be skipped.
+func (Scheduler) EventDriven() bool { return true }
+
 // Schedule implements cluster.Scheduler: each job with unscheduled tasks is
 // entitled to w_i*M/W machines; surplus entitlement beyond a job's demand is
 // redistributed by a second greedy pass so the cluster does not idle.

@@ -57,6 +57,10 @@ func (s *Scheduler) Name() string {
 	return fmt.Sprintf("Offline-SRPT(r=%g)", s.cfg.DeviationFactor)
 }
 
+// EventDriven implements cluster.EventDriven: the static phi_i priorities
+// depend only on the specs and task states, so idle slots may be skipped.
+func (s *Scheduler) EventDriven() bool { return true }
+
 // Schedule implements cluster.Scheduler (Algorithm 1). The priority order is
 // static — phi_i depends only on the spec — so re-sorting each slot yields
 // the same ranking the one-shot sort in the pseudo-code produces.

@@ -75,6 +75,10 @@ func New(cfg Config) (*Scheduler, error) {
 // Name implements cluster.Scheduler.
 func (s *Scheduler) Name() string { return "SCA" }
 
+// EventDriven implements cluster.EventDriven: the greedy gain allocation is
+// recomputed from task states each slot, so idle slots may be skipped.
+func (s *Scheduler) EventDriven() bool { return true }
+
 // allocation is one task's tentative copy count inside the greedy solver.
 type allocation struct {
 	j      *job.Job

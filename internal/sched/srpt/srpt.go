@@ -42,6 +42,10 @@ func (s *Scheduler) Name() string {
 	return fmt.Sprintf("SRPT(r=%g)", s.cfg.DeviationFactor)
 }
 
+// EventDriven implements cluster.EventDriven: priorities depend only on
+// remaining effective workloads, so idle slots may be skipped.
+func (s *Scheduler) EventDriven() bool { return true }
+
 // Schedule implements cluster.Scheduler.
 func (s *Scheduler) Schedule(ctx *cluster.Context) {
 	psi := schedutil.WithUnscheduledTasks(ctx.AliveJobs())

@@ -87,6 +87,11 @@ func (s *Scheduler) Name() string {
 	return fmt.Sprintf("SRPTMS+C(eps=%g,r=%g)", s.cfg.Epsilon, s.cfg.DeviationFactor)
 }
 
+// EventDriven implements cluster.EventDriven: Schedule is a pure function
+// of the alive jobs' task states and the free-machine count, so decisions
+// only change on completions or arrivals and idle slots may be skipped.
+func (s *Scheduler) EventDriven() bool { return true }
+
 // Epsilon returns the configured sharing fraction.
 func (s *Scheduler) Epsilon() float64 { return s.cfg.Epsilon }
 

@@ -1,6 +1,7 @@
 package mrclone
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -9,6 +10,7 @@ import (
 	"mrclone/internal/experiments"
 	"mrclone/internal/job"
 	"mrclone/internal/metrics"
+	"mrclone/internal/runner"
 	"mrclone/internal/sched"
 	"mrclone/internal/trace"
 )
@@ -46,6 +48,20 @@ type (
 	CDFPoint = metrics.CDFPoint
 	// ExperimentOptions configures the paper-reproduction experiments.
 	ExperimentOptions = experiments.Options
+	// MatrixSpec describes a run matrix: schedulers × sweep points × seed
+	// replicates over one workload (see internal/runner).
+	MatrixSpec = runner.Spec
+	// MatrixSchedulerSpec is one scheduler row of a run matrix.
+	MatrixSchedulerSpec = runner.SchedulerSpec
+	// MatrixPoint is one sweep-point column of a run matrix.
+	MatrixPoint = runner.Point
+	// MatrixResult is a completed run matrix with per-cell results.
+	MatrixResult = runner.Result
+	// MatrixCellResult is the outcome of one (scheduler, point, run) cell.
+	MatrixCellResult = runner.CellResult
+	// MatrixAggregate is the replicate-averaged outcome of one
+	// (scheduler, point) pair.
+	MatrixAggregate = runner.Aggregate
 )
 
 // Phases of a MapReduce job.
@@ -209,6 +225,66 @@ func (s *Simulation) Run() (*Result, error) {
 		return nil, err
 	}
 	return eng.Run()
+}
+
+// MatrixOption configures RunMatrix execution (not matrix content).
+type MatrixOption func(*runner.Options) error
+
+// WithParallelism bounds the number of concurrently simulated matrix cells.
+// 0 means one worker per CPU core. Results are byte-identical at any
+// parallelism level.
+func WithParallelism(n int) MatrixOption {
+	return func(o *runner.Options) error {
+		if n < 0 {
+			return fmt.Errorf("mrclone: parallelism %d", n)
+		}
+		o.Parallelism = n
+		return nil
+	}
+}
+
+// WithProgress installs a progress callback invoked after each cell
+// completes with (done, total). Calls are serialized and monotone.
+func WithProgress(fn func(done, total int)) MatrixOption {
+	return func(o *runner.Options) error {
+		o.Progress = fn
+		return nil
+	}
+}
+
+// WithRawResults retains every cell's full *Result (per-job records),
+// enabling CDF reductions via MatrixResult.CDF at the cost of memory
+// proportional to jobs × cells.
+func WithRawResults() MatrixOption {
+	return func(o *runner.Options) error {
+		o.KeepRaw = true
+		return nil
+	}
+}
+
+// RunMatrix executes a run matrix — every (scheduler, sweep point, seed
+// replicate) cell — on a bounded worker pool with context cancellation.
+// Each cell's RNG seed is derived deterministically from the base seed and
+// the cell's replicate coordinate, and all reductions fold cells in matrix
+// order, so results (including WriteJSON/WriteCSV artifact bytes) are
+// identical at any parallelism level.
+//
+//	specs, _ := tr.Specs()
+//	res, err := mrclone.RunMatrix(ctx, mrclone.MatrixSpec{
+//		Specs:      specs,
+//		Schedulers: []mrclone.MatrixSchedulerSpec{{Name: "srptms+c"}, {Name: "mantri"}},
+//		Points:     []mrclone.MatrixPoint{{X: 1000, Machines: 1000}},
+//		Runs:       10,
+//		BaseSeed:   1,
+//	}, mrclone.WithParallelism(0))
+func RunMatrix(ctx context.Context, spec MatrixSpec, opts ...MatrixOption) (*MatrixResult, error) {
+	var o runner.Options
+	for _, opt := range opts {
+		if err := opt(&o); err != nil {
+			return nil, err
+		}
+	}
+	return runner.Run(ctx, spec, o)
 }
 
 // Experiment presets mirroring the paper's evaluation scale.

@@ -2,6 +2,7 @@ package mrclone
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 )
@@ -186,6 +187,71 @@ func TestDeterministicRuns(t *testing.T) {
 	a, b := runOnce(), runOnce()
 	if a != b {
 		t.Fatalf("same seed, different summaries: %+v vs %+v", a, b)
+	}
+}
+
+func TestRunMatrixPublicAPI(t *testing.T) {
+	tr := smallTrace(t)
+	specs, err := tr.Specs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := MatrixSpec{
+		Specs: specs,
+		Schedulers: []MatrixSchedulerSpec{
+			{Name: "srptms+c", Params: SchedulerParams{Epsilon: 0.9, DeviationFactor: 3}},
+			{Name: "fair"},
+		},
+		Points:   []MatrixPoint{{X: 120, Machines: 120}},
+		Runs:     2,
+		BaseSeed: 9,
+	}
+	var done int
+	res, err := RunMatrix(context.Background(), spec,
+		WithParallelism(2),
+		WithRawResults(),
+		WithProgress(func(d, total int) {
+			done = d
+			if total != 4 {
+				t.Errorf("total = %d, want 4", total)
+			}
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done != 4 {
+		t.Errorf("progress reached %d, want 4", done)
+	}
+	for si := range spec.Schedulers {
+		agg := res.Aggregate(si, 0)
+		if agg.Jobs == 0 || agg.MeanFlowtime <= 0 {
+			t.Errorf("scheduler %d: empty aggregate %+v", si, agg)
+		}
+		if _, err := res.CDF(si, 0, 0, 300, 5); err != nil {
+			t.Errorf("scheduler %d: CDF: %v", si, err)
+		}
+	}
+	// The matrix cell must agree with the single-simulation API at the
+	// same seed.
+	sim, err := NewSimulation(tr, WithMachines(120), WithSeed(9),
+		WithSchedulerParams(SchedulerParams{Epsilon: 0.9, DeviationFactor: 3}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := Summarize(single)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Cell(0, 0, 0).Summary; got != sum {
+		t.Errorf("matrix cell %+v != single run %+v", got, sum)
+	}
+
+	if _, err := RunMatrix(context.Background(), spec, WithParallelism(-1)); err == nil {
+		t.Error("negative parallelism accepted")
 	}
 }
 
