@@ -13,18 +13,25 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime"
+	"syscall"
 
 	"mrclone/internal/experiments"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	// SIGINT/SIGTERM cancel the in-flight run matrix so long experiments
+	// exit cleanly (no partially written artifacts) instead of mid-write.
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "mrexperiments:", err)
 		os.Exit(1)
 	}
@@ -34,7 +41,7 @@ var allExperiments = []string{
 	"table2", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "theorem1", "theorem2",
 }
 
-func run(args []string, out io.Writer) error {
+func run(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("mrexperiments", flag.ContinueOnError)
 	scale := fs.String("scale", "quick", "experiment scale: quick or full")
 	runs := fs.Int("runs", 0, "override runs per configuration (0 = preset)")
@@ -65,6 +72,7 @@ func run(args []string, out io.Writer) error {
 		opts.Seed = *seed
 	}
 	opts.Parallelism = *parallel
+	opts.Ctx = ctx
 	names := fs.Args()
 	if len(names) == 0 {
 		names = allExperiments

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -10,23 +11,23 @@ import (
 
 func TestBadArgs(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run([]string{"-scale", "bogus"}, &buf); err == nil {
+	if err := run(context.Background(), []string{"-scale", "bogus"}, &buf); err == nil {
 		t.Error("bogus scale accepted")
 	}
-	if err := run([]string{"-scale", "quick", "nonsense"}, &buf); err == nil {
+	if err := run(context.Background(), []string{"-scale", "quick", "nonsense"}, &buf); err == nil {
 		t.Error("unknown experiment accepted")
 	}
-	if err := run([]string{"-parallel", "0", "table2"}, &buf); err == nil {
+	if err := run(context.Background(), []string{"-parallel", "0", "table2"}, &buf); err == nil {
 		t.Error("zero parallelism accepted")
 	}
-	if err := run([]string{"-parallel", "-2", "table2"}, &buf); err == nil {
+	if err := run(context.Background(), []string{"-parallel", "-2", "table2"}, &buf); err == nil {
 		t.Error("negative parallelism accepted")
 	}
 }
 
 func TestTable2AndTheorems(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run([]string{"-scale", "quick", "-runs", "1", "table2", "theorem1"}, &buf); err != nil {
+	if err := run(context.Background(), []string{"-scale", "quick", "-runs", "1", "table2", "theorem1"}, &buf); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -43,7 +44,7 @@ func TestCSVOutput(t *testing.T) {
 	var buf bytes.Buffer
 	// Tiny custom scale via quick + runs 1 on fig6 only; fig6 at quick scale
 	// is the slowest acceptable in tests, so restrict to table2+fig1-less.
-	if err := run([]string{"-scale", "quick", "-runs", "1", "-csv", dir, "fig6"}, &buf); err != nil {
+	if err := run(context.Background(), []string{"-scale", "quick", "-runs", "1", "-csv", dir, "fig6"}, &buf); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(filepath.Join(dir, "fig6.csv"))

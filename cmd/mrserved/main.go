@@ -1,0 +1,109 @@
+// Command mrserved serves cluster simulations over HTTP: clients POST
+// canonical matrix specs (see internal/service/spec) to /v1/matrices, poll
+// or stream job progress, and fetch deterministic JSON/CSV artifacts.
+// Identical specs share one computation (single-flight) and completed
+// matrices are served from a content-addressed LRU cache.
+//
+// Usage:
+//
+//	mrserved [-addr :8080] [-parallel NumCPU] [-workers 2]
+//	         [-queue 16] [-cache 64]
+//
+// The daemon drains gracefully on SIGINT/SIGTERM: the listener closes,
+// queued and running matrices finish, then the process exits. A second
+// signal (or the -drain-timeout deadline) cancels the remaining work.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"mrclone/internal/service"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "mrserved:", err)
+		os.Exit(1)
+	}
+}
+
+func run(ctx context.Context, args []string, logw io.Writer) error {
+	fs := flag.NewFlagSet("mrserved", flag.ContinueOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	parallel := fs.Int("parallel", runtime.NumCPU(),
+		"simulation cells run concurrently per matrix; >= 1 (results do not depend on it)")
+	workers := fs.Int("workers", 2, "matrices executed concurrently; >= 1")
+	queue := fs.Int("queue", 16, "bounded job-queue depth; >= 1 (submissions beyond it get 429)")
+	cache := fs.Int("cache", 64, "result-cache capacity in matrices (0 disables caching)")
+	drainTimeout := fs.Duration("drain-timeout", time.Minute,
+		"how long shutdown waits for queued and running matrices before cancelling them")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	switch {
+	case *parallel < 1:
+		return fmt.Errorf("-parallel %d: need at least one worker", *parallel)
+	case *workers < 1:
+		return fmt.Errorf("-workers %d: need at least one worker", *workers)
+	case *queue < 1:
+		return fmt.Errorf("-queue %d: need at least one slot", *queue)
+	case *cache < 0:
+		return fmt.Errorf("-cache %d: need >= 0 entries", *cache)
+	}
+
+	cacheEntries := *cache
+	if cacheEntries == 0 {
+		cacheEntries = -1 // Config treats 0 as "default"; negative disables.
+	}
+	svc := service.New(service.Config{
+		Workers:         *workers,
+		QueueDepth:      *queue,
+		CacheEntries:    cacheEntries,
+		CellParallelism: *parallel,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: svc.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+	fmt.Fprintf(logw, "mrserved: listening on %s (workers=%d parallel=%d queue=%d cache=%d)\n",
+		ln.Addr(), *workers, *parallel, *queue, *cache)
+
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+	}
+
+	fmt.Fprintf(logw, "mrserved: signal received, draining (timeout %s)\n", *drainTimeout)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	// A second signal cuts the drain short and cancels the remaining work.
+	drainCtx, stopDrain := signal.NotifyContext(drainCtx, syscall.SIGINT, syscall.SIGTERM)
+	defer stopDrain()
+	// Stop the listener first so no new jobs arrive, then drain the queue.
+	if err := srv.Shutdown(drainCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintf(logw, "mrserved: http shutdown: %v\n", err)
+	}
+	if err := svc.Close(drainCtx); err != nil && !errors.Is(err, service.ErrClosed) {
+		return fmt.Errorf("drain: %w", err)
+	}
+	fmt.Fprintln(logw, "mrserved: drained")
+	return nil
+}

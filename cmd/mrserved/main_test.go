@@ -1,0 +1,100 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestFlagValidation(t *testing.T) {
+	cases := []struct {
+		args []string
+		want string
+	}{
+		{[]string{"-parallel", "0"}, "-parallel"},
+		{[]string{"-workers", "0"}, "-workers"},
+		{[]string{"-queue", "0"}, "-queue"},
+		{[]string{"-cache", "-1"}, "-cache"},
+	}
+	for _, tc := range cases {
+		err := run(context.Background(), tc.args, &bytes.Buffer{})
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("run(%v) = %v, want error mentioning %s", tc.args, err, tc.want)
+		}
+	}
+}
+
+// syncBuffer is a goroutine-safe log sink that signals the first write.
+type syncBuffer struct {
+	mu    sync.Mutex
+	buf   bytes.Buffer
+	first chan struct{}
+	once  sync.Once
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	n, err := b.buf.Write(p)
+	b.once.Do(func() { close(b.first) })
+	return n, err
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// TestServeAndDrain boots the daemon on an ephemeral port, hits /healthz,
+// then cancels the context (the SIGINT path) and expects a clean drain.
+func TestServeAndDrain(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	logw := &syncBuffer{first: make(chan struct{})}
+
+	errCh := make(chan error, 1)
+	go func() {
+		errCh <- run(ctx, []string{"-addr", "127.0.0.1:0", "-workers", "1", "-drain-timeout", "10s"}, logw)
+	}()
+
+	select {
+	case <-logw.first:
+	case err := <-errCh:
+		t.Fatalf("run exited early: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon never logged its listen address")
+	}
+	m := regexp.MustCompile(`listening on ([0-9.:]+)`).FindStringSubmatch(logw.String())
+	if m == nil {
+		t.Fatalf("no listen address in log: %q", logw.String())
+	}
+	base := "http://" + m[1]
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: HTTP %d", resp.StatusCode)
+	}
+
+	cancel()
+	select {
+	case err := <-errCh:
+		if err != nil {
+			t.Fatalf("drain: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("daemon did not drain")
+	}
+	if !strings.Contains(logw.String(), "drained") {
+		t.Fatalf("log missing drain marker: %q", logw.String())
+	}
+}

@@ -17,8 +17,10 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"runtime"
 	"strings"
+	"syscall"
 
 	"mrclone/internal/runner"
 	"mrclone/internal/sched"
@@ -26,13 +28,17 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	// SIGINT/SIGTERM cancel the in-flight replicates so long runs exit
+	// cleanly instead of dying mid-output.
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "mrsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, out io.Writer) error {
+func run(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("mrsim", flag.ContinueOnError)
 	schedName := fs.String("sched", "srptms+c", "scheduler: "+strings.Join(sched.Names(), ", "))
 	machines := fs.Int("machines", 12000, "cluster size M")
@@ -73,7 +79,7 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	res, err := runner.Run(context.Background(), runner.Spec{
+	res, err := runner.Run(ctx, runner.Spec{
 		Specs: specs,
 		Schedulers: []runner.SchedulerSpec{{
 			Name: *schedName,

@@ -2,13 +2,14 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 )
 
 func TestRunSmallSimulation(t *testing.T) {
 	var buf bytes.Buffer
-	err := run([]string{
+	err := run(context.Background(), []string{
 		"-jobs", "60", "-machines", "150", "-sched", "srptms+c",
 		"-eps", "0.9", "-seed", "2", "-cdf", "0:300",
 	}, &buf)
@@ -26,7 +27,7 @@ func TestRunSmallSimulation(t *testing.T) {
 func TestAllSchedulersRunnable(t *testing.T) {
 	for _, name := range []string{"sca", "mantri", "fair", "srpt", "offline"} {
 		var buf bytes.Buffer
-		err := run([]string{"-jobs", "30", "-machines", "80", "-sched", name, "-seed", "1"}, &buf)
+		err := run(context.Background(), []string{"-jobs", "30", "-machines", "80", "-sched", name, "-seed", "1"}, &buf)
 		if err != nil {
 			t.Errorf("%s: %v", name, err)
 		}
@@ -39,7 +40,7 @@ func TestParallelismDoesNotChangeOutput(t *testing.T) {
 	outputs := make([]string, 0, 2)
 	for _, par := range []string{"1", "4"} {
 		var buf bytes.Buffer
-		err := run([]string{
+		err := run(context.Background(), []string{
 			"-jobs", "50", "-machines", "120", "-runs", "3",
 			"-parallel", par, "-seed", "4", "-cdf", "0:300",
 		}, &buf)
@@ -58,25 +59,25 @@ func TestParallelismDoesNotChangeOutput(t *testing.T) {
 
 func TestBadFlags(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run([]string{"-sched", "bogus", "-jobs", "10", "-machines", "10"}, &buf); err == nil {
+	if err := run(context.Background(), []string{"-sched", "bogus", "-jobs", "10", "-machines", "10"}, &buf); err == nil {
 		t.Error("bogus scheduler accepted")
 	}
-	if err := run([]string{"-jobs", "10", "-machines", "10", "-cdf", "nonsense"}, &buf); err == nil {
+	if err := run(context.Background(), []string{"-jobs", "10", "-machines", "10", "-cdf", "nonsense"}, &buf); err == nil {
 		t.Error("bad cdf range accepted")
 	}
-	if err := run([]string{"-trace", "/nonexistent.csv"}, &buf); err == nil {
+	if err := run(context.Background(), []string{"-trace", "/nonexistent.csv"}, &buf); err == nil {
 		t.Error("missing trace accepted")
 	}
-	if err := run([]string{"-not-a-flag"}, &buf); err == nil {
+	if err := run(context.Background(), []string{"-not-a-flag"}, &buf); err == nil {
 		t.Error("unknown flag accepted")
 	}
-	if err := run([]string{"-jobs", "10", "-machines", "10", "-runs", "0"}, &buf); err == nil {
+	if err := run(context.Background(), []string{"-jobs", "10", "-machines", "10", "-runs", "0"}, &buf); err == nil {
 		t.Error("zero runs accepted")
 	}
-	if err := run([]string{"-jobs", "10", "-machines", "10", "-parallel", "0"}, &buf); err == nil {
+	if err := run(context.Background(), []string{"-jobs", "10", "-machines", "10", "-parallel", "0"}, &buf); err == nil {
 		t.Error("zero parallelism accepted")
 	}
-	if err := run([]string{"-jobs", "10", "-machines", "10", "-parallel", "-3"}, &buf); err == nil {
+	if err := run(context.Background(), []string{"-jobs", "10", "-machines", "10", "-parallel", "-3"}, &buf); err == nil {
 		t.Error("negative parallelism accepted")
 	}
 }

@@ -24,6 +24,14 @@
 //   - the full experiment harness regenerating every figure and table of the
 //     paper's evaluation plus numerical checks of both theorems, all running
 //     on the matrix runner;
+//   - a simulation-as-a-service subsystem (internal/service, served by
+//     cmd/mrserved): canonical versioned spec serialization with a
+//     deterministic content hash (internal/service/spec), a bounded FIFO
+//     job queue feeding a worker pool of matrix runs, single-flight
+//     deduplication plus an LRU content-addressed result cache — sound
+//     because equal specs produce byte-identical artifacts — and an
+//     HTTP/JSON API with Server-Sent-Events progress streaming (exported
+//     as NewService / ParseServiceSpec / ServiceSpec);
 //   - a small real in-process MapReduce engine whose speculative-execution
 //     policy is pluggable with the same strategies.
 //

@@ -62,6 +62,17 @@ type Options struct {
 	// Progress, when non-nil, receives (done, total) cell-completion
 	// callbacks from the underlying runner.
 	Progress func(done, total int)
+	// Ctx, when non-nil, cancels in-flight matrix runs (e.g. on SIGINT);
+	// nil means context.Background().
+	Ctx context.Context
+}
+
+// ctx returns the cancellation context of the run.
+func (o Options) ctx() context.Context {
+	if o.Ctx != nil {
+		return o.Ctx
+	}
+	return context.Background()
 }
 
 // FullOptions mirrors the paper's setup: the whole 6064-job trace on 12K
@@ -114,7 +125,7 @@ func (o Options) runMatrix(tr *trace.Trace, schedulers []runner.SchedulerSpec,
 	if err != nil {
 		return nil, err
 	}
-	return runner.Run(context.Background(), runner.Spec{
+	return runner.Run(o.ctx(), runner.Spec{
 		Specs:      specs,
 		Schedulers: schedulers,
 		Points:     points,

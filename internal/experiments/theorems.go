@@ -1,7 +1,6 @@
 package experiments
 
 import (
-	"context"
 	"fmt"
 
 	"mrclone/internal/analysis"
@@ -75,7 +74,7 @@ func Theorem1(o Options) (*Theorem1Result, error) {
 
 	// The replicate axis runs on the runner's worker pool: one cell per
 	// seed, with unit seed stride matching the historical sequential loop.
-	matrix, err := runner.Run(context.Background(), runner.Spec{
+	matrix, err := runner.Run(o.ctx(), runner.Spec{
 		Specs: specs,
 		Schedulers: []runner.SchedulerSpec{
 			{Name: "offline", Params: sched.Params{DeviationFactor: rFactor, GateReduces: true}},
@@ -209,7 +208,7 @@ func Theorem2Epsilons(o Options, epsilons []float64) (*Theorem2Result, error) {
 		points[i] = runner.Point{X: eps, Machines: o.Machines, Speed: 1 + eps, Params: &p}
 	}
 	runOpts := runner.Options{Parallelism: o.Parallelism, Progress: o.Progress, KeepRaw: true}
-	aug, err := runner.Run(context.Background(), runner.Spec{
+	aug, err := runner.Run(o.ctx(), runner.Spec{
 		Specs:      specs,
 		Schedulers: []runner.SchedulerSpec{{Name: "srptms+c"}},
 		Points:     points,
@@ -218,7 +217,7 @@ func Theorem2Epsilons(o Options, epsilons []float64) (*Theorem2Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("theorem2 augmented sweep: %w", err)
 	}
-	base, err := runner.Run(context.Background(), runner.Spec{
+	base, err := runner.Run(o.ctx(), runner.Spec{
 		Specs:      specs,
 		Schedulers: []runner.SchedulerSpec{{Name: "srpt", Params: sched.Params{DeviationFactor: 0}}},
 		Points:     []runner.Point{{X: 0, Machines: o.Machines, Speed: 1}},

@@ -110,8 +110,17 @@ func (s Spec) normalize() Spec {
 	return s
 }
 
-// validate rejects malformed matrices before any cell runs.
-func (s Spec) validate() error {
+// Total returns the number of matrix cells after normalization:
+// schedulers × points × runs.
+func (s Spec) Total() int {
+	s = s.normalize()
+	return len(s.Schedulers) * len(s.Points) * s.Runs
+}
+
+// Validate rejects malformed matrices before any cell runs. Run calls it
+// internally; service layers call it up front so malformed specs are
+// rejected at submission time rather than after queueing.
+func (s Spec) Validate() error {
 	if len(s.Specs) == 0 {
 		return ErrNoWorkload
 	}
@@ -194,7 +203,7 @@ func (r *Result) Cell(si, pi, run int) *CellResult {
 // cancellation) stops the feed, drains in-flight cells, and is returned.
 func Run(ctx context.Context, spec Spec, opts Options) (*Result, error) {
 	spec = spec.normalize()
-	if err := spec.validate(); err != nil {
+	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
 	if ctx == nil {

@@ -19,20 +19,22 @@ import (
 )
 
 // Params carries the tunables a scheduler factory may consume; unknown
-// fields are ignored by schedulers that do not use them.
+// fields are ignored by schedulers that do not use them. The JSON tags are
+// the wire names used by the service spec (internal/service/spec); zero
+// values are omitted so the canonical encoding stays minimal.
 type Params struct {
 	// Epsilon is SRPTMS+C's sharing fraction (default 0.6, the paper's pick).
-	Epsilon float64
+	Epsilon float64 `json:"epsilon,omitempty"`
 	// DeviationFactor is r, the standard-deviation weight in effective
 	// workloads (default 3, the paper's pick for the unweighted metric).
-	DeviationFactor float64
+	DeviationFactor float64 `json:"deviation_factor,omitempty"`
 	// MaxClonesPerTask caps cloning for the cloning schedulers (0 = default).
-	MaxClonesPerTask int
+	MaxClonesPerTask int `json:"max_clones_per_task,omitempty"`
 	// Delta is Mantri's relaunch confidence threshold (0 = default).
-	Delta float64
+	Delta float64 `json:"delta,omitempty"`
 	// GateReduces lets the offline algorithm occupy machines with reduce
 	// tasks whose map phase is still running.
-	GateReduces bool
+	GateReduces bool `json:"gate_reduces,omitempty"`
 }
 
 // DefaultParams returns the parameter values selected by the paper's
@@ -84,6 +86,12 @@ var registry = map[string]Factory{
 			GateReduces:     p.GateReduces,
 		})
 	},
+}
+
+// Has reports whether a scheduler name is registered.
+func Has(name string) bool {
+	_, ok := registry[name]
+	return ok
 }
 
 // Names returns the registered scheduler names, sorted.

@@ -1,0 +1,70 @@
+package service
+
+import "container/list"
+
+// CachedResult is one content-addressed cache entry: the artifact bytes of a
+// completed matrix, keyed by the spec's canonical hash. All fields are
+// immutable after insertion and may be served to any number of clients
+// concurrently; because the runner is deterministic, these bytes are exactly
+// what recomputing the spec would produce.
+type CachedResult struct {
+	// Hash is the spec content address the entry is stored under.
+	Hash string
+	// JSON is the full matrix artifact (runner.Result.WriteJSON).
+	JSON []byte
+	// CSV is the per-cell artifact (runner.Result.WriteCSV).
+	CSV []byte
+	// AggregateCSV is the replicate-averaged artifact
+	// (runner.Result.WriteAggregateCSV).
+	AggregateCSV []byte
+	// Cells is the matrix size, for metrics.
+	Cells int
+}
+
+// lruCache is a non-thread-safe LRU over CachedResult; the service guards it
+// with its own mutex.
+type lruCache struct {
+	max     int
+	order   *list.List               // front = most recently used
+	entries map[string]*list.Element // hash -> element holding *CachedResult
+}
+
+func newLRUCache(max int) *lruCache {
+	return &lruCache{
+		max:     max,
+		order:   list.New(),
+		entries: make(map[string]*list.Element),
+	}
+}
+
+// get returns the entry and promotes it to most recently used.
+func (c *lruCache) get(hash string) (*CachedResult, bool) {
+	el, ok := c.entries[hash]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*CachedResult), true
+}
+
+// add inserts (or refreshes) an entry, evicting the least recently used
+// entries beyond the capacity. A non-positive capacity disables caching.
+func (c *lruCache) add(res *CachedResult) {
+	if c.max <= 0 {
+		return
+	}
+	if el, ok := c.entries[res.Hash]; ok {
+		c.order.MoveToFront(el)
+		el.Value = res
+		return
+	}
+	c.entries[res.Hash] = c.order.PushFront(res)
+	for c.order.Len() > c.max {
+		last := c.order.Back()
+		c.order.Remove(last)
+		delete(c.entries, last.Value.(*CachedResult).Hash)
+	}
+}
+
+// len returns the number of cached entries.
+func (c *lruCache) len() int { return c.order.Len() }

@@ -1,0 +1,102 @@
+package service
+
+import (
+	"context"
+	"sync"
+)
+
+// EventType discriminates job lifecycle events.
+type EventType string
+
+// Event types emitted over a job's event stream. State transitions are
+// replayed to late subscribers; progress events are live-only.
+const (
+	EventQueued    EventType = "queued"
+	EventRunning   EventType = "running"
+	EventProgress  EventType = "progress"
+	EventDone      EventType = "done"
+	EventFailed    EventType = "failed"
+	EventCancelled EventType = "cancelled"
+)
+
+// Event is one entry of a job's event stream.
+type Event struct {
+	Type EventType `json:"type"`
+	// Job is the subscriber's job ID.
+	Job string `json:"job"`
+	// Done/Total report matrix-cell progress; set on progress events and on
+	// the running event (0/Total).
+	Done  int `json:"done,omitempty"`
+	Total int `json:"total,omitempty"`
+	// Cached marks a done event served from the result cache.
+	Cached bool `json:"cached,omitempty"`
+	// Error carries the failure message on failed events.
+	Error string `json:"error,omitempty"`
+}
+
+// Terminal reports whether the event ends the stream.
+func (e Event) Terminal() bool {
+	switch e.Type {
+	case EventDone, EventFailed, EventCancelled:
+		return true
+	}
+	return false
+}
+
+// Subscription is an unbounded, ordered event stream for one job. Producers
+// never block (events accumulate in a slice), so a slow SSE client cannot
+// stall the scheduler; the stream closes itself after a terminal event.
+type Subscription struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	events []Event
+	closed bool
+}
+
+func newSubscription() *Subscription {
+	s := &Subscription{}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// publish appends an event; terminal events close the stream.
+func (s *Subscription) publish(e Event) {
+	s.mu.Lock()
+	if !s.closed {
+		// Coalesce back-to-back pending progress events so a slow consumer
+		// of a large matrix holds O(1) progress backlog, not O(cells).
+		if n := len(s.events); e.Type == EventProgress && n > 0 && s.events[n-1].Type == EventProgress {
+			s.events[n-1] = e
+		} else {
+			s.events = append(s.events, e)
+		}
+		if e.Terminal() {
+			s.closed = true
+		}
+	}
+	s.mu.Unlock()
+	s.cond.Broadcast()
+}
+
+// Next blocks until an event is available, the stream has drained past its
+// terminal event, or ctx is done. The second return is false when no more
+// events will arrive.
+func (s *Subscription) Next(ctx context.Context) (Event, bool) {
+	// Wake the cond wait when the caller gives up.
+	stop := context.AfterFunc(ctx, s.cond.Broadcast)
+	defer stop()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if len(s.events) > 0 {
+			e := s.events[0]
+			s.events = s.events[1:]
+			return e, true
+		}
+		if s.closed || ctx.Err() != nil {
+			return Event{}, false
+		}
+		s.cond.Wait()
+	}
+}

@@ -1,0 +1,207 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+
+	"mrclone/internal/service/spec"
+)
+
+// maxSpecBytes bounds the accepted request body: large enough for a full
+// 6064-row explicit trace, small enough to shed abusive payloads.
+const maxSpecBytes = 32 << 20
+
+// Handler returns the HTTP/JSON API of the service:
+//
+//	POST   /v1/matrices              submit a spec; 200 on a cache hit, 202 otherwise
+//	GET    /v1/matrices/{id}         job status
+//	GET    /v1/matrices/{id}/result  artifact (?format=json|csv|aggregate)
+//	DELETE /v1/matrices/{id}         cancel
+//	GET    /v1/matrices/{id}/events  lifecycle + progress as Server-Sent Events
+//	GET    /healthz                  liveness
+//	GET    /metrics                  Prometheus-style counters
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/matrices", s.handleSubmit)
+	mux.HandleFunc("GET /v1/matrices/{id}", s.handleGet)
+	mux.HandleFunc("GET /v1/matrices/{id}/result", s.handleResult)
+	mux.HandleFunc("DELETE /v1/matrices/{id}", s.handleCancel)
+	mux.HandleFunc("GET /v1/matrices/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+// writeJSON renders v with a status code; encoding failures are ignored
+// (the status line is already out).
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, errorBody{Error: err.Error()})
+}
+
+func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxSpecBytes+1))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("read body: %w", err))
+		return
+	}
+	if len(body) > maxSpecBytes {
+		writeError(w, http.StatusRequestEntityTooLarge,
+			fmt.Errorf("spec exceeds %d bytes", maxSpecBytes))
+		return
+	}
+	sp, err := spec.Parse(body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	st, err := s.Submit(sp)
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		writeError(w, http.StatusTooManyRequests, err)
+	case errors.Is(err, ErrClosed):
+		writeError(w, http.StatusServiceUnavailable, err)
+	case err != nil:
+		writeError(w, http.StatusBadRequest, err)
+	case st.State == StateDone:
+		writeJSON(w, http.StatusOK, st)
+	default:
+		writeJSON(w, http.StatusAccepted, st)
+	}
+}
+
+func (s *Service) handleGet(w http.ResponseWriter, r *http.Request) {
+	st, err := s.Get(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Service) handleResult(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	res, err := s.Result(id)
+	if err != nil {
+		switch {
+		case errors.Is(err, ErrUnknownJob):
+			writeError(w, http.StatusNotFound, err)
+		case errors.Is(err, ErrNotReady):
+			writeError(w, http.StatusConflict, err)
+		default: // failed or cancelled
+			writeError(w, http.StatusGone, err)
+		}
+		return
+	}
+	switch format := r.URL.Query().Get("format"); format {
+	case "", "json":
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write(res.JSON)
+	case "csv":
+		w.Header().Set("Content-Type", "text/csv")
+		_, _ = w.Write(res.CSV)
+	case "aggregate":
+		w.Header().Set("Content-Type", "text/csv")
+		_, _ = w.Write(res.AggregateCSV)
+	default:
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("unknown format %q (want json, csv, or aggregate)", format))
+	}
+}
+
+func (s *Service) handleCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	cancelled, err := s.Cancel(id)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	st, err := s.Get(id)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Cancelled bool `json:"cancelled"`
+		JobStatus
+	}{cancelled, st})
+}
+
+func (s *Service) handleEvents(w http.ResponseWriter, r *http.Request) {
+	sub, err := s.Subscribe(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, errors.New("streaming unsupported"))
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+	for {
+		e, ok := sub.Next(r.Context())
+		if !ok {
+			return
+		}
+		data, err := json.Marshal(e)
+		if err != nil {
+			return
+		}
+		if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", e.Type, data); err != nil {
+			return
+		}
+		flusher.Flush()
+	}
+}
+
+func (s *Service) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		Status        string  `json:"status"`
+		UptimeSeconds float64 `json:"uptime_seconds"`
+	}{"ok", s.Metrics().UptimeSeconds})
+}
+
+func (s *Service) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	m := s.Metrics()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	for _, row := range []struct {
+		name  string
+		help  string
+		value float64
+	}{
+		{"mrclone_submissions_total", "Matrix submissions accepted.", float64(m.Submissions)},
+		{"mrclone_cache_hits_total", "Submissions served from the result cache.", float64(m.CacheHits)},
+		{"mrclone_dedup_hits_total", "Submissions attached to an in-flight computation.", float64(m.DedupHits)},
+		{"mrclone_flights_total", "Distinct matrix computations registered.", float64(m.Flights)},
+		{"mrclone_jobs_done_total", "Jobs finished successfully.", float64(m.JobsDone)},
+		{"mrclone_jobs_failed_total", "Jobs finished in failure.", float64(m.JobsFailed)},
+		{"mrclone_jobs_cancelled_total", "Jobs cancelled by clients or shutdown.", float64(m.JobsCancelled)},
+		{"mrclone_queue_depth", "Matrices waiting for a worker.", float64(m.QueueDepth)},
+		{"mrclone_queue_capacity", "Bounded queue capacity.", float64(m.QueueCapacity)},
+		{"mrclone_cache_entries", "Matrices held in the result cache.", float64(m.CacheEntries)},
+		{"mrclone_cells_done_total", "Matrix cells simulated.", float64(m.CellsDone)},
+		{"mrclone_uptime_seconds", "Service uptime.", m.UptimeSeconds},
+		{"mrclone_cells_per_second", "Lifetime mean simulation throughput.", m.CellsPerSecond},
+	} {
+		fmt.Fprintf(w, "# HELP %s %s\n%s %g\n", row.name, row.help, row.name, row.value)
+	}
+}

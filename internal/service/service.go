@@ -1,0 +1,630 @@
+// Package service turns the deterministic matrix runner into a
+// simulation-as-a-service layer: clients submit canonical matrix specs
+// (internal/service/spec), the service executes them on a bounded FIFO
+// queue feeding a pool of runner.Run workers, and every completed matrix is
+// stored in a content-addressed LRU cache keyed by the spec hash.
+//
+// Determinism is what makes the sharing sound: the runner produces
+// byte-identical artifacts for equal specs at any parallelism, so
+//
+//   - identical in-flight submissions collapse into one computation
+//     (single-flight: later submissions attach to the running flight), and
+//   - cached responses are exactly the bytes a fresh run would produce.
+//
+// Each submission is an independent job with its own lifecycle
+// (queued → running → done/failed/cancelled), an event stream for live
+// progress, and independent cancellation; a shared computation is cancelled
+// only when every job attached to it has been cancelled.
+package service
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"mrclone/internal/runner"
+	"mrclone/internal/service/spec"
+)
+
+// Errors reported by the service.
+var (
+	ErrClosed     = errors.New("service: closed")
+	ErrQueueFull  = errors.New("service: queue full")
+	ErrUnknownJob = errors.New("service: unknown job")
+	ErrNotReady   = errors.New("service: result not ready")
+)
+
+// State is a job lifecycle state.
+type State string
+
+// Job lifecycle states.
+const (
+	StateQueued    State = "queued"
+	StateRunning   State = "running"
+	StateDone      State = "done"
+	StateFailed    State = "failed"
+	StateCancelled State = "cancelled"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// Config sizes the service. The zero value gets sensible defaults.
+type Config struct {
+	// Workers is the number of matrices executed concurrently (default 2).
+	Workers int
+	// QueueDepth bounds the FIFO of matrices waiting for a worker
+	// (default 16); submissions beyond it fail fast with ErrQueueFull.
+	QueueDepth int
+	// CacheEntries is the LRU result-cache capacity in matrices
+	// (default 64; negative disables caching).
+	CacheEntries int
+	// CellParallelism bounds the worker pool inside each runner.Run call
+	// (default runtime.GOMAXPROCS(0)). Results do not depend on it.
+	CellParallelism int
+}
+
+func (c Config) normalize() Config {
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 16
+	}
+	if c.CacheEntries == 0 {
+		c.CacheEntries = 64
+	}
+	if c.CellParallelism <= 0 {
+		c.CellParallelism = runtime.GOMAXPROCS(0)
+	}
+	return c
+}
+
+// JobStatus is the client-visible snapshot of one job.
+type JobStatus struct {
+	ID     string `json:"id"`
+	Hash   string `json:"hash"`
+	State  State  `json:"state"`
+	Cached bool   `json:"cached,omitempty"`
+	// Done/Total report matrix-cell progress.
+	Done  int    `json:"done"`
+	Total int    `json:"total"`
+	Error string `json:"error,omitempty"`
+}
+
+// jobState is one submission's server-side state. Guarded by Service.mu.
+type jobState struct {
+	id      string
+	hash    string
+	state   State
+	cached  bool
+	errMsg  string
+	done    int
+	total   int
+	result  *CachedResult
+	flight  *flight // nil once terminal
+	subs    []*Subscription
+	history []Event // state transitions, replayed to late subscribers
+}
+
+func (j *jobState) status() JobStatus {
+	return JobStatus{
+		ID: j.id, Hash: j.hash, State: j.state, Cached: j.cached,
+		Done: j.done, Total: j.total, Error: j.errMsg,
+	}
+}
+
+// emit publishes an event to every subscriber and records state transitions
+// for replay. Callers hold Service.mu.
+func (j *jobState) emit(e Event) {
+	e.Job = j.id
+	if e.Type != EventProgress {
+		j.history = append(j.history, e)
+	}
+	for _, sub := range j.subs {
+		sub.publish(e)
+	}
+}
+
+// flight is one shared matrix computation: every job submitted with the
+// same spec hash while it is queued or running attaches to it.
+type flight struct {
+	hash      string
+	rspec     runner.Spec
+	jobs      []*jobState
+	ctx       context.Context
+	cancel    context.CancelFunc
+	cancelled bool
+	state     State
+	done      int
+	lastDone  int // cells already counted into Service.cellsDone
+	total     int
+}
+
+// Service is an in-process simulation service. Create with New, serve over
+// HTTP via Handler, and stop with Close.
+type Service struct {
+	cfg   Config
+	start time.Time
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+
+	wg sync.WaitGroup
+
+	// runMatrix executes one matrix; runner.Run outside tests.
+	runMatrix func(context.Context, runner.Spec, runner.Options) (*runner.Result, error)
+
+	mu   sync.Mutex
+	cond *sync.Cond // wakes workers when pending grows or the service closes
+	// pending is the bounded FIFO of flights waiting for a worker. A slice
+	// rather than a channel so Cancel can remove a fully-cancelled queued
+	// flight immediately and free its slot for new submissions.
+	pending []*flight
+	// reserved counts flights registered in inflight whose workload is
+	// still expanding; they hold a queue slot but are not yet in pending.
+	reserved int
+	closed   bool
+	seq      int
+	jobs     map[string]*jobState
+	inflight map[string]*flight
+	cache    *lruCache
+
+	submissions   int64
+	cacheHits     int64
+	dedupHits     int64
+	flightsRun    int64
+	jobsDone      int64
+	jobsFailed    int64
+	jobsCancelled int64
+	cellsDone     int64
+}
+
+// New starts a service with cfg defaults filled and its worker pool running.
+func New(cfg Config) *Service {
+	cfg = cfg.normalize()
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Service{
+		cfg:        cfg,
+		start:      time.Now(),
+		baseCtx:    ctx,
+		baseCancel: cancel,
+		jobs:       make(map[string]*jobState),
+		inflight:   make(map[string]*flight),
+		cache:      newLRUCache(cfg.CacheEntries),
+		runMatrix:  runner.Run,
+	}
+	s.cond = sync.NewCond(&s.mu)
+	for w := 0; w < cfg.Workers; w++ {
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			for {
+				fl, ok := s.nextFlight()
+				if !ok {
+					return
+				}
+				s.runFlight(fl)
+			}
+		}()
+	}
+	return s
+}
+
+// nextFlight blocks until a flight is pending or the service has closed
+// and drained; the bool reports whether a flight was dequeued.
+func (s *Service) nextFlight() (*flight, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if len(s.pending) > 0 {
+			fl := s.pending[0]
+			s.pending = s.pending[1:]
+			return fl, true
+		}
+		if s.closed {
+			return nil, false
+		}
+		s.cond.Wait()
+	}
+}
+
+// Submit registers a job for the spec and returns its initial status. The
+// spec is validated and content-hashed; a cache hit completes the job
+// immediately, an equal in-flight spec shares its computation, and otherwise
+// the job is queued (failing fast with ErrQueueFull when the queue is at
+// capacity). Only accepted submissions count toward the submissions metric.
+func (s *Service) Submit(sp spec.Spec) (JobStatus, error) {
+	hash, err := sp.Hash()
+	if err != nil {
+		return JobStatus{}, err
+	}
+	// The matrix size is known from the axes alone — no workload expansion
+	// needed — so the flight can be registered before the slow part.
+	norm := sp.Normalize()
+	total := len(norm.Schedulers) * len(norm.Points) * norm.Runs
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return JobStatus{}, ErrClosed
+	}
+	if st, ok := s.fastPath(hash); ok {
+		s.mu.Unlock()
+		return st, nil
+	}
+	if len(s.pending)+s.reserved >= s.cfg.QueueDepth {
+		s.mu.Unlock()
+		return JobStatus{}, fmt.Errorf("%w (depth %d)", ErrQueueFull, s.cfg.QueueDepth)
+	}
+	// Reserve the queue slot and register the flight in the single-flight
+	// table before expanding the workload (trace generation of a large job
+	// count is the slow part of submission): concurrent identical
+	// submissions attach to this flight instead of expanding the same
+	// trace again, and doomed-to-429 bursts are rejected before paying for
+	// an expansion.
+	fctx, fcancel := context.WithCancel(s.baseCtx)
+	fl := &flight{
+		hash:   hash,
+		ctx:    fctx,
+		cancel: fcancel,
+		state:  StateQueued,
+		total:  total,
+	}
+	s.reserved++
+	s.inflight[hash] = fl
+	s.submissions++
+	s.flightsRun++
+	j := s.newJob(hash)
+	j.total = total
+	j.flight = fl
+	fl.jobs = append(fl.jobs, j)
+	j.emit(Event{Type: EventQueued, Total: total})
+	s.mu.Unlock()
+
+	rspec, rerr := norm.Runner()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.reserved--
+	if fl.cancelled {
+		// Every attached job was cancelled while the workload expanded;
+		// Cancel already detached them and removed the flight.
+		return j.status(), nil
+	}
+	if rerr == nil && s.closed {
+		// Close began after the reservation; its drain covers only flights
+		// that were already pending, so fail rather than strand the jobs.
+		rerr = ErrClosed
+	}
+	if rerr != nil {
+		if s.inflight[fl.hash] == fl {
+			delete(s.inflight, fl.hash)
+		}
+		fl.cancel()
+		jobs := fl.jobs
+		fl.jobs = nil
+		for _, jb := range jobs {
+			jb.state = StateFailed
+			jb.errMsg = rerr.Error()
+			jb.flight = nil
+			s.jobsFailed++
+			jb.emit(Event{Type: EventFailed, Total: jb.total, Error: jb.errMsg})
+		}
+		return JobStatus{}, rerr
+	}
+	fl.rspec = rspec
+	s.pending = append(s.pending, fl)
+	s.cond.Signal()
+	return j.status(), nil
+}
+
+// fastPath serves a submission from the result cache or attaches it to an
+// in-flight computation, counting it as accepted. Caller holds mu; the
+// bool reports success.
+func (s *Service) fastPath(hash string) (JobStatus, bool) {
+	if res, ok := s.cache.get(hash); ok {
+		s.submissions++
+		s.cacheHits++
+		j := s.newJob(hash)
+		j.state = StateDone
+		j.cached = true
+		j.result = res
+		j.done, j.total = res.Cells, res.Cells
+		s.jobsDone++
+		j.emit(Event{Type: EventQueued, Total: j.total})
+		j.emit(Event{Type: EventDone, Done: j.done, Total: j.total, Cached: true})
+		return j.status(), true
+	}
+	if fl, ok := s.inflight[hash]; ok && !fl.cancelled {
+		s.submissions++
+		s.dedupHits++
+		j := s.newJob(hash)
+		j.state = fl.state
+		j.done, j.total = fl.done, fl.total
+		j.flight = fl
+		fl.jobs = append(fl.jobs, j)
+		j.emit(Event{Type: EventQueued, Total: j.total})
+		if fl.state == StateRunning {
+			j.emit(Event{Type: EventRunning, Done: j.done, Total: j.total})
+		}
+		return j.status(), true
+	}
+	return JobStatus{}, false
+}
+
+// newJob allocates a job record. Caller holds mu.
+func (s *Service) newJob(hash string) *jobState {
+	s.seq++
+	j := &jobState{
+		id:    fmt.Sprintf("m%06d", s.seq),
+		hash:  hash,
+		state: StateQueued,
+	}
+	s.jobs[j.id] = j
+	return j
+}
+
+// runFlight executes one shared computation on the calling worker.
+func (s *Service) runFlight(fl *flight) {
+	s.mu.Lock()
+	if fl.cancelled {
+		s.mu.Unlock()
+		return
+	}
+	fl.state = StateRunning
+	for _, j := range fl.jobs {
+		j.state = StateRunning
+		j.emit(Event{Type: EventRunning, Total: j.total})
+	}
+	s.mu.Unlock()
+
+	res, err := s.runMatrix(fl.ctx, fl.rspec, runner.Options{
+		Parallelism: s.cfg.CellParallelism,
+		Progress:    func(done, total int) { s.flightProgress(fl, done, total) },
+	})
+
+	var cached *CachedResult
+	if err == nil {
+		cached, err = encodeResult(fl.hash, res)
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.inflight[fl.hash] == fl {
+		delete(s.inflight, fl.hash)
+	}
+	jobs := fl.jobs
+	fl.jobs = nil
+	if err != nil {
+		for _, j := range jobs {
+			j.state = StateFailed
+			j.errMsg = err.Error()
+			j.flight = nil
+			s.jobsFailed++
+			j.emit(Event{Type: EventFailed, Done: j.done, Total: j.total, Error: j.errMsg})
+		}
+		return
+	}
+	s.cache.add(cached)
+	for _, j := range jobs {
+		j.state = StateDone
+		j.result = cached
+		j.done = j.total
+		j.flight = nil
+		s.jobsDone++
+		j.emit(Event{Type: EventDone, Done: j.done, Total: j.total})
+	}
+}
+
+// flightProgress fans one runner progress callback out to every attached
+// job's subscribers and keeps the global cell counter current.
+func (s *Service) flightProgress(fl *flight, done, total int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	fl.done, fl.total = done, total
+	s.cellsDone += int64(done - fl.lastDone)
+	fl.lastDone = done
+	for _, j := range fl.jobs {
+		j.done, j.total = done, total
+		j.emit(Event{Type: EventProgress, Done: done, Total: total})
+	}
+}
+
+// encodeResult renders the deterministic artifact bytes of a completed
+// matrix once; every job and every future cache hit shares them.
+func encodeResult(hash string, res *runner.Result) (*CachedResult, error) {
+	var jsonBuf, csvBuf, aggBuf bytes.Buffer
+	if err := res.WriteJSON(&jsonBuf); err != nil {
+		return nil, fmt.Errorf("service: encode json: %w", err)
+	}
+	if err := res.WriteCSV(&csvBuf); err != nil {
+		return nil, fmt.Errorf("service: encode csv: %w", err)
+	}
+	if err := res.WriteAggregateCSV(&aggBuf); err != nil {
+		return nil, fmt.Errorf("service: encode aggregate csv: %w", err)
+	}
+	return &CachedResult{
+		Hash:         hash,
+		JSON:         jsonBuf.Bytes(),
+		CSV:          csvBuf.Bytes(),
+		AggregateCSV: aggBuf.Bytes(),
+		Cells:        len(res.Cells),
+	}, nil
+}
+
+// Get returns the status snapshot of a job.
+func (s *Service) Get(id string) (JobStatus, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return JobStatus{}, fmt.Errorf("%w: %q", ErrUnknownJob, id)
+	}
+	return j.status(), nil
+}
+
+// Result returns the completed artifact of a done job; ErrNotReady while it
+// is queued or running, and the failure/cancellation as an error otherwise.
+func (s *Service) Result(id string) (*CachedResult, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownJob, id)
+	}
+	switch j.state {
+	case StateDone:
+		return j.result, nil
+	case StateFailed:
+		return nil, fmt.Errorf("service: job %s failed: %s", id, j.errMsg)
+	case StateCancelled:
+		return nil, fmt.Errorf("service: job %s was cancelled", id)
+	default:
+		return nil, fmt.Errorf("%w: job %s is %s", ErrNotReady, id, j.state)
+	}
+}
+
+// Subscribe returns the job's event stream. The stream replays past state
+// transitions (so a subscriber always sees queued first), then delivers
+// live progress and the terminal event, after which it closes.
+func (s *Service) Subscribe(id string) (*Subscription, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownJob, id)
+	}
+	sub := newSubscription()
+	for _, e := range j.history {
+		sub.publish(e)
+	}
+	if !j.state.Terminal() {
+		j.subs = append(j.subs, sub)
+	}
+	return sub, nil
+}
+
+// Cancel cancels a job. Cancelling is per-submission: a computation shared
+// with other jobs keeps running until its last attached job is cancelled.
+// It reports false (with no error) when the job had already finished.
+func (s *Service) Cancel(id string) (bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return false, fmt.Errorf("%w: %q", ErrUnknownJob, id)
+	}
+	if j.state.Terminal() {
+		return false, nil
+	}
+	fl := j.flight
+	j.flight = nil
+	j.state = StateCancelled
+	s.jobsCancelled++
+	j.emit(Event{Type: EventCancelled, Done: j.done, Total: j.total})
+	if fl != nil {
+		for i, other := range fl.jobs {
+			if other == j {
+				fl.jobs = append(fl.jobs[:i], fl.jobs[i+1:]...)
+				break
+			}
+		}
+		if len(fl.jobs) == 0 {
+			fl.cancelled = true
+			fl.cancel()
+			if s.inflight[fl.hash] == fl {
+				delete(s.inflight, fl.hash)
+			}
+			// A fully-cancelled queued flight frees its queue slot right
+			// away instead of riding along as a tombstone until a worker
+			// would have skipped it.
+			for i, queued := range s.pending {
+				if queued == fl {
+					s.pending = append(s.pending[:i], s.pending[i+1:]...)
+					break
+				}
+			}
+		}
+	}
+	return true, nil
+}
+
+// Metrics is a point-in-time snapshot of service counters and gauges.
+type Metrics struct {
+	Submissions    int64   `json:"submissions"`
+	CacheHits      int64   `json:"cache_hits"`
+	DedupHits      int64   `json:"dedup_hits"`
+	Flights        int64   `json:"flights"`
+	JobsDone       int64   `json:"jobs_done"`
+	JobsFailed     int64   `json:"jobs_failed"`
+	JobsCancelled  int64   `json:"jobs_cancelled"`
+	QueueDepth     int     `json:"queue_depth"`
+	QueueCapacity  int     `json:"queue_capacity"`
+	CacheEntries   int     `json:"cache_entries"`
+	CellsDone      int64   `json:"cells_done"`
+	UptimeSeconds  float64 `json:"uptime_seconds"`
+	CellsPerSecond float64 `json:"cells_per_second"`
+}
+
+// Metrics returns current counters: submissions split into cache hits,
+// in-flight dedups, and executed flights, plus queue and cache gauges and
+// the lifetime simulation throughput in matrix cells per second.
+func (s *Service) Metrics() Metrics {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m := Metrics{
+		Submissions:   s.submissions,
+		CacheHits:     s.cacheHits,
+		DedupHits:     s.dedupHits,
+		Flights:       s.flightsRun,
+		JobsDone:      s.jobsDone,
+		JobsFailed:    s.jobsFailed,
+		JobsCancelled: s.jobsCancelled,
+		QueueDepth:    len(s.pending) + s.reserved,
+		QueueCapacity: s.cfg.QueueDepth,
+		CacheEntries:  s.cache.len(),
+		CellsDone:     s.cellsDone,
+	}
+	m.UptimeSeconds = time.Since(s.start).Seconds()
+	if m.UptimeSeconds > 0 {
+		m.CellsPerSecond = float64(m.CellsDone) / m.UptimeSeconds
+	}
+	return m
+}
+
+// Close drains the service: no new submissions are accepted, queued and
+// running matrices are completed, and Close returns once the workers exit.
+// If ctx expires first, all remaining computations are cancelled (their
+// jobs fail with the cancellation error) and the context error is returned.
+func (s *Service) Close(ctx context.Context) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	s.closed = true
+	s.cond.Broadcast() // wake idle workers so they drain pending and exit
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		s.baseCancel()
+		return nil
+	case <-ctx.Done():
+		s.baseCancel()
+		<-done
+		return ctx.Err()
+	}
+}

@@ -1,0 +1,346 @@
+// Package spec defines the canonical, versioned wire format for run-matrix
+// specifications: everything a client must send to reproduce a
+// runner.Run call — the workload (trace generator parameters or explicit
+// trace rows), the scheduler axis with tunables, the sweep-point axis, and
+// the seeding scheme.
+//
+// The format is designed for content addressing. Parse is strict (unknown
+// fields and duplicate workloads are rejected), Normalize maps every spec
+// to a unique representative of its equivalence class (defaults filled,
+// version pinned), and Canonical marshals that representative with a fixed
+// field order and shortest round-trip float encoding. Hash is the SHA-256
+// of the canonical bytes, so two specs share a hash exactly when they
+// describe the same simulation — the key property that lets the service
+// layer deduplicate in-flight work and cache results: the runner guarantees
+// byte-identical artifacts for equal specs at any parallelism.
+package spec
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"mrclone/internal/job"
+	"mrclone/internal/runner"
+	"mrclone/internal/sched"
+	"mrclone/internal/trace"
+)
+
+// Version is the current (and only) spec schema version.
+const Version = 1
+
+// Errors reported by spec parsing and validation.
+var (
+	ErrVersion      = errors.New("spec: unsupported version")
+	ErrNoWorkload   = errors.New("spec: workload needs exactly one of trace params or rows")
+	ErrNoSchedulers = errors.New("spec: need at least one scheduler")
+	ErrNoPoints     = errors.New("spec: need at least one sweep point")
+)
+
+// Workload is the job source of a matrix: either synthetic-trace generator
+// parameters (expanded deterministically server-side) or explicit trace
+// rows. Exactly one of Trace and Rows must be set.
+type Workload struct {
+	// Trace, when non-nil, generates the workload from parameters; the
+	// expansion is deterministic, so equal parameters mean equal jobs.
+	Trace *trace.Params `json:"trace,omitempty"`
+	// Jobs truncates a generated trace to its first n arrivals (0 = all).
+	// Only meaningful with Trace.
+	Jobs int `json:"jobs,omitempty"`
+	// Rows is an explicit workload, one row per job (the CSV trace schema).
+	Rows []trace.JobRow `json:"rows,omitempty"`
+}
+
+// Scheduler is one row of the matrix: a registered scheduler name plus its
+// tunables.
+type Scheduler struct {
+	Name   string       `json:"name"`
+	Params sched.Params `json:"params,omitzero"`
+}
+
+// Point is one column of the matrix: a sweep coordinate and the cluster
+// shape it maps to, optionally overriding the scheduler tunables.
+type Point struct {
+	X        float64       `json:"x"`
+	Machines int           `json:"machines"`
+	Speed    float64       `json:"speed,omitempty"`
+	Params   *sched.Params `json:"params,omitempty"`
+}
+
+// Spec is the versioned wire form of a run matrix.
+type Spec struct {
+	Version    int         `json:"version"`
+	Workload   Workload    `json:"workload"`
+	Schedulers []Scheduler `json:"schedulers"`
+	Points     []Point     `json:"points"`
+	// Runs is the number of seed replicates per (scheduler, point) pair
+	// (0 = 1).
+	Runs int `json:"runs,omitempty"`
+	// BaseSeed anchors replicate seeds (runner.CellSeed).
+	BaseSeed int64 `json:"base_seed,omitempty"`
+	// SeedStride overrides the replicate seed spacing
+	// (0 = runner.DefaultSeedStride).
+	SeedStride int64 `json:"seed_stride,omitempty"`
+	// MaxSlots bounds simulated time (0 = engine default).
+	MaxSlots int64 `json:"max_slots,omitempty"`
+}
+
+// Parse decodes a spec strictly: unknown fields are rejected, trailing
+// garbage is rejected, and the result is validated.
+func Parse(data []byte) (Spec, error) {
+	var s Spec
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&s); err != nil {
+		return Spec{}, fmt.Errorf("spec: decode: %w", err)
+	}
+	// Anything after the spec object — valid JSON or garbage — is an error;
+	// only clean EOF is acceptable.
+	if err := dec.Decode(&json.RawMessage{}); !errors.Is(err, io.EOF) {
+		return Spec{}, errors.New("spec: trailing data after spec object")
+	}
+	s = s.Normalize()
+	if err := s.Validate(); err != nil {
+		return Spec{}, err
+	}
+	return s, nil
+}
+
+// Normalize maps the spec to the unique representative of its equivalence
+// class so equivalent specs hash identically: the version is pinned, Runs
+// defaults to 1, the default seed stride is collapsed to 0 (omitted from
+// the canonical encoding), and unit machine speed is collapsed to the
+// omitted default 0 (the engine treats both as speed 1; its reported Speed
+// is the normalized value, so artifacts are identical too). A zero-valued
+// point Params override is NOT collapsed to nil — nil keeps the scheduler
+// row's tunables while an explicit zero replaces them.
+func (s Spec) Normalize() Spec {
+	if s.Version == 0 {
+		s.Version = Version
+	}
+	if s.Runs == 0 {
+		s.Runs = 1 // negative values are rejected by Validate, not defaulted
+	}
+	if s.SeedStride == runner.DefaultSeedStride {
+		s.SeedStride = 0
+	}
+	for i, p := range s.Points {
+		if p.Speed != 1 {
+			continue
+		}
+		// Copy-on-write: callers keep their original Points slice.
+		points := make([]Point, len(s.Points))
+		copy(points, s.Points)
+		for j := i; j < len(points); j++ {
+			if points[j].Speed == 1 {
+				points[j].Speed = 0
+			}
+		}
+		s.Points = points
+		break
+	}
+	return s
+}
+
+// Validate checks the spec deeply: schema version, workload shape and
+// generator parameters, registered scheduler names, and the runner-level
+// matrix invariants.
+func (s Spec) Validate() error {
+	if s.Version != Version {
+		return fmt.Errorf("%w: %d (want %d)", ErrVersion, s.Version, Version)
+	}
+	switch {
+	case s.Workload.Trace == nil && len(s.Workload.Rows) == 0:
+		return ErrNoWorkload
+	case s.Workload.Trace != nil && len(s.Workload.Rows) > 0:
+		return ErrNoWorkload
+	case s.Workload.Trace == nil && s.Workload.Jobs != 0:
+		return errors.New("spec: workload jobs truncation requires trace params")
+	case s.Workload.Jobs < 0:
+		return fmt.Errorf("spec: workload jobs %d", s.Workload.Jobs)
+	}
+	if s.Workload.Trace != nil {
+		if err := s.Workload.Trace.Validate(); err != nil {
+			return fmt.Errorf("spec: workload: %w", err)
+		}
+	}
+	if len(s.Schedulers) == 0 {
+		return ErrNoSchedulers
+	}
+	for i, sc := range s.Schedulers {
+		if !sched.Has(sc.Name) {
+			return fmt.Errorf("spec: scheduler %d: unknown name %q (have %v)",
+				i, sc.Name, sched.Names())
+		}
+	}
+	if len(s.Points) == 0 {
+		return ErrNoPoints
+	}
+	for i, p := range s.Points {
+		if p.Machines <= 0 {
+			return fmt.Errorf("spec: point %d (x=%v): machines %d, need > 0", i, p.X, p.Machines)
+		}
+		if p.Speed < 0 {
+			return fmt.Errorf("spec: point %d (x=%v): speed %v", i, p.X, p.Speed)
+		}
+	}
+	if s.Runs < 0 {
+		return fmt.Errorf("spec: runs %d", s.Runs)
+	}
+	if s.SeedStride < 0 {
+		return fmt.Errorf("spec: seed stride %d", s.SeedStride)
+	}
+	if s.MaxSlots < 0 {
+		return fmt.Errorf("spec: max slots %d", s.MaxSlots)
+	}
+	// Explicit rows are checked structurally (mirroring the job.Spec and
+	// dist constructor invariants) without building the per-job
+	// distributions — Validate runs several times on the submission path
+	// and a full expansion of a 6000-row workload is wasted work here;
+	// Runner's jobSpecs expansion remains the authoritative check.
+	for i, r := range s.Workload.Rows {
+		if err := validateRow(r); err != nil {
+			return fmt.Errorf("spec: workload rows: row %d (id %d): %w", i, r.ID, err)
+		}
+	}
+	return nil
+}
+
+// validateRow mirrors the structural invariants JobRow.Spec enforces via
+// job.Spec.Validate and the dist constructors. Strict inequalities on the
+// float fields double as NaN rejection.
+func validateRow(r trace.JobRow) error {
+	switch {
+	case r.Arrival < 0:
+		return fmt.Errorf("arrival %d", r.Arrival)
+	case r.Priority < 0 || r.Priority > trace.GoogleMaxPriority:
+		return fmt.Errorf("priority %d outside 0..%d", r.Priority, trace.GoogleMaxPriority)
+	case r.MapTasks < 0 || r.ReduceTasks < 0:
+		return fmt.Errorf("negative task counts (%d map, %d reduce)", r.MapTasks, r.ReduceTasks)
+	case r.MapTasks == 0 && r.ReduceTasks == 0:
+		return errors.New("no tasks")
+	case r.MapTasks > 0 && !(r.MapScale > 0 && !math.IsInf(r.MapScale, 0)):
+		return fmt.Errorf("map scale %v", r.MapScale)
+	case r.ReduceTasks > 0 && !(r.ReduceScale > 0 && !math.IsInf(r.ReduceScale, 0)):
+		return fmt.Errorf("reduce scale %v", r.ReduceScale)
+	case !(r.Ratio > 1 && !math.IsInf(r.Ratio, 0)):
+		return fmt.Errorf("ratio %v (need > 1)", r.Ratio)
+	case !(r.Alpha > 0 && !math.IsInf(r.Alpha, 0)):
+		return fmt.Errorf("alpha %v (need > 0)", r.Alpha)
+	}
+	return nil
+}
+
+// Canonical returns the canonical encoding: the normalized spec marshaled
+// compactly with the fixed struct field order. Two specs are equivalent
+// exactly when their canonical bytes are equal.
+func (s Spec) Canonical() ([]byte, error) {
+	s = s.Normalize()
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return json.Marshal(s)
+}
+
+// Hash returns the content address of the spec: the lowercase-hex SHA-256
+// of its canonical encoding.
+func (s Spec) Hash() (string, error) {
+	canon, err := s.Canonical()
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(canon)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// jobSpecs expands the workload into engine-ready job specs.
+func (s Spec) jobSpecs() ([]job.Spec, error) {
+	if s.Workload.Trace != nil {
+		tr, err := trace.Generate(*s.Workload.Trace)
+		if err != nil {
+			return nil, fmt.Errorf("spec: workload: %w", err)
+		}
+		if s.Workload.Jobs > 0 && s.Workload.Jobs < len(tr.Rows) {
+			tr = tr.Subset(s.Workload.Jobs)
+		}
+		return tr.Specs()
+	}
+	tr := &trace.Trace{Rows: s.Workload.Rows}
+	specs, err := tr.Specs()
+	if err != nil {
+		return nil, fmt.Errorf("spec: workload rows: %w", err)
+	}
+	return specs, nil
+}
+
+// Runner expands the spec into the runner.Spec it describes. The expansion
+// is deterministic: equal canonical specs yield matrices with byte-identical
+// artifacts (see internal/runner).
+func (s Spec) Runner() (runner.Spec, error) {
+	s = s.Normalize()
+	if err := s.Validate(); err != nil {
+		return runner.Spec{}, err
+	}
+	jobs, err := s.jobSpecs()
+	if err != nil {
+		return runner.Spec{}, err
+	}
+	rs := runner.Spec{
+		Specs:      jobs,
+		Schedulers: make([]runner.SchedulerSpec, len(s.Schedulers)),
+		Points:     make([]runner.Point, len(s.Points)),
+		Runs:       s.Runs,
+		BaseSeed:   s.BaseSeed,
+		SeedStride: s.SeedStride,
+		MaxSlots:   s.MaxSlots,
+	}
+	for i, sc := range s.Schedulers {
+		rs.Schedulers[i] = runner.SchedulerSpec{Name: sc.Name, Params: sc.Params}
+	}
+	for i, p := range s.Points {
+		pt := runner.Point{X: p.X, Machines: p.Machines, Speed: p.Speed}
+		if p.Params != nil {
+			params := *p.Params
+			pt.Params = &params
+		}
+		rs.Points[i] = pt
+	}
+	if err := rs.Validate(); err != nil {
+		return runner.Spec{}, err
+	}
+	return rs, nil
+}
+
+// FromRunner lifts a runner-level matrix description (with an explicit
+// trace workload) into the wire form. It is the inverse of Runner for
+// row-based workloads and exists so in-process callers can obtain the
+// content hash of a matrix they already built.
+func FromRunner(rows []trace.JobRow, rs runner.Spec) Spec {
+	s := Spec{
+		Version:    Version,
+		Workload:   Workload{Rows: rows},
+		Schedulers: make([]Scheduler, len(rs.Schedulers)),
+		Points:     make([]Point, len(rs.Points)),
+		Runs:       rs.Runs,
+		BaseSeed:   rs.BaseSeed,
+		SeedStride: rs.SeedStride,
+		MaxSlots:   rs.MaxSlots,
+	}
+	for i, sc := range rs.Schedulers {
+		s.Schedulers[i] = Scheduler{Name: sc.Name, Params: sc.Params}
+	}
+	for i, p := range rs.Points {
+		pt := Point{X: p.X, Machines: p.Machines, Speed: p.Speed}
+		if p.Params != nil {
+			params := *p.Params
+			pt.Params = &params
+		}
+		s.Points[i] = pt
+	}
+	return s.Normalize()
+}

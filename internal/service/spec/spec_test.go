@@ -1,0 +1,267 @@
+package spec
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"mrclone/internal/runner"
+	"mrclone/internal/sched"
+	"mrclone/internal/trace"
+)
+
+// tinyParams is a fast generator workload shared by the tests.
+func tinyParams() trace.Params {
+	p := trace.GoogleParams()
+	p.Jobs = 12
+	p.Span = 600
+	return p
+}
+
+func tinySpec() Spec {
+	p := tinyParams()
+	return Spec{
+		Workload:   Workload{Trace: &p},
+		Schedulers: []Scheduler{{Name: "srptms+c", Params: sched.DefaultParams()}},
+		Points:     []Point{{X: 1, Machines: 40}},
+		Runs:       2,
+		BaseSeed:   7,
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	canon, err := tinySpec().Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := Parse(canon)
+	if err != nil {
+		t.Fatalf("Parse(canonical): %v", err)
+	}
+	canon2, err := parsed.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(canon, canon2) {
+		t.Fatalf("canonical form not a fixed point:\n%s\nvs\n%s", canon, canon2)
+	}
+}
+
+func TestHashStableAndSensitive(t *testing.T) {
+	h1, err := tinySpec().Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := tinySpec().Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1 != h2 {
+		t.Fatalf("hash unstable: %s vs %s", h1, h2)
+	}
+	if len(h1) != 64 {
+		t.Fatalf("hash %q is not hex sha256", h1)
+	}
+
+	changed := tinySpec()
+	changed.BaseSeed++
+	h3, err := changed.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h3 == h1 {
+		t.Fatal("hash ignores base seed")
+	}
+}
+
+func TestNormalizeEquivalenceClasses(t *testing.T) {
+	// Runs 0 and 1 describe the same matrix; explicit default stride and 0
+	// describe the same seeding.
+	a, b := tinySpec(), tinySpec()
+	a.Runs = 1
+	b.Runs = 0
+	b.SeedStride = runner.DefaultSeedStride
+	ha, err := a.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hb, err := b.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ha != hb {
+		t.Fatal("normalization does not collapse equivalent specs")
+	}
+	// Version 0 pins to the current version.
+	if v := (Spec{}).Normalize().Version; v != Version {
+		t.Fatalf("normalized version %d, want %d", v, Version)
+	}
+
+	// Speed 1 and omitted speed mean the same engine (unit speed) and must
+	// share a hash — that is what makes dedup and caching hit across the
+	// two spellings. The caller's Points slice must stay untouched.
+	c, d := tinySpec(), tinySpec()
+	c.Points = []Point{{X: 1, Machines: 40, Speed: 1}}
+	hc, err := c.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hd, err := d.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hc != hd {
+		t.Fatal("speed 1 and omitted speed hash differently")
+	}
+	if c.Points[0].Speed != 1 {
+		t.Fatal("Normalize mutated the caller's Points slice")
+	}
+}
+
+func TestParseRejects(t *testing.T) {
+	base := tinySpec()
+	cases := []struct {
+		name   string
+		mutate func(*Spec)
+		raw    string // overrides mutate when non-empty
+		want   string
+	}{
+		{name: "unknown field", raw: `{"version":1,"bogus":3}`, want: "bogus"},
+		{name: "trailing data", raw: `{"version":1} {}`, want: "trailing"},
+		{name: "trailing garbage", raw: `{"version":1} !!not json`, want: "trailing"},
+		{name: "bad version", mutate: func(s *Spec) { s.Version = 99 }, want: "version"},
+		{name: "no workload", mutate: func(s *Spec) { s.Workload = Workload{} }, want: "workload"},
+		{name: "both workloads", mutate: func(s *Spec) {
+			s.Workload.Rows = []trace.JobRow{{Priority: 1, MapTasks: 1, MapScale: 5, Ratio: 2, Alpha: 2}}
+		}, want: "workload"},
+		{name: "jobs without trace", mutate: func(s *Spec) {
+			s.Workload = Workload{Jobs: 3, Rows: []trace.JobRow{{Priority: 1, MapTasks: 1, MapScale: 5, Ratio: 2, Alpha: 2}}}
+		}, want: "truncation"},
+		{name: "no schedulers", mutate: func(s *Spec) { s.Schedulers = nil }, want: "scheduler"},
+		{name: "unknown scheduler", mutate: func(s *Spec) { s.Schedulers[0].Name = "nope" }, want: "unknown name"},
+		{name: "no points", mutate: func(s *Spec) { s.Points = nil }, want: "point"},
+		{name: "bad machines", mutate: func(s *Spec) { s.Points[0].Machines = 0 }, want: "machines"},
+		{name: "negative speed", mutate: func(s *Spec) { s.Points[0].Speed = -1 }, want: "speed"},
+		{name: "negative runs", mutate: func(s *Spec) { s.Runs = -1 }, want: "runs"},
+		{name: "negative stride", mutate: func(s *Spec) { s.SeedStride = -2 }, want: "stride"},
+		{name: "bad trace params", mutate: func(s *Spec) { s.Workload.Trace.Jobs = -1 }, want: "jobs"},
+		{name: "bad row", mutate: func(s *Spec) {
+			s.Workload.Trace = nil
+			s.Workload.Rows = []trace.JobRow{{Priority: 1}} // no tasks
+		}, want: "rows"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			data := []byte(tc.raw)
+			if tc.raw == "" {
+				s := base
+				// Deep-enough copy for the fields the mutations touch.
+				p := *base.Workload.Trace
+				s.Workload.Trace = &p
+				s.Schedulers = append([]Scheduler(nil), base.Schedulers...)
+				s.Points = append([]Point(nil), base.Points...)
+				tc.mutate(&s)
+				var err error
+				if data, err = json.Marshal(s.Normalize()); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if _, err := Parse(data); err == nil {
+				t.Fatalf("Parse accepted %s", data)
+			} else if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestRunnerExpansionMatchesDirect proves the wire spec expands to the same
+// matrix a direct in-process runner call would execute: equal artifacts.
+func TestRunnerExpansionMatchesDirect(t *testing.T) {
+	sp := tinySpec()
+	rs, err := sp.Runner()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tr, err := trace.Generate(tinyParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs, err := tr.Specs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct := runner.Spec{
+		Specs:      specs,
+		Schedulers: []runner.SchedulerSpec{{Name: "srptms+c", Params: sched.DefaultParams()}},
+		Points:     []runner.Point{{X: 1, Machines: 40}},
+		Runs:       2,
+		BaseSeed:   7,
+	}
+
+	got, err := runner.Run(context.Background(), rs, runner.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := runner.Run(context.Background(), direct, runner.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gotBuf, wantBuf bytes.Buffer
+	if err := got.WriteJSON(&gotBuf); err != nil {
+		t.Fatal(err)
+	}
+	if err := want.WriteJSON(&wantBuf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gotBuf.Bytes(), wantBuf.Bytes()) {
+		t.Fatal("spec expansion and direct runner call produced different artifacts")
+	}
+}
+
+// TestRowWorkloadRoundTrip covers the explicit-rows workload and FromRunner.
+func TestRowWorkloadRoundTrip(t *testing.T) {
+	tr, err := trace.Generate(tinyParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs := runner.Spec{
+		Schedulers: []runner.SchedulerSpec{{Name: "fair"}},
+		Points:     []runner.Point{{X: 0, Machines: 25, Params: &sched.Params{DeviationFactor: 2}}},
+		Runs:       1,
+		BaseSeed:   3,
+	}
+	sp := FromRunner(tr.Rows, rs)
+	canon, err := sp.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := Parse(canon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := parsed.Runner()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Specs) != len(tr.Rows) {
+		t.Fatalf("round-trip lost jobs: %d vs %d", len(back.Specs), len(tr.Rows))
+	}
+	if back.Points[0].Params == nil || back.Points[0].Params.DeviationFactor != 2 {
+		t.Fatal("round-trip lost point params")
+	}
+	h1, err := sp.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := parsed.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1 != h2 {
+		t.Fatal("hash changed across round-trip")
+	}
+}

@@ -1,0 +1,58 @@
+package trace
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// FuzzReadCSV asserts two properties of the CSV parser on arbitrary input:
+// it never panics, and any input it accepts round-trips — writing the
+// parsed trace and parsing it again yields identical rows (the parsed form
+// is a fixed point). Shortest round-trip float formatting (strconv 'g', -1)
+// is what makes the second property hold exactly.
+func FuzzReadCSV(f *testing.F) {
+	// Seed with a real generated trace, the header alone, and assorted
+	// near-miss corruptions.
+	p := GoogleParams()
+	p.Jobs = 5
+	p.Span = 100
+	tr, err := Generate(p)
+	if err != nil {
+		f.Fatal(err)
+	}
+	var valid bytes.Buffer
+	if err := tr.WriteCSV(&valid); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid.String())
+	f.Add(strings.Join(csvHeader, ",") + "\n")
+	f.Add("")
+	f.Add("id,arrival\n1,2\n")
+	f.Add(strings.Join(csvHeader, ",") + "\n0,1,2,3,4,5,6,7,8\n")
+	f.Add(strings.Join(csvHeader, ",") + "\n0,1,99,3,4,5,6,7,8\n") // bad priority
+	f.Add(strings.Join(csvHeader, ",") + "\nx,1,2,3,4,5,6,7,8\n")  // bad int
+	f.Add(strings.Join(csvHeader, ",") + "\n0,1,2,3,4,NaN,6,7,8\n")
+
+	f.Fuzz(func(t *testing.T, data string) {
+		tr, err := ReadCSV(strings.NewReader(data))
+		if err != nil {
+			return // rejected input: only the no-panic property applies
+		}
+		var out bytes.Buffer
+		if err := tr.WriteCSV(&out); err != nil {
+			t.Fatalf("WriteCSV of accepted trace: %v", err)
+		}
+		back, err := ReadCSV(&out)
+		if err != nil {
+			t.Fatalf("re-parse of written trace: %v\ninput: %q\nwritten: %q", err, data, out.String())
+		}
+		if len(back.Rows) != len(tr.Rows) {
+			t.Fatalf("row count changed: %d -> %d", len(tr.Rows), len(back.Rows))
+		}
+		if len(tr.Rows) > 0 && !reflect.DeepEqual(tr.Rows, back.Rows) {
+			t.Fatalf("rows not a fixed point:\nfirst:  %+v\nsecond: %+v", tr.Rows, back.Rows)
+		}
+	})
+}

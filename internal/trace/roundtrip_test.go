@@ -1,0 +1,67 @@
+package trace
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// TestGenerateWriteParseRoundTrip is the gen→write→parse property test:
+// across parameter variations, serializing a generated trace and parsing it
+// back reproduces the rows exactly (bit-for-bit floats via shortest
+// round-trip formatting), and the reloaded trace expands to the same number
+// of engine-ready job specs.
+func TestGenerateWriteParseRoundTrip(t *testing.T) {
+	variations := []func(*Params){
+		func(p *Params) {},
+		func(p *Params) { p.Seed = 99 },
+		func(p *Params) { p.Jobs = 1 },
+		func(p *Params) { p.ReduceFraction = 0 },
+		func(p *Params) { p.WithinJobAlpha = 1.2; p.WithinJobRatio = 50 },
+		func(p *Params) { p.MaxTasksPerJob = 4; p.MeanTasksPerJob = 2 },
+	}
+	for i, vary := range variations {
+		p := GoogleParams()
+		p.Jobs = 40
+		p.Span = 2000
+		vary(&p)
+		tr, err := Generate(p)
+		if err != nil {
+			t.Fatalf("variation %d: generate: %v", i, err)
+		}
+
+		var buf bytes.Buffer
+		if err := tr.WriteCSV(&buf); err != nil {
+			t.Fatalf("variation %d: write: %v", i, err)
+		}
+		back, err := ReadCSV(&buf)
+		if err != nil {
+			t.Fatalf("variation %d: parse: %v", i, err)
+		}
+		if !reflect.DeepEqual(tr.Rows, back.Rows) {
+			t.Fatalf("variation %d: rows changed across write/parse", i)
+		}
+
+		// Both sides must expand to valid, equally sized workloads.
+		specs, err := tr.Specs()
+		if err != nil {
+			t.Fatalf("variation %d: specs: %v", i, err)
+		}
+		backSpecs, err := back.Specs()
+		if err != nil {
+			t.Fatalf("variation %d: reloaded specs: %v", i, err)
+		}
+		if len(specs) != len(backSpecs) || len(specs) != len(tr.Rows) {
+			t.Fatalf("variation %d: spec counts %d/%d for %d rows",
+				i, len(specs), len(backSpecs), len(tr.Rows))
+		}
+		for j := range specs {
+			if specs[j].Arrival != backSpecs[j].Arrival ||
+				specs[j].Weight != backSpecs[j].Weight ||
+				specs[j].MapTasks != backSpecs[j].MapTasks ||
+				specs[j].ReduceTask != backSpecs[j].ReduceTask {
+				t.Fatalf("variation %d: job %d spec differs after round-trip", i, j)
+			}
+		}
+	}
+}

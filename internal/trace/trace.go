@@ -44,40 +44,41 @@ const (
 )
 
 // Params configures the generator. The zero value is invalid; use
-// GoogleParams for a Table II-calibrated workload.
+// GoogleParams for a Table II-calibrated workload. The JSON tags are the
+// wire names used by the service spec (internal/service/spec).
 type Params struct {
-	Jobs int   // number of jobs
-	Span int64 // arrival window in slots (seconds)
+	Jobs int   `json:"jobs"` // number of jobs
+	Span int64 `json:"span"` // arrival window in slots (seconds)
 
-	MeanTasksPerJob float64 // target mean of the heavy-tailed task count
-	MaxTasksPerJob  int     // cap on tasks per job
+	MeanTasksPerJob float64 `json:"mean_tasks_per_job"` // target mean of the heavy-tailed task count
+	MaxTasksPerJob  int     `json:"max_tasks_per_job"`  // cap on tasks per job
 
-	MeanTaskDuration float64 // target mean task duration across all tasks
-	MinTaskDuration  float64 // support floor (Table II minimum)
-	MaxTaskDuration  float64 // support ceiling (Table II maximum)
+	MeanTaskDuration float64 `json:"mean_task_duration"` // target mean task duration across all tasks
+	MinTaskDuration  float64 `json:"min_task_duration"`  // support floor (Table II minimum)
+	MaxTaskDuration  float64 `json:"max_task_duration"`  // support ceiling (Table II maximum)
 
 	// WithinJobAlpha is the bounded-Pareto tail index of task durations
 	// inside one job phase; smaller is heavier (more stragglers). 1.5
 	// reproduces the heavy tails reported for production clusters.
-	WithinJobAlpha float64
+	WithinJobAlpha float64 `json:"within_job_alpha"`
 	// WithinJobRatio is max/min duration within one job phase.
-	WithinJobRatio float64
+	WithinJobRatio float64 `json:"within_job_ratio"`
 	// DurationCV is the coefficient of variation of the per-job duration
 	// noise across jobs (between-job skew on top of the size correlation).
-	DurationCV float64
+	DurationCV float64 `json:"duration_cv"`
 	// CountDurationExponent couples task duration to job size: a job with n
 	// tasks scales its duration by (n / MeanTasksPerJob)^exponent. Positive
 	// values reproduce the production-trace pattern that small jobs have
 	// short tasks (which is why mean job flowtime sits far below mean task
 	// duration in the paper's evaluation).
-	CountDurationExponent float64
+	CountDurationExponent float64 `json:"count_duration_exponent"`
 	// ReduceFraction is the expected fraction of a job's tasks that are
 	// reduce tasks.
-	ReduceFraction float64
+	ReduceFraction float64 `json:"reduce_fraction"`
 	// PriorityBias in (0,1) skews priorities low: P(priority=k) ~ bias^k.
-	PriorityBias float64
+	PriorityBias float64 `json:"priority_bias"`
 
-	Seed int64
+	Seed int64 `json:"seed"`
 }
 
 // GoogleParams returns parameters calibrated to Table II.
@@ -132,17 +133,19 @@ func (p Params) Validate() error {
 }
 
 // JobRow is the serializable description of one trace job. Durations use the
-// Scaled(BoundedPareto(1, Ratio, Alpha)) parametrization per phase.
+// Scaled(BoundedPareto(1, Ratio, Alpha)) parametrization per phase. The JSON
+// tags mirror the CSV column names (csvHeader) and are the wire names used
+// by the service spec (internal/service/spec).
 type JobRow struct {
-	ID          int
-	Arrival     int64
-	Priority    int // 0..11; job weight = Priority + 1 (weights must be > 0)
-	MapTasks    int
-	ReduceTasks int
-	MapScale    float64
-	ReduceScale float64
-	Ratio       float64
-	Alpha       float64
+	ID          int     `json:"id"`
+	Arrival     int64   `json:"arrival"`
+	Priority    int     `json:"priority"` // 0..11; job weight = Priority + 1 (weights must be > 0)
+	MapTasks    int     `json:"map_tasks"`
+	ReduceTasks int     `json:"reduce_tasks"`
+	MapScale    float64 `json:"map_scale"`
+	ReduceScale float64 `json:"reduce_scale"`
+	Ratio       float64 `json:"ratio"`
+	Alpha       float64 `json:"alpha"`
 }
 
 // Weight returns the job weight derived from the trace priority. The paper

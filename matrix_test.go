@@ -1,0 +1,175 @@
+package mrclone
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"mrclone/internal/runner"
+)
+
+// matrixSpec builds a small valid matrix over the shared test trace.
+func matrixSpec(t *testing.T) MatrixSpec {
+	t.Helper()
+	specs, err := smallTrace(t).Specs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return MatrixSpec{
+		Specs:      specs,
+		Schedulers: []MatrixSchedulerSpec{{Name: "fair"}},
+		Points:     []MatrixPoint{{X: 0, Machines: 120}},
+		Runs:       1,
+		BaseSeed:   3,
+	}
+}
+
+func TestRunMatrixOptionWrappers(t *testing.T) {
+	spec := matrixSpec(t)
+
+	// WithParallelism(0) means one worker per core and must succeed.
+	res, err := RunMatrix(context.Background(), spec, WithParallelism(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Without WithRawResults, CDF reduction must fail with ErrNoRaw.
+	if _, err := res.CDF(0, 0, 0, 300, 5); !errors.Is(err, runner.ErrNoRaw) {
+		t.Fatalf("CDF without raw results: %v", err)
+	}
+
+	// WithProgress calls are serialized and monotone up to the total.
+	var calls []int
+	res2, err := RunMatrix(context.Background(), spec,
+		WithParallelism(1),
+		WithRawResults(),
+		WithProgress(func(done, total int) {
+			if total != 1 {
+				t.Errorf("total %d, want 1", total)
+			}
+			calls = append(calls, done)
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(calls) != 1 || calls[0] != 1 {
+		t.Fatalf("progress calls %v", calls)
+	}
+	if _, err := res2.CDF(0, 0, 0, 300, 5); err != nil {
+		t.Fatalf("CDF with raw results: %v", err)
+	}
+
+	// Option errors surface before any cell runs.
+	if _, err := RunMatrix(context.Background(), spec, WithParallelism(-2)); err == nil ||
+		!strings.Contains(err.Error(), "parallelism") {
+		t.Fatalf("negative parallelism: %v", err)
+	}
+}
+
+func TestRunMatrixErrorPaths(t *testing.T) {
+	valid := matrixSpec(t)
+
+	noWorkload := valid
+	noWorkload.Specs = nil
+	if _, err := RunMatrix(context.Background(), noWorkload); !errors.Is(err, runner.ErrNoWorkload) {
+		t.Fatalf("no workload: %v", err)
+	}
+
+	noScheds := valid
+	noScheds.Schedulers = nil
+	if _, err := RunMatrix(context.Background(), noScheds); !errors.Is(err, runner.ErrNoSchedulers) {
+		t.Fatalf("no schedulers: %v", err)
+	}
+
+	noPoints := valid
+	noPoints.Points = nil
+	if _, err := RunMatrix(context.Background(), noPoints); !errors.Is(err, runner.ErrNoPoints) {
+		t.Fatalf("no points: %v", err)
+	}
+
+	badMachines := valid
+	badMachines.Points = []MatrixPoint{{X: 0, Machines: 0}}
+	if _, err := RunMatrix(context.Background(), badMachines); err == nil ||
+		!strings.Contains(err.Error(), "machines") {
+		t.Fatalf("bad machines: %v", err)
+	}
+
+	badSched := valid
+	badSched.Schedulers = []MatrixSchedulerSpec{{Name: "bogus"}}
+	if _, err := RunMatrix(context.Background(), badSched); err == nil ||
+		!strings.Contains(err.Error(), "unknown scheduler") {
+		t.Fatalf("unknown scheduler: %v", err)
+	}
+
+	// A pre-cancelled context aborts before (or during) the run.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunMatrix(ctx, valid); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled context: %v", err)
+	}
+}
+
+// TestServiceFacade drives the root-package service surface end to end:
+// parse a spec from JSON, submit it twice, and check the cache hit.
+func TestServiceFacade(t *testing.T) {
+	svc := NewService(ServiceConfig{Workers: 1})
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := svc.Close(ctx); err != nil {
+			t.Errorf("close: %v", err)
+		}
+	}()
+
+	p := GoogleTraceParams()
+	p.Jobs = 8
+	p.Span = 200
+	sp := ServiceSpec{
+		Version:    ServiceSpecVersion,
+		Workload:   ServiceWorkload{Trace: &p},
+		Schedulers: []ServiceSchedulerSpec{{Name: "fair"}},
+		Points:     []ServicePoint{{X: 0, Machines: 20}},
+		BaseSeed:   5,
+	}
+	canon, err := sp.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ParseServiceSpec(canon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParseServiceSpec([]byte(`{"version":1,"nope":true}`)); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+
+	first, err := svc.Submit(parsed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		st, err := svc.Get(first.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State == "done" {
+			break
+		}
+		if time.Now().After(deadline) || st.State == "failed" {
+			t.Fatalf("job state %s (%s)", st.State, st.Error)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	second, err := svc.Submit(parsed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.Cached {
+		t.Fatal("second submission not served from cache")
+	}
+	if m := svc.Metrics(); m.CacheHits != 1 {
+		t.Fatalf("cache hits %d", m.CacheHits)
+	}
+}

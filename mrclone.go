@@ -12,6 +12,8 @@ import (
 	"mrclone/internal/metrics"
 	"mrclone/internal/runner"
 	"mrclone/internal/sched"
+	"mrclone/internal/service"
+	svcspec "mrclone/internal/service/spec"
 	"mrclone/internal/trace"
 )
 
@@ -62,6 +64,30 @@ type (
 	// MatrixAggregate is the replicate-averaged outcome of one
 	// (scheduler, point) pair.
 	MatrixAggregate = runner.Aggregate
+	// Service is the in-process simulation service: a bounded job queue
+	// over RunMatrix with single-flight deduplication and a
+	// content-addressed result cache (see internal/service).
+	Service = service.Service
+	// ServiceConfig sizes a Service (workers, queue depth, cache entries,
+	// per-matrix cell parallelism).
+	ServiceConfig = service.Config
+	// ServiceJobStatus is the client-visible snapshot of one service job.
+	ServiceJobStatus = service.JobStatus
+	// ServiceMetrics is a snapshot of service counters and gauges.
+	ServiceMetrics = service.Metrics
+	// ServiceSpec is the canonical, versioned wire form of a run matrix:
+	// workload (trace params or rows), schedulers, sweep points, seeding.
+	// Its Canonical and Hash methods give the content address the service
+	// caches under.
+	ServiceSpec = svcspec.Spec
+	// ServiceWorkload is the workload clause of a ServiceSpec.
+	ServiceWorkload = svcspec.Workload
+	// ServiceSchedulerSpec is one scheduler row of a ServiceSpec.
+	ServiceSchedulerSpec = svcspec.Scheduler
+	// ServicePoint is one sweep-point column of a ServiceSpec.
+	ServicePoint = svcspec.Point
+	// TraceRow is the serializable description of one trace job.
+	TraceRow = trace.JobRow
 )
 
 // Phases of a MapReduce job.
@@ -286,6 +312,22 @@ func RunMatrix(ctx context.Context, spec MatrixSpec, opts ...MatrixOption) (*Mat
 	}
 	return runner.Run(ctx, spec, o)
 }
+
+// NewService starts an in-process simulation service: submissions are
+// validated and content-hashed (ParseServiceSpec / ServiceSpec.Hash),
+// identical in-flight specs share one computation, and completed matrices
+// are served from an LRU cache — soundly, because RunMatrix artifacts are
+// byte-identical for equal specs. Serve it over HTTP with Service.Handler
+// (or run the bundled cmd/mrserved daemon), and stop it with Service.Close.
+func NewService(cfg ServiceConfig) *Service { return service.New(cfg) }
+
+// ParseServiceSpec decodes and validates a canonical matrix spec. Parsing
+// is strict: unknown fields, trailing data, unregistered scheduler names,
+// and malformed workloads are rejected.
+func ParseServiceSpec(data []byte) (ServiceSpec, error) { return svcspec.Parse(data) }
+
+// ServiceSpecVersion is the current spec schema version.
+const ServiceSpecVersion = svcspec.Version
 
 // Experiment presets mirroring the paper's evaluation scale.
 var (
