@@ -2,12 +2,19 @@
 // canonical matrix specs (see internal/service/spec) to /v1/matrices, poll
 // or stream job progress, and fetch deterministic JSON/CSV artifacts.
 // Identical specs share one computation (single-flight) and completed
-// matrices are served from a content-addressed LRU cache.
+// matrices are served from a content-addressed result cache.
 //
 // Usage:
 //
-//	mrserved [-addr :8080] [-parallel NumCPU] [-workers 2]
-//	         [-queue 16] [-cache 64]
+//	mrserved [-addr :8080] [-parallel NumCPU] [-workers 2] [-queue 16]
+//	         [-data-dir DIR] [-cache-bytes 256MiB] [-cache-ttl 0]
+//	         [-job-retention 24h] [-gc-interval 1m]
+//
+// By default the service is in-memory: results and job history vanish with
+// the process. With -data-dir it becomes durable — completed artifacts and
+// the job table persist on disk, so a restart serves previously computed
+// specs straight from the store and keeps terminal-job history visible.
+// See docs/OPERATIONS.md for the data-dir layout and tuning guidance.
 //
 // The daemon drains gracefully on SIGINT/SIGTERM: the listener closes,
 // queued and running matrices finish, then the process exits. A second
@@ -25,10 +32,13 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
 	"mrclone/internal/service"
+	"mrclone/internal/store"
 )
 
 func main() {
@@ -47,11 +57,24 @@ func run(ctx context.Context, args []string, logw io.Writer) error {
 		"simulation cells run concurrently per matrix; >= 1 (results do not depend on it)")
 	workers := fs.Int("workers", 2, "matrices executed concurrently; >= 1")
 	queue := fs.Int("queue", 16, "bounded job-queue depth; >= 1 (submissions beyond it get 429)")
-	cache := fs.Int("cache", 64, "result-cache capacity in matrices (0 disables caching)")
+	dataDir := fs.String("data-dir", "",
+		"directory for the durable artifact store and job log (empty = in-memory only)")
+	cacheBytes := fs.String("cache-bytes", "256MiB",
+		"in-memory result-cache budget in artifact bytes, e.g. 64MiB or 1GiB (0 disables caching)")
+	cacheTTL := fs.Duration("cache-ttl", 0,
+		"expire cached artifacts (memory and disk) this long after computation (0 = never)")
+	jobRetention := fs.Duration("job-retention", 24*time.Hour,
+		"age terminal jobs out of the job table after this long (0 = keep forever)")
+	gcInterval := fs.Duration("gc-interval", time.Minute,
+		"how often the retention/TTL garbage collector sweeps")
 	drainTimeout := fs.Duration("drain-timeout", time.Minute,
 		"how long shutdown waits for queued and running matrices before cancelling them")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	cacheBudget, err := parseBytes(*cacheBytes)
+	if err != nil {
+		return fmt.Errorf("-cache-bytes %q: %w", *cacheBytes, err)
 	}
 	switch {
 	case *parallel < 1:
@@ -60,30 +83,54 @@ func run(ctx context.Context, args []string, logw io.Writer) error {
 		return fmt.Errorf("-workers %d: need at least one worker", *workers)
 	case *queue < 1:
 		return fmt.Errorf("-queue %d: need at least one slot", *queue)
-	case *cache < 0:
-		return fmt.Errorf("-cache %d: need >= 0 entries", *cache)
+	case cacheBudget < 0:
+		return fmt.Errorf("-cache-bytes %q: need >= 0", *cacheBytes)
+	case *cacheTTL < 0:
+		return fmt.Errorf("-cache-ttl %s: need >= 0", *cacheTTL)
+	case *jobRetention < 0:
+		return fmt.Errorf("-job-retention %s: need >= 0", *jobRetention)
+	case *gcInterval <= 0:
+		return fmt.Errorf("-gc-interval %s: need > 0", *gcInterval)
 	}
 
-	cacheEntries := *cache
-	if cacheEntries == 0 {
-		cacheEntries = -1 // Config treats 0 as "default"; negative disables.
-	}
-	svc := service.New(service.Config{
+	cfg := service.Config{
 		Workers:         *workers,
 		QueueDepth:      *queue,
-		CacheEntries:    cacheEntries,
+		CacheBytes:      cacheBudget,
+		CacheTTL:        *cacheTTL,
 		CellParallelism: *parallel,
-	})
+		JobRetention:    *jobRetention,
+		GCInterval:      *gcInterval,
+	}
+	if cacheBudget == 0 {
+		cfg.CacheBytes = -1 // Config treats 0 as "default"; negative disables.
+	}
+	if *jobRetention == 0 {
+		cfg.JobRetention = -1 // keep terminal jobs forever
+	}
+	mode := "in-memory"
+	if *dataDir != "" {
+		st, err := store.Open(*dataDir)
+		if err != nil {
+			return err
+		}
+		cfg.Store = st // the service owns the store and closes it on drain
+		mode = "data-dir " + *dataDir
+	}
+	svc := service.New(cfg)
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
+		drainCtx, cancel := context.WithTimeout(context.Background(), time.Second)
+		defer cancel()
+		_ = svc.Close(drainCtx) // release the store before bailing
 		return err
 	}
 	srv := &http.Server{Handler: svc.Handler()}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(ln) }()
-	fmt.Fprintf(logw, "mrserved: listening on %s (workers=%d parallel=%d queue=%d cache=%d)\n",
-		ln.Addr(), *workers, *parallel, *queue, *cache)
+	fmt.Fprintf(logw, "mrserved: listening on %s (workers=%d parallel=%d queue=%d cache=%s ttl=%s %s)\n",
+		ln.Addr(), *workers, *parallel, *queue, *cacheBytes, *cacheTTL, mode)
 
 	select {
 	case err := <-serveErr:
@@ -106,4 +153,38 @@ func run(ctx context.Context, args []string, logw io.Writer) error {
 	}
 	fmt.Fprintln(logw, "mrserved: drained")
 	return nil
+}
+
+// parseBytes parses a human-friendly byte size: a plain integer counts
+// bytes; KiB/MiB/GiB — and their bare K/M/G shorthands — are powers of
+// 1024, while KB/MB/GB are powers of 1000. Case-insensitive.
+func parseBytes(s string) (int64, error) {
+	in := strings.TrimSpace(strings.ToLower(s))
+	unit := int64(1)
+	for _, u := range []struct {
+		suffix string
+		factor int64
+	}{
+		{"kib", 1 << 10}, {"mib", 1 << 20}, {"gib", 1 << 30},
+		{"kb", 1000}, {"mb", 1000 * 1000}, {"gb", 1000 * 1000 * 1000},
+		{"k", 1 << 10}, {"m", 1 << 20}, {"g", 1 << 30},
+	} {
+		if strings.HasSuffix(in, u.suffix) {
+			in = strings.TrimSpace(strings.TrimSuffix(in, u.suffix))
+			unit = u.factor
+			break
+		}
+	}
+	n, err := strconv.ParseInt(in, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("want an integer with an optional KiB/MiB/GiB suffix: %w", err)
+	}
+	if n < 0 {
+		return -1, nil
+	}
+	const maxBudget = int64(1) << 50
+	if n > maxBudget/unit {
+		return 0, fmt.Errorf("size overflows")
+	}
+	return n * unit, nil
 }

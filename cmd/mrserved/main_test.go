@@ -19,12 +19,45 @@ func TestFlagValidation(t *testing.T) {
 		{[]string{"-parallel", "0"}, "-parallel"},
 		{[]string{"-workers", "0"}, "-workers"},
 		{[]string{"-queue", "0"}, "-queue"},
-		{[]string{"-cache", "-1"}, "-cache"},
+		{[]string{"-cache-bytes", "-1"}, "-cache-bytes"},
+		{[]string{"-cache-bytes", "10potatoes"}, "-cache-bytes"},
+		{[]string{"-cache-ttl", "-1s"}, "-cache-ttl"},
+		{[]string{"-job-retention", "-1s"}, "-job-retention"},
+		{[]string{"-gc-interval", "0s"}, "-gc-interval"},
 	}
 	for _, tc := range cases {
 		err := run(context.Background(), tc.args, &bytes.Buffer{})
 		if err == nil || !strings.Contains(err.Error(), tc.want) {
 			t.Errorf("run(%v) = %v, want error mentioning %s", tc.args, err, tc.want)
+		}
+	}
+}
+
+func TestParseBytes(t *testing.T) {
+	cases := []struct {
+		in   string
+		want int64
+		err  bool
+	}{
+		{"0", 0, false},
+		{"123", 123, false},
+		{"64KiB", 64 << 10, false},
+		{"256mib", 256 << 20, false},
+		{"1GiB", 1 << 30, false},
+		{"2g", 2 << 30, false},
+		{"5KB", 5000, false},
+		{"1MB", 1000000, false},
+		{" 8 MiB ", 8 << 20, false},
+		{"-1", -1, false},
+		{"", 0, true},
+		{"MiB", 0, true},
+		{"1.5GiB", 0, true},
+		{"99999999999999999GiB", 0, true},
+	}
+	for _, tc := range cases {
+		got, err := parseBytes(tc.in)
+		if tc.err != (err != nil) || (!tc.err && got != tc.want) {
+			t.Errorf("parseBytes(%q) = %d, %v; want %d (err %v)", tc.in, got, err, tc.want, tc.err)
 		}
 	}
 }
@@ -57,10 +90,12 @@ func TestServeAndDrain(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 	logw := &syncBuffer{first: make(chan struct{})}
+	dataDir := t.TempDir() // exercise the persistent path end to end
 
 	errCh := make(chan error, 1)
 	go func() {
-		errCh <- run(ctx, []string{"-addr", "127.0.0.1:0", "-workers", "1", "-drain-timeout", "10s"}, logw)
+		errCh <- run(ctx, []string{"-addr", "127.0.0.1:0", "-workers", "1", "-drain-timeout", "10s",
+			"-data-dir", dataDir}, logw)
 	}()
 
 	select {

@@ -26,12 +26,18 @@
 //     on the matrix runner;
 //   - a simulation-as-a-service subsystem (internal/service, served by
 //     cmd/mrserved): canonical versioned spec serialization with a
-//     deterministic content hash (internal/service/spec), a bounded FIFO
-//     job queue feeding a worker pool of matrix runs, single-flight
-//     deduplication plus an LRU content-addressed result cache — sound
-//     because equal specs produce byte-identical artifacts — and an
-//     HTTP/JSON API with Server-Sent-Events progress streaming (exported
-//     as NewService / ParseServiceSpec / ServiceSpec);
+//     deterministic, stable content hash (internal/service/spec), a bounded
+//     FIFO job queue feeding a worker pool of matrix runs, single-flight
+//     deduplication plus a byte-budgeted, TTL-expiring content-addressed
+//     result cache — sound because equal specs produce byte-identical
+//     artifacts — and an HTTP/JSON API with Server-Sent-Events progress
+//     streaming (exported as NewService / ParseServiceSpec / ServiceSpec);
+//   - a durable persistence layer for that service (internal/store, enabled
+//     via NewPersistentService or mrserved's -data-dir): a crash-atomic
+//     disk-backed artifact store keyed by the spec hash plus an append-only
+//     job log, so restarts begin with a warm cache and visible job history,
+//     with corrupt entries quarantined and retention-driven garbage
+//     collection of old jobs and expired artifacts;
 //   - a small real in-process MapReduce engine whose speculative-execution
 //     policy is pluggable with the same strategies.
 //

@@ -1,6 +1,9 @@
 package service
 
-import "container/list"
+import (
+	"container/list"
+	"time"
+)
 
 // CachedResult is one content-addressed cache entry: the artifact bytes of a
 // completed matrix, keyed by the spec's canonical hash. All fields are
@@ -19,52 +22,113 @@ type CachedResult struct {
 	AggregateCSV []byte
 	// Cells is the matrix size, for metrics.
 	Cells int
+	// CreatedAt is when the matrix was computed. Entries loaded back from
+	// the disk store keep their original computation time, so TTL expiry
+	// is anchored to artifact age, not process uptime.
+	CreatedAt time.Time
 }
 
-// lruCache is a non-thread-safe LRU over CachedResult; the service guards it
-// with its own mutex.
+// cacheEntryOverhead approximates the per-entry bookkeeping cost so even a
+// degenerate zero-byte artifact consumes budget.
+const cacheEntryOverhead = 256
+
+// size is the entry's charge against the cache byte budget.
+func (r *CachedResult) size() int64 {
+	return int64(len(r.JSON)+len(r.CSV)+len(r.AggregateCSV)) + cacheEntryOverhead
+}
+
+// lruCache is a non-thread-safe LRU over CachedResult accounted in artifact
+// bytes, with optional TTL expiry anchored to CreatedAt; the service guards
+// it with its own mutex.
 type lruCache struct {
-	max     int
+	maxBytes int64
+	ttl      time.Duration // 0 = entries never expire
+	now      func() time.Time
+
+	bytes   int64
 	order   *list.List               // front = most recently used
 	entries map[string]*list.Element // hash -> element holding *CachedResult
 }
 
-func newLRUCache(max int) *lruCache {
+// newLRUCache builds a cache holding at most maxBytes of artifact bytes
+// (non-positive disables caching) whose entries expire ttl after their
+// computation time (0 = never).
+func newLRUCache(maxBytes int64, ttl time.Duration) *lruCache {
 	return &lruCache{
-		max:     max,
-		order:   list.New(),
-		entries: make(map[string]*list.Element),
+		maxBytes: maxBytes,
+		ttl:      ttl,
+		now:      time.Now,
+		order:    list.New(),
+		entries:  make(map[string]*list.Element),
 	}
 }
 
-// get returns the entry and promotes it to most recently used.
+func (c *lruCache) expired(res *CachedResult) bool {
+	return c.ttl > 0 && c.now().Sub(res.CreatedAt) > c.ttl
+}
+
+// get returns the entry and promotes it to most recently used. An entry past
+// its TTL is dropped and reported as a miss.
 func (c *lruCache) get(hash string) (*CachedResult, bool) {
 	el, ok := c.entries[hash]
 	if !ok {
 		return nil, false
 	}
+	res := el.Value.(*CachedResult)
+	if c.expired(res) {
+		c.remove(el)
+		return nil, false
+	}
 	c.order.MoveToFront(el)
-	return el.Value.(*CachedResult), true
+	return res, true
 }
 
-// add inserts (or refreshes) an entry, evicting the least recently used
-// entries beyond the capacity. A non-positive capacity disables caching.
+// add inserts (or refreshes) an entry, evicting least-recently-used entries
+// until the byte budget holds. The newest entry is always retained, so a
+// single matrix larger than the whole budget is still served to the
+// submissions that raced its computation. A non-positive budget disables
+// caching.
 func (c *lruCache) add(res *CachedResult) {
-	if c.max <= 0 {
+	if c.maxBytes <= 0 || c.expired(res) {
 		return
 	}
 	if el, ok := c.entries[res.Hash]; ok {
+		c.bytes += res.size() - el.Value.(*CachedResult).size()
 		c.order.MoveToFront(el)
 		el.Value = res
-		return
+	} else {
+		c.entries[res.Hash] = c.order.PushFront(res)
+		c.bytes += res.size()
 	}
-	c.entries[res.Hash] = c.order.PushFront(res)
-	for c.order.Len() > c.max {
-		last := c.order.Back()
-		c.order.Remove(last)
-		delete(c.entries, last.Value.(*CachedResult).Hash)
+	for c.bytes > c.maxBytes && c.order.Len() > 1 {
+		c.remove(c.order.Back())
 	}
+}
+
+// expire drops every entry past its TTL, returning how many were removed.
+// Expiry is by creation time, not recency, so the whole list is walked.
+func (c *lruCache) expire() int {
+	removed := 0
+	var next *list.Element
+	for el := c.order.Front(); el != nil; el = next {
+		next = el.Next()
+		if c.expired(el.Value.(*CachedResult)) {
+			c.remove(el)
+			removed++
+		}
+	}
+	return removed
+}
+
+func (c *lruCache) remove(el *list.Element) {
+	c.order.Remove(el)
+	res := el.Value.(*CachedResult)
+	c.bytes -= res.size()
+	delete(c.entries, res.Hash)
 }
 
 // len returns the number of cached entries.
 func (c *lruCache) len() int { return c.order.Len() }
+
+// sizeBytes returns the bytes currently charged against the budget.
+func (c *lruCache) sizeBytes() int64 { return c.bytes }

@@ -189,19 +189,34 @@ func (s *Service) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		value float64
 	}{
 		{"mrclone_submissions_total", "Matrix submissions accepted.", float64(m.Submissions)},
-		{"mrclone_cache_hits_total", "Submissions served from the result cache.", float64(m.CacheHits)},
+		{"mrclone_cache_hits_total", "Submissions served from the in-memory result cache.", float64(m.CacheHits)},
+		{"mrclone_disk_hits_total", "Artifact reads served from the disk store.", float64(m.DiskHits)},
 		{"mrclone_dedup_hits_total", "Submissions attached to an in-flight computation.", float64(m.DedupHits)},
 		{"mrclone_flights_total", "Distinct matrix computations registered.", float64(m.Flights)},
 		{"mrclone_jobs_done_total", "Jobs finished successfully.", float64(m.JobsDone)},
 		{"mrclone_jobs_failed_total", "Jobs finished in failure.", float64(m.JobsFailed)},
 		{"mrclone_jobs_cancelled_total", "Jobs cancelled by clients or shutdown.", float64(m.JobsCancelled)},
+		{"mrclone_gc_jobs_total", "Terminal jobs aged out of the job table.", float64(m.JobsGCed)},
+		{"mrclone_gc_artifacts_total", "TTL-expired artifacts deleted from the disk store.", float64(m.ArtifactsGCed)},
+		{"mrclone_quarantined_total", "Corrupt disk entries moved to quarantine.", float64(m.Quarantined)},
+		{"mrclone_store_errors_total", "Disk store operations that failed.", float64(m.StoreErrors)},
 		{"mrclone_queue_depth", "Matrices waiting for a worker.", float64(m.QueueDepth)},
 		{"mrclone_queue_capacity", "Bounded queue capacity.", float64(m.QueueCapacity)},
-		{"mrclone_cache_entries", "Matrices held in the result cache.", float64(m.CacheEntries)},
+		{"mrclone_cache_entries", "Matrices held in the in-memory result cache.", float64(m.CacheEntries)},
+		{"mrclone_cache_bytes", "Artifact bytes held in the in-memory result cache.", float64(m.CacheBytes)},
+		{"mrclone_jobs_tracked", "Job records currently in the job table.", float64(m.JobsTracked)},
+		{"mrclone_persistent", "1 when a disk store is configured.", boolGauge(m.Persistent)},
 		{"mrclone_cells_done_total", "Matrix cells simulated.", float64(m.CellsDone)},
 		{"mrclone_uptime_seconds", "Service uptime.", m.UptimeSeconds},
 		{"mrclone_cells_per_second", "Lifetime mean simulation throughput.", m.CellsPerSecond},
 	} {
 		fmt.Fprintf(w, "# HELP %s %s\n%s %g\n", row.name, row.help, row.name, row.value)
 	}
+}
+
+func boolGauge(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
 }

@@ -2,19 +2,31 @@
 // simulation-as-a-service layer: clients submit canonical matrix specs
 // (internal/service/spec), the service executes them on a bounded FIFO
 // queue feeding a pool of runner.Run workers, and every completed matrix is
-// stored in a content-addressed LRU cache keyed by the spec hash.
+// stored in a content-addressed result cache keyed by the spec hash —
+// size-in-bytes LRU in memory, optionally backed by a disk store
+// (internal/store) that survives restarts.
 //
 // Determinism is what makes the sharing sound: the runner produces
 // byte-identical artifacts for equal specs at any parallelism, so
 //
 //   - identical in-flight submissions collapse into one computation
-//     (single-flight: later submissions attach to the running flight), and
-//   - cached responses are exactly the bytes a fresh run would produce.
+//     (single-flight: later submissions attach to the running flight),
+//   - cached responses are exactly the bytes a fresh run would produce, and
+//   - a disk entry written by one process is byte-identical to what the next
+//     process would compute, so restarts start with a warm cache.
 //
 // Each submission is an independent job with its own lifecycle
 // (queued → running → done/failed/cancelled), an event stream for live
 // progress, and independent cancellation; a shared computation is cancelled
 // only when every job attached to it has been cancelled.
+//
+// With a Store configured, job state transitions are appended to a durable
+// job log: on startup the service replays it, keeping terminal-job history
+// visible across restarts, and marks jobs that were queued or running at
+// crash time as failed. A background garbage collector ages terminal jobs
+// (and their replayable event buffers) out of the job table under
+// JobRetention, expires cached artifacts past CacheTTL from memory and disk,
+// and compacts the job log.
 package service
 
 import (
@@ -23,11 +35,14 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
 	"mrclone/internal/runner"
 	"mrclone/internal/service/spec"
+	"mrclone/internal/store"
 )
 
 // Errors reported by the service.
@@ -37,6 +52,15 @@ var (
 	ErrUnknownJob = errors.New("service: unknown job")
 	ErrNotReady   = errors.New("service: result not ready")
 )
+
+// restartErrMsg marks jobs that were queued or running when the previous
+// process died; recovery fails them because their flight did not survive.
+const restartErrMsg = "job interrupted by service restart"
+
+// compactAppendThreshold triggers a job-log compaction once this many
+// records have been appended since the last one, so the log stays bounded
+// even when retention never removes a job.
+const compactAppendThreshold = 1024
 
 // State is a job lifecycle state.
 type State string
@@ -62,12 +86,25 @@ type Config struct {
 	// QueueDepth bounds the FIFO of matrices waiting for a worker
 	// (default 16); submissions beyond it fail fast with ErrQueueFull.
 	QueueDepth int
-	// CacheEntries is the LRU result-cache capacity in matrices
-	// (default 64; negative disables caching).
-	CacheEntries int
+	// CacheBytes bounds the in-memory result cache in artifact bytes
+	// (default 256 MiB; negative disables in-memory caching).
+	CacheBytes int64
+	// CacheTTL expires cached artifacts — in memory and on disk — this long
+	// after their computation time (0 = never expire).
+	CacheTTL time.Duration
 	// CellParallelism bounds the worker pool inside each runner.Run call
 	// (default runtime.GOMAXPROCS(0)). Results do not depend on it.
 	CellParallelism int
+	// Store, when non-nil, persists artifacts and the job table across
+	// restarts. The service takes ownership: Close closes it.
+	Store *store.Store
+	// JobRetention ages terminal jobs (and their event history) out of the
+	// job table (default 24h; negative keeps them forever).
+	JobRetention time.Duration
+	// GCInterval paces the background sweep that applies JobRetention and
+	// CacheTTL (default 1m; negative disables the background sweep — GC can
+	// still be invoked manually).
+	GCInterval time.Duration
 }
 
 func (c Config) normalize() Config {
@@ -77,11 +114,17 @@ func (c Config) normalize() Config {
 	if c.QueueDepth <= 0 {
 		c.QueueDepth = 16
 	}
-	if c.CacheEntries == 0 {
-		c.CacheEntries = 64
+	if c.CacheBytes == 0 {
+		c.CacheBytes = 256 << 20
 	}
 	if c.CellParallelism <= 0 {
 		c.CellParallelism = runtime.GOMAXPROCS(0)
+	}
+	if c.JobRetention == 0 {
+		c.JobRetention = 24 * time.Hour
+	}
+	if c.GCInterval == 0 {
+		c.GCInterval = time.Minute
 	}
 	return c
 }
@@ -100,17 +143,18 @@ type JobStatus struct {
 
 // jobState is one submission's server-side state. Guarded by Service.mu.
 type jobState struct {
-	id      string
-	hash    string
-	state   State
-	cached  bool
-	errMsg  string
-	done    int
-	total   int
-	result  *CachedResult
-	flight  *flight // nil once terminal
-	subs    []*Subscription
-	history []Event // state transitions, replayed to late subscribers
+	id         string
+	hash       string
+	state      State
+	cached     bool
+	errMsg     string
+	done       int
+	total      int
+	terminalAt time.Time // when the job reached a terminal state (GC anchor)
+	result     *CachedResult
+	flight     *flight // nil once terminal
+	subs       []*Subscription
+	history    []Event // state transitions, replayed to late subscribers
 }
 
 func (j *jobState) status() JobStatus {
@@ -121,7 +165,9 @@ func (j *jobState) status() JobStatus {
 }
 
 // emit publishes an event to every subscriber and records state transitions
-// for replay. Callers hold Service.mu.
+// for replay. A terminal event closes every subscription, so the references
+// are dropped immediately rather than pinned for the life of the job record.
+// Callers hold Service.mu.
 func (j *jobState) emit(e Event) {
 	e.Job = j.id
 	if e.Type != EventProgress {
@@ -130,6 +176,26 @@ func (j *jobState) emit(e Event) {
 	for _, sub := range j.subs {
 		sub.publish(e)
 	}
+	if e.Terminal() {
+		j.subs = nil
+	}
+}
+
+// terminalEvent synthesizes the event matching the job's terminal state,
+// used to rebuild replay history for jobs recovered from the job log.
+func (j *jobState) terminalEvent() Event {
+	e := Event{Job: j.id, Done: j.done, Total: j.total}
+	switch j.state {
+	case StateDone:
+		e.Type = EventDone
+		e.Cached = j.cached
+	case StateCancelled:
+		e.Type = EventCancelled
+	default:
+		e.Type = EventFailed
+		e.Error = j.errMsg
+	}
+	return e
 }
 
 // flight is one shared matrix computation: every job submitted with the
@@ -156,10 +222,17 @@ type Service struct {
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
 
-	wg sync.WaitGroup
+	wg     sync.WaitGroup
+	gcStop chan struct{}
 
 	// runMatrix executes one matrix; runner.Run outside tests.
 	runMatrix func(context.Context, runner.Spec, runner.Options) (*runner.Result, error)
+
+	// storeHandle persists artifacts and job records; nil in in-memory mode.
+	// Fields under mu below never touch the disk while locked except for
+	// job-log appends (one buffered write per state transition; only
+	// terminal records fsync) — artifact reads and writes happen off-lock.
+	storeHandle *store.Store
 
 	mu   sync.Mutex
 	cond *sync.Cond // wakes workers when pending grows or the service closes
@@ -178,29 +251,42 @@ type Service struct {
 
 	submissions   int64
 	cacheHits     int64
+	diskHits      int64
 	dedupHits     int64
 	flightsRun    int64
 	jobsDone      int64
 	jobsFailed    int64
 	jobsCancelled int64
+	jobsGCed      int64
+	artifactsGCed int64
+	quarantined   int64
+	storeErrors   int64
 	cellsDone     int64
 }
 
 // New starts a service with cfg defaults filled and its worker pool running.
+// If cfg.Store is set, the job table is recovered from its log first (jobs
+// that were queued or running at crash time are failed) and the background
+// garbage collector starts alongside the workers.
 func New(cfg Config) *Service {
 	cfg = cfg.normalize()
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Service{
-		cfg:        cfg,
-		start:      time.Now(),
-		baseCtx:    ctx,
-		baseCancel: cancel,
-		jobs:       make(map[string]*jobState),
-		inflight:   make(map[string]*flight),
-		cache:      newLRUCache(cfg.CacheEntries),
-		runMatrix:  runner.Run,
+		cfg:         cfg,
+		start:       time.Now(),
+		baseCtx:     ctx,
+		baseCancel:  cancel,
+		gcStop:      make(chan struct{}),
+		jobs:        make(map[string]*jobState),
+		inflight:    make(map[string]*flight),
+		cache:       newLRUCache(cfg.CacheBytes, cfg.CacheTTL),
+		storeHandle: cfg.Store,
+		runMatrix:   runner.Run,
 	}
 	s.cond = sync.NewCond(&s.mu)
+	if s.storeHandle != nil {
+		s.recoverJobs()
+	}
 	for w := 0; w < cfg.Workers; w++ {
 		s.wg.Add(1)
 		go func() {
@@ -214,7 +300,69 @@ func New(cfg Config) *Service {
 			}
 		}()
 	}
+	if cfg.GCInterval > 0 {
+		s.wg.Add(1)
+		go s.gcLoop(cfg.GCInterval)
+	}
 	return s
+}
+
+// recoverJobs rebuilds the job table from the store's job log: the latest
+// record per job wins, non-terminal records are failed (their flight died
+// with the previous process), and the ID sequence resumes past the highest
+// recovered ID. Recovered jobs do not count into this process's lifetime
+// counters. Called from New before any worker starts.
+func (s *Service) recoverJobs() {
+	recs, err := s.storeHandle.ReplayJobs()
+	if err != nil {
+		s.storeErrors++
+		return
+	}
+	var interrupted []*jobState
+	for _, r := range recs {
+		j := &jobState{
+			id:         r.ID,
+			hash:       r.Hash,
+			state:      State(r.State),
+			cached:     r.Cached,
+			errMsg:     r.Error,
+			done:       r.Done,
+			total:      r.Total,
+			terminalAt: time.UnixMilli(r.UpdatedAtMs),
+		}
+		if !j.state.Terminal() {
+			j.state = StateFailed
+			j.errMsg = restartErrMsg
+			j.terminalAt = time.Now()
+			interrupted = append(interrupted, j)
+		}
+		j.history = []Event{
+			{Type: EventQueued, Job: j.id, Total: j.total},
+			j.terminalEvent(),
+		}
+		s.jobs[j.id] = j
+		if n, ok := parseJobSeq(j.id); ok && n > s.seq {
+			s.seq = n
+		}
+	}
+	// Record the failed-by-restart verdicts so the next restart replays
+	// them as terminal instead of re-failing them.
+	for _, j := range interrupted {
+		s.persistJob(j)
+	}
+}
+
+// parseJobSeq extracts the numeric sequence of a job ID ("m%06d").
+func parseJobSeq(id string) (int, bool) {
+	num, ok := strings.CutPrefix(id, "m")
+	if !ok {
+		return 0, false
+	}
+	n, err := strconv.Atoi(num)
+	if err != nil || n < 0 {
+		return 0, false
+	}
+	return n, true
 }
 
 // nextFlight blocks until a flight is pending or the service has closed
@@ -236,10 +384,11 @@ func (s *Service) nextFlight() (*flight, bool) {
 }
 
 // Submit registers a job for the spec and returns its initial status. The
-// spec is validated and content-hashed; a cache hit completes the job
-// immediately, an equal in-flight spec shares its computation, and otherwise
-// the job is queued (failing fast with ErrQueueFull when the queue is at
-// capacity). Only accepted submissions count toward the submissions metric.
+// spec is validated and content-hashed; a cache hit — from memory or, in
+// persistent mode, from the disk store — completes the job immediately, an
+// equal in-flight spec shares its computation, and otherwise the job is
+// queued (failing fast with ErrQueueFull when the queue is at capacity).
+// Only accepted submissions count toward the submissions metric.
 func (s *Service) Submit(sp spec.Spec) (JobStatus, error) {
 	hash, err := sp.Hash()
 	if err != nil {
@@ -258,6 +407,50 @@ func (s *Service) Submit(sp spec.Spec) (JobStatus, error) {
 	if st, ok := s.fastPath(hash); ok {
 		s.mu.Unlock()
 		return st, nil
+	}
+	if s.storeHandle != nil {
+		// Probe the disk store outside the lock (it reads whole artifact
+		// files); identical submissions racing the probe at worst read the
+		// same entry twice, which is idempotent.
+		s.mu.Unlock()
+		art, derr := s.storeHandle.GetArtifacts(hash)
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			return JobStatus{}, ErrClosed
+		}
+		if st, ok := s.fastPath(hash); ok {
+			s.mu.Unlock()
+			return st, nil
+		}
+		expired := derr == nil && s.cfg.CacheTTL > 0 && time.Since(art.CreatedAt) > s.cfg.CacheTTL
+		switch {
+		case derr == nil && !expired:
+			res := resultFromArtifacts(art)
+			s.cache.add(res)
+			s.submissions++
+			s.diskHits++
+			j := s.newJob(hash)
+			j.state = StateDone
+			j.cached = true
+			j.result = res
+			j.done, j.total = res.Cells, res.Cells
+			j.terminalAt = time.Now()
+			s.jobsDone++
+			j.emit(Event{Type: EventQueued, Total: j.total})
+			j.emit(Event{Type: EventDone, Done: j.done, Total: j.total, Cached: true})
+			s.persistJob(j)
+			st := j.status()
+			s.mu.Unlock()
+			return st, nil
+		case errors.Is(derr, store.ErrCorrupt):
+			// The entry was quarantined; recompute below repopulates it.
+			s.quarantined++
+		case derr != nil && !errors.Is(derr, store.ErrNotFound):
+			s.storeErrors++ // I/O trouble reads as a miss, not a failure
+		}
+		// Expired entries also fall through: the recompute overwrites the
+		// stale entry with a fresh CreatedAt (byte-identical artifacts).
 	}
 	if len(s.pending)+s.reserved >= s.cfg.QueueDepth {
 		s.mu.Unlock()
@@ -286,6 +479,7 @@ func (s *Service) Submit(sp spec.Spec) (JobStatus, error) {
 	j.flight = fl
 	fl.jobs = append(fl.jobs, j)
 	j.emit(Event{Type: EventQueued, Total: total})
+	s.persistJob(j)
 	s.mu.Unlock()
 
 	rspec, rerr := norm.Runner()
@@ -314,8 +508,10 @@ func (s *Service) Submit(sp spec.Spec) (JobStatus, error) {
 			jb.state = StateFailed
 			jb.errMsg = rerr.Error()
 			jb.flight = nil
+			jb.terminalAt = time.Now()
 			s.jobsFailed++
 			jb.emit(Event{Type: EventFailed, Total: jb.total, Error: jb.errMsg})
+			s.persistJob(jb)
 		}
 		return JobStatus{}, rerr
 	}
@@ -325,9 +521,9 @@ func (s *Service) Submit(sp spec.Spec) (JobStatus, error) {
 	return j.status(), nil
 }
 
-// fastPath serves a submission from the result cache or attaches it to an
-// in-flight computation, counting it as accepted. Caller holds mu; the
-// bool reports success.
+// fastPath serves a submission from the in-memory result cache or attaches
+// it to an in-flight computation, counting it as accepted. Caller holds mu;
+// the bool reports success.
 func (s *Service) fastPath(hash string) (JobStatus, bool) {
 	if res, ok := s.cache.get(hash); ok {
 		s.submissions++
@@ -337,9 +533,11 @@ func (s *Service) fastPath(hash string) (JobStatus, bool) {
 		j.cached = true
 		j.result = res
 		j.done, j.total = res.Cells, res.Cells
+		j.terminalAt = time.Now()
 		s.jobsDone++
 		j.emit(Event{Type: EventQueued, Total: j.total})
 		j.emit(Event{Type: EventDone, Done: j.done, Total: j.total, Cached: true})
+		s.persistJob(j)
 		return j.status(), true
 	}
 	if fl, ok := s.inflight[hash]; ok && !fl.cancelled {
@@ -354,6 +552,7 @@ func (s *Service) fastPath(hash string) (JobStatus, bool) {
 		if fl.state == StateRunning {
 			j.emit(Event{Type: EventRunning, Done: j.done, Total: j.total})
 		}
+		s.persistJob(j)
 		return j.status(), true
 	}
 	return JobStatus{}, false
@@ -371,6 +570,31 @@ func (s *Service) newJob(hash string) *jobState {
 	return j
 }
 
+// persistJob appends the job's current state to the store's job log.
+// Best-effort: failures are counted, not surfaced — the in-memory state
+// remains authoritative for this process. Only terminal records pay for an
+// fsync (a lost queued/running record reads as a job that never arrived,
+// while lost history would be real damage), so the buffered appends on the
+// submission fast paths stay cheap under this lock. Caller holds mu.
+func (s *Service) persistJob(j *jobState) {
+	if s.storeHandle == nil {
+		return
+	}
+	err := s.storeHandle.AppendJob(store.JobRecord{
+		ID:          j.id,
+		Hash:        j.hash,
+		State:       string(j.state),
+		Cached:      j.cached,
+		Done:        j.done,
+		Total:       j.total,
+		Error:       j.errMsg,
+		UpdatedAtMs: time.Now().UnixMilli(),
+	}, j.state.Terminal())
+	if err != nil {
+		s.storeErrors++
+	}
+}
+
 // runFlight executes one shared computation on the calling worker.
 func (s *Service) runFlight(fl *flight) {
 	s.mu.Lock()
@@ -382,6 +606,7 @@ func (s *Service) runFlight(fl *flight) {
 	for _, j := range fl.jobs {
 		j.state = StateRunning
 		j.emit(Event{Type: EventRunning, Total: j.total})
+		s.persistJob(j)
 	}
 	s.mu.Unlock()
 
@@ -394,9 +619,27 @@ func (s *Service) runFlight(fl *flight) {
 	if err == nil {
 		cached, err = encodeResult(fl.hash, res)
 	}
+	// Persist before announcing completion (still off the lock): once a
+	// client sees done, a crash must not lose the artifact it was promised.
+	persistFailed := false
+	if err == nil && s.storeHandle != nil {
+		if perr := s.storeHandle.PutArtifacts(store.Artifacts{
+			Hash:         cached.Hash,
+			JSON:         cached.JSON,
+			CSV:          cached.CSV,
+			AggregateCSV: cached.AggregateCSV,
+			Cells:        cached.Cells,
+			CreatedAt:    cached.CreatedAt,
+		}); perr != nil {
+			persistFailed = true
+		}
+	}
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if persistFailed {
+		s.storeErrors++
+	}
 	if s.inflight[fl.hash] == fl {
 		delete(s.inflight, fl.hash)
 	}
@@ -407,8 +650,10 @@ func (s *Service) runFlight(fl *flight) {
 			j.state = StateFailed
 			j.errMsg = err.Error()
 			j.flight = nil
+			j.terminalAt = time.Now()
 			s.jobsFailed++
 			j.emit(Event{Type: EventFailed, Done: j.done, Total: j.total, Error: j.errMsg})
+			s.persistJob(j)
 		}
 		return
 	}
@@ -418,8 +663,10 @@ func (s *Service) runFlight(fl *flight) {
 		j.result = cached
 		j.done = j.total
 		j.flight = nil
+		j.terminalAt = time.Now()
 		s.jobsDone++
 		j.emit(Event{Type: EventDone, Done: j.done, Total: j.total})
+		s.persistJob(j)
 	}
 }
 
@@ -456,7 +703,20 @@ func encodeResult(hash string, res *runner.Result) (*CachedResult, error) {
 		CSV:          csvBuf.Bytes(),
 		AggregateCSV: aggBuf.Bytes(),
 		Cells:        len(res.Cells),
+		CreatedAt:    time.Now(),
 	}, nil
+}
+
+// resultFromArtifacts converts a disk entry back into a cacheable result.
+func resultFromArtifacts(a store.Artifacts) *CachedResult {
+	return &CachedResult{
+		Hash:         a.Hash,
+		JSON:         a.JSON,
+		CSV:          a.CSV,
+		AggregateCSV: a.AggregateCSV,
+		Cells:        a.Cells,
+		CreatedAt:    a.CreatedAt,
+	}
 }
 
 // Get returns the status snapshot of a job.
@@ -472,21 +732,62 @@ func (s *Service) Get(id string) (JobStatus, error) {
 
 // Result returns the completed artifact of a done job; ErrNotReady while it
 // is queued or running, and the failure/cancellation as an error otherwise.
+// For a job recovered from the job log — done in a previous process — the
+// artifact is loaded back from the disk store on first access; if the entry
+// has since been GC'd or quarantined, the result is reported gone and the
+// client must resubmit the spec.
 func (s *Service) Result(id string) (*CachedResult, error) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	j, ok := s.jobs[id]
 	if !ok {
+		s.mu.Unlock()
 		return nil, fmt.Errorf("%w: %q", ErrUnknownJob, id)
 	}
 	switch j.state {
 	case StateDone:
-		return j.result, nil
+		if j.result != nil {
+			res := j.result
+			s.mu.Unlock()
+			return res, nil
+		}
+		hash := j.hash
+		if res, ok := s.cache.get(hash); ok {
+			j.result = res
+			s.mu.Unlock()
+			return res, nil
+		}
+		st := s.storeHandle
+		s.mu.Unlock()
+		if st == nil {
+			return nil, fmt.Errorf("service: job %s: result no longer available", id)
+		}
+		art, err := st.GetArtifacts(hash)
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		switch {
+		case err == nil:
+			res := resultFromArtifacts(art)
+			s.cache.add(res)
+			s.diskHits++
+			if j2, ok := s.jobs[id]; ok && j2.state == StateDone {
+				j2.result = res
+			}
+			return res, nil
+		case errors.Is(err, store.ErrCorrupt):
+			s.quarantined++
+		case !errors.Is(err, store.ErrNotFound):
+			s.storeErrors++
+		}
+		return nil, fmt.Errorf(
+			"service: job %s: result no longer available (expired or quarantined); resubmit the spec", id)
 	case StateFailed:
+		defer s.mu.Unlock()
 		return nil, fmt.Errorf("service: job %s failed: %s", id, j.errMsg)
 	case StateCancelled:
+		defer s.mu.Unlock()
 		return nil, fmt.Errorf("service: job %s was cancelled", id)
 	default:
+		defer s.mu.Unlock()
 		return nil, fmt.Errorf("%w: job %s is %s", ErrNotReady, id, j.state)
 	}
 }
@@ -527,8 +828,10 @@ func (s *Service) Cancel(id string) (bool, error) {
 	fl := j.flight
 	j.flight = nil
 	j.state = StateCancelled
+	j.terminalAt = time.Now()
 	s.jobsCancelled++
 	j.emit(Event{Type: EventCancelled, Done: j.done, Total: j.total})
+	s.persistJob(j)
 	if fl != nil {
 		for i, other := range fl.jobs {
 			if other == j {
@@ -556,40 +859,148 @@ func (s *Service) Cancel(id string) (bool, error) {
 	return true, nil
 }
 
+// gcLoop runs GC on a fixed cadence until Close.
+func (s *Service) gcLoop(interval time.Duration) {
+	defer s.wg.Done()
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			s.GC()
+		case <-s.gcStop:
+			return
+		}
+	}
+}
+
+// GC runs one garbage-collection sweep and reports what it removed:
+// terminal jobs older than JobRetention leave the job table (taking their
+// replayable event history with them — the unbounded-growth fix), the job
+// log is compacted to the surviving jobs, TTL-expired entries leave the
+// in-memory cache, and TTL-expired artifacts are deleted from the disk
+// store. The background loop calls this every GCInterval; it is also safe
+// to invoke manually.
+func (s *Service) GC() (jobsRemoved, artifactsRemoved int) {
+	now := time.Now()
+	s.mu.Lock()
+	removed := make(map[string]bool)
+	if s.cfg.JobRetention >= 0 {
+		for id, j := range s.jobs {
+			if j.state.Terminal() && !j.terminalAt.IsZero() &&
+				now.Sub(j.terminalAt) > s.cfg.JobRetention {
+				delete(s.jobs, id)
+				removed[id] = true
+				jobsRemoved++
+			}
+		}
+	}
+	if s.storeHandle != nil {
+		// In persistent mode job records need not pin artifact bytes: the
+		// memory cache (byte-budgeted) and the disk store serve result
+		// fetches, and Result reloads lazily — exactly the recovered-job
+		// path. Without this, every done job would hold its artifacts for
+		// the whole retention window, dwarfing the cache budget.
+		for _, j := range s.jobs {
+			if j.state == StateDone && j.result != nil {
+				j.result = nil
+			}
+		}
+	}
+	s.cache.expire()
+	s.jobsGCed += int64(jobsRemoved)
+	st := s.storeHandle
+	ttl := s.cfg.CacheTTL
+	s.mu.Unlock()
+
+	if st == nil {
+		return jobsRemoved, 0
+	}
+	var storeErrs int64
+	// Compact when jobs were dropped, or when enough redundant transition
+	// records have piled up that the log is worth folding even under
+	// keep-forever retention. Keeping records NOT in the removed set (rather
+	// than only snapshot-time survivors) means a job submitted while the
+	// sweep runs can never lose its record to the rewrite.
+	if jobsRemoved > 0 || st.PendingAppends() >= compactAppendThreshold {
+		if _, err := st.CompactJobs(func(r store.JobRecord) bool { return !removed[r.ID] }); err != nil {
+			storeErrs++
+		}
+	}
+	if ttl > 0 {
+		infos, err := st.ListArtifacts()
+		if err != nil {
+			storeErrs++
+		}
+		for _, info := range infos {
+			if now.Sub(info.CreatedAt) > ttl {
+				if err := st.DeleteArtifacts(info.Hash); err != nil {
+					storeErrs++
+				} else {
+					artifactsRemoved++
+				}
+			}
+		}
+	}
+	s.mu.Lock()
+	s.artifactsGCed += int64(artifactsRemoved)
+	s.storeErrors += storeErrs
+	s.mu.Unlock()
+	return jobsRemoved, artifactsRemoved
+}
+
 // Metrics is a point-in-time snapshot of service counters and gauges.
 type Metrics struct {
 	Submissions    int64   `json:"submissions"`
 	CacheHits      int64   `json:"cache_hits"`
+	DiskHits       int64   `json:"disk_hits"`
 	DedupHits      int64   `json:"dedup_hits"`
 	Flights        int64   `json:"flights"`
 	JobsDone       int64   `json:"jobs_done"`
 	JobsFailed     int64   `json:"jobs_failed"`
 	JobsCancelled  int64   `json:"jobs_cancelled"`
+	JobsGCed       int64   `json:"jobs_gced"`
+	ArtifactsGCed  int64   `json:"artifacts_gced"`
+	Quarantined    int64   `json:"quarantined"`
+	StoreErrors    int64   `json:"store_errors"`
 	QueueDepth     int     `json:"queue_depth"`
 	QueueCapacity  int     `json:"queue_capacity"`
 	CacheEntries   int     `json:"cache_entries"`
+	CacheBytes     int64   `json:"cache_bytes"`
+	JobsTracked    int     `json:"jobs_tracked"`
+	Persistent     bool    `json:"persistent"`
 	CellsDone      int64   `json:"cells_done"`
 	UptimeSeconds  float64 `json:"uptime_seconds"`
 	CellsPerSecond float64 `json:"cells_per_second"`
 }
 
-// Metrics returns current counters: submissions split into cache hits,
-// in-flight dedups, and executed flights, plus queue and cache gauges and
-// the lifetime simulation throughput in matrix cells per second.
+// Metrics returns current counters: submissions split into memory cache
+// hits, disk hits, in-flight dedups, and executed flights, plus GC and
+// store-health counters, queue and cache gauges, and the lifetime simulation
+// throughput in matrix cells per second. Counters are process-lifetime:
+// they restart at zero with the process even in persistent mode.
 func (s *Service) Metrics() Metrics {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	m := Metrics{
 		Submissions:   s.submissions,
 		CacheHits:     s.cacheHits,
+		DiskHits:      s.diskHits,
 		DedupHits:     s.dedupHits,
 		Flights:       s.flightsRun,
 		JobsDone:      s.jobsDone,
 		JobsFailed:    s.jobsFailed,
 		JobsCancelled: s.jobsCancelled,
+		JobsGCed:      s.jobsGCed,
+		ArtifactsGCed: s.artifactsGCed,
+		Quarantined:   s.quarantined,
+		StoreErrors:   s.storeErrors,
 		QueueDepth:    len(s.pending) + s.reserved,
 		QueueCapacity: s.cfg.QueueDepth,
 		CacheEntries:  s.cache.len(),
+		CacheBytes:    s.cache.sizeBytes(),
+		JobsTracked:   len(s.jobs),
+		Persistent:    s.storeHandle != nil,
 		CellsDone:     s.cellsDone,
 	}
 	m.UptimeSeconds = time.Since(s.start).Seconds()
@@ -600,9 +1011,11 @@ func (s *Service) Metrics() Metrics {
 }
 
 // Close drains the service: no new submissions are accepted, queued and
-// running matrices are completed, and Close returns once the workers exit.
-// If ctx expires first, all remaining computations are cancelled (their
-// jobs fail with the cancellation error) and the context error is returned.
+// running matrices are completed, and Close returns once the workers and the
+// garbage collector exit. If ctx expires first, all remaining computations
+// are cancelled (their jobs fail with the cancellation error) and the
+// context error is returned. In persistent mode the store — which the
+// service owns — is closed last, after every worker that could touch it.
 func (s *Service) Close(ctx context.Context) error {
 	s.mu.Lock()
 	if s.closed {
@@ -610,6 +1023,7 @@ func (s *Service) Close(ctx context.Context) error {
 		return ErrClosed
 	}
 	s.closed = true
+	close(s.gcStop)
 	s.cond.Broadcast() // wake idle workers so they drain pending and exit
 	s.mu.Unlock()
 
@@ -621,10 +1035,18 @@ func (s *Service) Close(ctx context.Context) error {
 	select {
 	case <-done:
 		s.baseCancel()
+		s.closeStore()
 		return nil
 	case <-ctx.Done():
 		s.baseCancel()
 		<-done
+		s.closeStore()
 		return ctx.Err()
+	}
+}
+
+func (s *Service) closeStore() {
+	if s.storeHandle != nil {
+		_ = s.storeHandle.Close()
 	}
 }

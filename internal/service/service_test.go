@@ -435,15 +435,19 @@ func TestCloseDeadlineCancelsWork(t *testing.T) {
 	}
 }
 
-func TestLRUCacheEviction(t *testing.T) {
-	c := newLRUCache(2)
-	add := func(h string) { c.add(&CachedResult{Hash: h}) }
-	add("a")
-	add("b")
+func TestLRUCacheByteEviction(t *testing.T) {
+	// Budget fits two entries (size = len(JSON) + overhead = 100 + 256)
+	// with headroom for the +50-byte refresh below, but not three.
+	c := newLRUCache(2*(100+cacheEntryOverhead)+88, 0)
+	entry := func(h string) *CachedResult {
+		return &CachedResult{Hash: h, JSON: make([]byte, 100), CreatedAt: time.Now()}
+	}
+	c.add(entry("a"))
+	c.add(entry("b"))
 	if _, ok := c.get("a"); !ok {
 		t.Fatal("a missing")
 	}
-	add("c") // evicts b (a was just used)
+	c.add(entry("c")) // evicts b (a was just used)
 	if _, ok := c.get("b"); ok {
 		t.Fatal("b not evicted")
 	}
@@ -456,15 +460,67 @@ func TestLRUCacheEviction(t *testing.T) {
 	if c.len() != 2 {
 		t.Fatalf("len %d", c.len())
 	}
-	// Refresh keeps a single entry per hash.
-	add("c")
+	if want := 2 * int64(100+cacheEntryOverhead); c.sizeBytes() != want {
+		t.Fatalf("bytes %d, want %d", c.sizeBytes(), want)
+	}
+	// Refresh keeps a single entry per hash and re-accounts its size.
+	big := entry("c")
+	big.CSV = make([]byte, 50)
+	c.add(big)
 	if c.len() != 2 {
 		t.Fatalf("len after refresh %d", c.len())
 	}
+	if want := int64(100+cacheEntryOverhead) + int64(150+cacheEntryOverhead); c.sizeBytes() != want {
+		t.Fatalf("bytes after refresh %d, want %d", c.sizeBytes(), want)
+	}
+	// An entry bigger than the whole budget is still retained — alone.
+	huge := entry("huge")
+	huge.JSON = make([]byte, 10_000)
+	c.add(huge)
+	if c.len() != 1 {
+		t.Fatalf("len after oversized add %d, want 1", c.len())
+	}
+	if _, ok := c.get("huge"); !ok {
+		t.Fatal("oversized entry evicted itself")
+	}
 	// Disabled cache stores nothing.
-	d := newLRUCache(-1)
-	d.add(&CachedResult{Hash: "x"})
+	d := newLRUCache(-1, 0)
+	d.add(entry("x"))
 	if d.len() != 0 {
 		t.Fatal("disabled cache stored an entry")
+	}
+}
+
+func TestLRUCacheTTLExpiry(t *testing.T) {
+	c := newLRUCache(1<<20, time.Hour)
+	base := time.Unix(1_700_000_000, 0)
+	now := base
+	c.now = func() time.Time { return now }
+	c.add(&CachedResult{Hash: "old", JSON: []byte("x"), CreatedAt: base})
+	now = base.Add(30 * time.Minute)
+	c.add(&CachedResult{Hash: "new", JSON: []byte("y"), CreatedAt: now})
+	if _, ok := c.get("old"); !ok {
+		t.Fatal("entry expired early")
+	}
+
+	now = base.Add(90 * time.Minute) // old is 90m past creation, new is 60m
+	if _, ok := c.get("old"); ok {
+		t.Fatal("expired entry served")
+	}
+	if _, ok := c.get("new"); !ok {
+		t.Fatal("live entry dropped")
+	}
+	// The sweep drops expired entries without a get touching them.
+	now = base.Add(3 * time.Hour)
+	if removed := c.expire(); removed != 1 {
+		t.Fatalf("expire removed %d, want 1", removed)
+	}
+	if c.len() != 0 || c.sizeBytes() != 0 {
+		t.Fatalf("cache not empty after sweep: %d entries, %d bytes", c.len(), c.sizeBytes())
+	}
+	// Expired entries are refused at insertion.
+	c.add(&CachedResult{Hash: "stale", JSON: []byte("z"), CreatedAt: base})
+	if c.len() != 0 {
+		t.Fatal("expired entry inserted")
 	}
 }

@@ -13,6 +13,28 @@
 // describe the same simulation — the key property that lets the service
 // layer deduplicate in-flight work and cache results: the runner guarantees
 // byte-identical artifacts for equal specs at any parallelism.
+//
+// # Hash stability contract
+//
+// The hash is not just an in-process cache key: internal/store uses it as
+// the on-disk directory name of persisted artifacts, so a hash computed by
+// one build must match the hash computed by every later build or warm disk
+// caches silently die on upgrade. Concretely, the following are frozen for
+// spec version 1:
+//
+//   - the canonical JSON field order (the Spec/Workload/Scheduler/Point
+//     struct field order below) and their json tags;
+//   - the normalization rules (version pinned, Runs defaulted to 1, default
+//     seed stride and unit machine speed collapsed to their omitted forms);
+//   - encoding/json's shortest round-trip float encoding; and
+//   - SHA-256 over the canonical bytes, rendered as lowercase hex.
+//
+// Any change that alters canonical bytes for an existing spec — a new
+// field with a non-omitted zero value, a reordered field, a changed
+// normalization — MUST bump Version instead of mutating version 1; old
+// hashes then remain valid names for old artifacts. Adding a field that is
+// omitted when unset (omitempty/omitzero) keeps existing hashes intact and
+// is allowed. spec_test.go pins a golden hash to catch accidental drift.
 package spec
 
 import (

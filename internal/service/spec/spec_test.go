@@ -49,6 +49,41 @@ func TestParseRoundTrip(t *testing.T) {
 	}
 }
 
+// TestHashGoldenPin pins the canonical bytes and hash of a fixed spec.
+// The hash is the on-disk artifact key of internal/store (see the package
+// comment's stability contract): if this test breaks, a persisted data
+// directory written by the previous build just became unreadable — bump
+// Version instead of changing version-1 canonicalization.
+func TestHashGoldenPin(t *testing.T) {
+	sp := Spec{
+		Workload: Workload{Rows: []trace.JobRow{{
+			ID: 1, Arrival: 0, Priority: 2,
+			MapTasks: 3, MapScale: 100, ReduceTasks: 1, ReduceScale: 50,
+			Ratio: 5, Alpha: 2.5,
+		}}},
+		Schedulers: []Scheduler{{Name: "fair"}},
+		Points:     []Point{{X: 10, Machines: 25}},
+		Runs:       2,
+		BaseSeed:   7,
+	}
+	canon, err := sp.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const wantCanon = `{"version":1,"workload":{"rows":[{"id":1,"arrival":0,"priority":2,"map_tasks":3,"reduce_tasks":1,"map_scale":100,"reduce_scale":50,"ratio":5,"alpha":2.5}]},"schedulers":[{"name":"fair"}],"points":[{"x":10,"machines":25}],"runs":2,"base_seed":7}`
+	if string(canon) != wantCanon {
+		t.Errorf("canonical bytes drifted:\n got %s\nwant %s", canon, wantCanon)
+	}
+	h, err := sp.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const wantHash = "381dd03e7021b52392b173c4dbaf79b917c2d5e32c0905d6f5f64d678b8063b2"
+	if h != wantHash {
+		t.Errorf("golden hash drifted:\n got %s\nwant %s", h, wantHash)
+	}
+}
+
 func TestHashStableAndSensitive(t *testing.T) {
 	h1, err := tinySpec().Hash()
 	if err != nil {

@@ -1,0 +1,444 @@
+// Package store persists the simulation service's state across restarts: a
+// disk-backed, content-addressed artifact store (one directory per spec hash
+// holding the deterministic JSON/CSV/aggregate-CSV artifact bytes plus a
+// metadata record) and an append-only job log from which the service rebuilds
+// its job table on startup.
+//
+// Crash atomicity: artifacts are staged in a temporary directory, every file
+// is fsync'd before the staging directory is renamed into place, and the
+// parent directory is fsync'd after the rename, so a reader observes either
+// no entry or a complete one. Entries that fail verification on read — a
+// truncated or bit-flipped artifact file, undecodable metadata, a hash
+// mismatch — are quarantined (moved to quarantine/ for inspection) rather
+// than deleted, and report ErrCorrupt so the caller can recompute; a corrupt
+// or missing entry never affects lookups of other hashes. Partial staging
+// directories left behind by a crash are swept on Open.
+//
+// Layout under the data directory:
+//
+//	artifacts/<hash>/  meta.json, matrix.json, cells.csv, aggregate.csv
+//	quarantine/        corrupt entries moved aside with a unique suffix
+//	tmp/               staging area for atomic writes (swept on Open)
+//	jobs.log           append-only JSONL job records, periodically compacted
+//
+// The spec hash is the on-disk key: internal/service/spec guarantees its
+// stability across releases (see the package documentation there), which is
+// what makes a data directory written by one build readable by the next.
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+)
+
+// Errors reported by the store.
+var (
+	// ErrNotFound reports a hash with no stored artifact entry.
+	ErrNotFound = errors.New("store: artifact not found")
+	// ErrCorrupt reports an entry that failed verification and has been
+	// moved to quarantine/. The caller should recompute.
+	ErrCorrupt = errors.New("store: artifact corrupt")
+	// ErrClosed reports use of a closed store.
+	ErrClosed = errors.New("store: closed")
+)
+
+// Artifact file names inside an entry directory.
+const (
+	metaFile      = "meta.json"
+	jsonFile      = "matrix.json"
+	csvFile       = "cells.csv"
+	aggregateFile = "aggregate.csv"
+)
+
+// Artifacts is one content-addressed entry: the deterministic artifact bytes
+// of a completed run matrix, keyed by its spec hash.
+type Artifacts struct {
+	// Hash is the spec content address (lowercase hex SHA-256).
+	Hash string
+	// JSON, CSV, and AggregateCSV are the three artifact renderings.
+	JSON         []byte
+	CSV          []byte
+	AggregateCSV []byte
+	// Cells is the matrix size, carried for metrics.
+	Cells int
+	// CreatedAt is when the matrix was computed. It survives restarts and
+	// anchors TTL expiry.
+	CreatedAt time.Time
+}
+
+// ArtifactInfo is the metadata summary of one stored entry, as listed for GC
+// sweeps.
+type ArtifactInfo struct {
+	Hash      string
+	Cells     int
+	Bytes     int64
+	CreatedAt time.Time
+}
+
+// meta is the on-disk metadata record of an entry. Sizes and checksums let
+// reads detect truncation and bit rot.
+type meta struct {
+	Hash        string              `json:"hash"`
+	Cells       int                 `json:"cells"`
+	CreatedAtMs int64               `json:"created_at_ms"`
+	Files       map[string]fileMeta `json:"files"`
+}
+
+type fileMeta struct {
+	Size   int64  `json:"size"`
+	SHA256 string `json:"sha256"`
+}
+
+// Store is a disk-backed artifact store plus job log rooted at one data
+// directory. All methods are safe for concurrent use. Artifact operations
+// rely on atomic renames; the job log is guarded by a mutex.
+type Store struct {
+	dir     string
+	artDir  string
+	tmpDir  string
+	quarDir string
+
+	mu      sync.Mutex // guards the job log and closed
+	logf    *os.File
+	appends int // records appended since the last compaction
+	closed  bool
+}
+
+// Open creates (if needed) and opens the data directory, sweeps staging
+// leftovers from a previous crash, and opens the job log for appending.
+func Open(dir string) (*Store, error) {
+	s := &Store{
+		dir:     dir,
+		artDir:  filepath.Join(dir, "artifacts"),
+		tmpDir:  filepath.Join(dir, "tmp"),
+		quarDir: filepath.Join(dir, "quarantine"),
+	}
+	for _, d := range []string{s.artDir, s.tmpDir, s.quarDir} {
+		if err := os.MkdirAll(d, 0o755); err != nil {
+			return nil, fmt.Errorf("store: open: %w", err)
+		}
+	}
+	// A crash between staging and rename leaves a partial directory in tmp/.
+	// It was never visible under artifacts/, so removal cannot affect lookups.
+	leftovers, err := os.ReadDir(s.tmpDir)
+	if err != nil {
+		return nil, fmt.Errorf("store: open: %w", err)
+	}
+	for _, e := range leftovers {
+		if err := os.RemoveAll(filepath.Join(s.tmpDir, e.Name())); err != nil {
+			return nil, fmt.Errorf("store: sweep tmp: %w", err)
+		}
+	}
+	if err := healJobLog(s.jobLogPath()); err != nil {
+		return nil, err
+	}
+	s.logf, err = os.OpenFile(s.jobLogPath(), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: open job log: %w", err)
+	}
+	return s, nil
+}
+
+// healJobLog terminates a torn trailing line left by a crash mid-append so
+// the partial line cannot swallow the next record appended after it (replay
+// already skips the undecodable line itself).
+func healJobLog(path string) error {
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("store: heal job log: %w", err)
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return fmt.Errorf("store: heal job log: %w", err)
+	}
+	if st.Size() == 0 {
+		return nil
+	}
+	last := make([]byte, 1)
+	if _, err := f.ReadAt(last, st.Size()-1); err != nil {
+		return fmt.Errorf("store: heal job log: %w", err)
+	}
+	if last[0] == '\n' {
+		return nil
+	}
+	if _, err := f.WriteAt([]byte{'\n'}, st.Size()); err != nil {
+		return fmt.Errorf("store: heal job log: %w", err)
+	}
+	return f.Sync()
+}
+
+// Dir returns the data directory the store is rooted at.
+func (s *Store) Dir() string { return s.dir }
+
+func (s *Store) jobLogPath() string { return filepath.Join(s.dir, "jobs.log") }
+
+// Close syncs and closes the job log. It is idempotent; artifact methods and
+// appends fail with ErrClosed afterwards.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	if err := s.logf.Sync(); err != nil {
+		s.logf.Close()
+		return fmt.Errorf("store: close: %w", err)
+	}
+	return s.logf.Close()
+}
+
+// validHash rejects anything that is not a lowercase-hex digest, both to
+// catch caller bugs and to keep path construction traversal-safe.
+func validHash(hash string) error {
+	if len(hash) < 16 {
+		return fmt.Errorf("store: invalid hash %q", hash)
+	}
+	for _, c := range hash {
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return fmt.Errorf("store: invalid hash %q", hash)
+		}
+	}
+	return nil
+}
+
+// PutArtifacts atomically writes one entry: the files are staged under tmp/,
+// fsync'd, and renamed into artifacts/<hash> as a unit. An existing entry
+// under the same hash is replaced — harmless, because equal hashes mean equal
+// bytes (the runner is deterministic).
+func (s *Store) PutArtifacts(a Artifacts) error {
+	if err := validHash(a.Hash); err != nil {
+		return err
+	}
+	if s.isClosed() {
+		return ErrClosed
+	}
+	m := meta{
+		Hash:        a.Hash,
+		Cells:       a.Cells,
+		CreatedAtMs: a.CreatedAt.UnixMilli(),
+		Files: map[string]fileMeta{
+			jsonFile:      checksum(a.JSON),
+			csvFile:       checksum(a.CSV),
+			aggregateFile: checksum(a.AggregateCSV),
+		},
+	}
+	metaBytes, err := json.Marshal(m)
+	if err != nil {
+		return fmt.Errorf("store: encode meta: %w", err)
+	}
+	stage, err := os.MkdirTemp(s.tmpDir, a.Hash+".")
+	if err != nil {
+		return fmt.Errorf("store: stage: %w", err)
+	}
+	cleanup := func(err error) error {
+		os.RemoveAll(stage)
+		return err
+	}
+	for name, data := range map[string][]byte{
+		jsonFile:      a.JSON,
+		csvFile:       a.CSV,
+		aggregateFile: a.AggregateCSV,
+		metaFile:      metaBytes,
+	} {
+		if err := writeFileSync(filepath.Join(stage, name), data); err != nil {
+			return cleanup(fmt.Errorf("store: stage %s: %w", name, err))
+		}
+	}
+	if err := syncDir(stage); err != nil {
+		return cleanup(fmt.Errorf("store: sync stage: %w", err))
+	}
+	dst := filepath.Join(s.artDir, a.Hash)
+	if err := os.Rename(stage, dst); err != nil {
+		// The destination exists (a concurrent writer won the race, or a
+		// TTL-expired entry is being refreshed). Clear it and retry once;
+		// determinism makes the replacement byte-identical.
+		if rmErr := os.RemoveAll(dst); rmErr != nil {
+			return cleanup(fmt.Errorf("store: replace entry: %w", rmErr))
+		}
+		if err := os.Rename(stage, dst); err != nil {
+			return cleanup(fmt.Errorf("store: publish entry: %w", err))
+		}
+	}
+	if err := syncDir(s.artDir); err != nil {
+		return fmt.Errorf("store: sync artifacts dir: %w", err)
+	}
+	return nil
+}
+
+// GetArtifacts reads and verifies the entry stored under hash. A missing
+// entry reports ErrNotFound; an entry that fails verification is moved to
+// quarantine/ and reports ErrCorrupt. Neither affects other entries.
+func (s *Store) GetArtifacts(hash string) (Artifacts, error) {
+	if err := validHash(hash); err != nil {
+		return Artifacts{}, err
+	}
+	if s.isClosed() {
+		return Artifacts{}, ErrClosed
+	}
+	dir := filepath.Join(s.artDir, hash)
+	metaBytes, err := os.ReadFile(filepath.Join(dir, metaFile))
+	if errors.Is(err, fs.ErrNotExist) {
+		if _, statErr := os.Stat(dir); statErr == nil {
+			// Directory present but no metadata: a damaged entry.
+			return Artifacts{}, s.quarantine(hash, "missing metadata")
+		}
+		return Artifacts{}, fmt.Errorf("%w: %s", ErrNotFound, hash)
+	}
+	if err != nil {
+		return Artifacts{}, fmt.Errorf("store: read meta: %w", err)
+	}
+	var m meta
+	if err := json.Unmarshal(metaBytes, &m); err != nil {
+		return Artifacts{}, s.quarantine(hash, "bad metadata: "+err.Error())
+	}
+	if m.Hash != hash {
+		return Artifacts{}, s.quarantine(hash, fmt.Sprintf("metadata names hash %s", m.Hash))
+	}
+	a := Artifacts{Hash: hash, Cells: m.Cells, CreatedAt: time.UnixMilli(m.CreatedAtMs)}
+	for _, f := range []struct {
+		name string
+		dst  *[]byte
+	}{
+		{jsonFile, &a.JSON},
+		{csvFile, &a.CSV},
+		{aggregateFile, &a.AggregateCSV},
+	} {
+		want, ok := m.Files[f.name]
+		if !ok {
+			return Artifacts{}, s.quarantine(hash, "metadata missing "+f.name)
+		}
+		data, err := os.ReadFile(filepath.Join(dir, f.name))
+		if err != nil {
+			return Artifacts{}, s.quarantine(hash, f.name+": "+err.Error())
+		}
+		if got := checksum(data); got != want {
+			return Artifacts{}, s.quarantine(hash,
+				fmt.Sprintf("%s: %d bytes, want %d (or checksum mismatch)", f.name, got.Size, want.Size))
+		}
+		*f.dst = data
+	}
+	return a, nil
+}
+
+// DeleteArtifacts removes the entry stored under hash; deleting a missing
+// entry is not an error.
+func (s *Store) DeleteArtifacts(hash string) error {
+	if err := validHash(hash); err != nil {
+		return err
+	}
+	if s.isClosed() {
+		return ErrClosed
+	}
+	if err := os.RemoveAll(filepath.Join(s.artDir, hash)); err != nil {
+		return fmt.Errorf("store: delete: %w", err)
+	}
+	return syncDir(s.artDir)
+}
+
+// ListArtifacts summarizes every stored entry from its metadata record.
+// Entries whose metadata cannot be read are quarantined and skipped, never
+// failing the listing.
+func (s *Store) ListArtifacts() ([]ArtifactInfo, error) {
+	if s.isClosed() {
+		return nil, ErrClosed
+	}
+	dirents, err := os.ReadDir(s.artDir)
+	if err != nil {
+		return nil, fmt.Errorf("store: list: %w", err)
+	}
+	var infos []ArtifactInfo
+	for _, e := range dirents {
+		hash := e.Name()
+		if !e.IsDir() || validHash(hash) != nil {
+			continue
+		}
+		metaBytes, err := os.ReadFile(filepath.Join(s.artDir, hash, metaFile))
+		if err != nil {
+			_ = s.quarantine(hash, "listing: "+err.Error())
+			continue
+		}
+		var m meta
+		if err := json.Unmarshal(metaBytes, &m); err != nil || m.Hash != hash {
+			_ = s.quarantine(hash, "listing: bad metadata")
+			continue
+		}
+		info := ArtifactInfo{Hash: hash, Cells: m.Cells, CreatedAt: time.UnixMilli(m.CreatedAtMs)}
+		for _, f := range m.Files {
+			info.Bytes += f.Size
+		}
+		infos = append(infos, info)
+	}
+	return infos, nil
+}
+
+// quarantine moves a damaged entry out of artifacts/ so it cannot fail the
+// same lookup twice, and returns the ErrCorrupt to hand to the caller.
+func (s *Store) quarantine(hash, reason string) error {
+	src := filepath.Join(s.artDir, hash)
+	for n := 0; n < 1000; n++ {
+		dst := filepath.Join(s.quarDir, fmt.Sprintf("%s.%d", hash, n))
+		err := os.Rename(src, dst)
+		if err == nil || errors.Is(err, fs.ErrNotExist) {
+			// Moved, or a concurrent reader already quarantined it.
+			break
+		}
+		// The quarantine slot is taken from an earlier corruption of the
+		// same hash; try the next suffix.
+	}
+	return fmt.Errorf("%w: %s (%s)", ErrCorrupt, hash, reason)
+}
+
+func (s *Store) isClosed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
+
+func checksum(data []byte) fileMeta {
+	sum := sha256.Sum256(data)
+	return fileMeta{Size: int64(len(data)), SHA256: hex.EncodeToString(sum[:])}
+}
+
+// writeFileSync writes data and fsyncs before closing, so a rename that
+// follows cannot publish a file whose contents are still buffered.
+func writeFileSync(path string, data []byte) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// syncDir fsyncs a directory so renames inside it are durable.
+func syncDir(path string) error {
+	d, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

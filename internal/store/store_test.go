@@ -1,0 +1,365 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// testHash returns a distinct valid-looking 64-hex hash per suffix byte.
+func testHash(b byte) string {
+	return strings.Repeat("ab", 31) + "0" + string("0123456789abcdef"[b%16])
+}
+
+func testArtifacts(b byte) Artifacts {
+	return Artifacts{
+		Hash:         testHash(b),
+		JSON:         []byte(`{"cells":[` + string('0'+b%10) + `]}`),
+		CSV:          []byte("scheduler,x\nfair,1\n"),
+		AggregateCSV: []byte("scheduler,x,mean\nfair,1,2\n"),
+		Cells:        int(b),
+		CreatedAt:    time.UnixMilli(1700000000000 + int64(b)),
+	}
+}
+
+func openStore(t *testing.T) *Store {
+	t.Helper()
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func TestPutGetRoundtrip(t *testing.T) {
+	s := openStore(t)
+	want := testArtifacts(1)
+	if err := s.PutArtifacts(want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.GetArtifacts(want.Hash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.JSON, want.JSON) || !bytes.Equal(got.CSV, want.CSV) ||
+		!bytes.Equal(got.AggregateCSV, want.AggregateCSV) {
+		t.Fatal("artifact bytes changed across the store")
+	}
+	if got.Cells != want.Cells || !got.CreatedAt.Equal(want.CreatedAt) {
+		t.Fatalf("metadata %d/%v, want %d/%v", got.Cells, got.CreatedAt, want.Cells, want.CreatedAt)
+	}
+
+	// Replacement under the same hash succeeds (TTL refresh path).
+	if err := s.PutArtifacts(want); err != nil {
+		t.Fatalf("replace: %v", err)
+	}
+
+	if _, err := s.GetArtifacts(testHash(9)); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("missing entry: %v, want ErrNotFound", err)
+	}
+	if _, err := s.GetArtifacts("../evil"); err == nil || errors.Is(err, ErrNotFound) {
+		t.Fatalf("traversal hash accepted: %v", err)
+	}
+}
+
+func TestListAndDelete(t *testing.T) {
+	s := openStore(t)
+	for b := byte(1); b <= 3; b++ {
+		if err := s.PutArtifacts(testArtifacts(b)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	infos, err := s.ListArtifacts()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 3 {
+		t.Fatalf("listed %d entries, want 3", len(infos))
+	}
+	for _, info := range infos {
+		if info.Bytes <= 0 || info.CreatedAt.IsZero() {
+			t.Fatalf("info %+v not populated", info)
+		}
+	}
+	if err := s.DeleteArtifacts(testHash(2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.DeleteArtifacts(testHash(2)); err != nil {
+		t.Fatalf("double delete: %v", err)
+	}
+	if infos, _ = s.ListArtifacts(); len(infos) != 2 {
+		t.Fatalf("listed %d entries after delete, want 2", len(infos))
+	}
+	if _, err := s.GetArtifacts(testHash(2)); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("deleted entry: %v", err)
+	}
+}
+
+// corruptionCase damages one stored entry and expects quarantine + ErrCorrupt
+// while a sibling entry keeps serving.
+func corruptionCase(t *testing.T, damage func(t *testing.T, dir string)) {
+	t.Helper()
+	s := openStore(t)
+	victim, witness := testArtifacts(1), testArtifacts(2)
+	for _, a := range []Artifacts{victim, witness} {
+		if err := s.PutArtifacts(a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	damage(t, filepath.Join(s.Dir(), "artifacts", victim.Hash))
+
+	if _, err := s.GetArtifacts(victim.Hash); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("corrupt entry: %v, want ErrCorrupt", err)
+	}
+	// The entry was moved aside: the next lookup is a plain miss and the
+	// quarantine directory holds the damaged bytes for inspection.
+	if _, err := s.GetArtifacts(victim.Hash); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("after quarantine: %v, want ErrNotFound", err)
+	}
+	quarantined, err := os.ReadDir(filepath.Join(s.Dir(), "quarantine"))
+	if err != nil || len(quarantined) != 1 {
+		t.Fatalf("quarantine holds %d entries (%v), want 1", len(quarantined), err)
+	}
+	// Unrelated lookups are unaffected.
+	got, err := s.GetArtifacts(witness.Hash)
+	if err != nil || !bytes.Equal(got.JSON, witness.JSON) {
+		t.Fatalf("witness lookup after quarantine: %v", err)
+	}
+}
+
+func TestCorruptTruncatedArtifact(t *testing.T) {
+	corruptionCase(t, func(t *testing.T, dir string) {
+		if err := os.Truncate(filepath.Join(dir, "matrix.json"), 3); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestCorruptBitFlip(t *testing.T) {
+	corruptionCase(t, func(t *testing.T, dir string) {
+		path := filepath.Join(dir, "cells.csv")
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data[0] ^= 0xff
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestCorruptBadMetaJSON(t *testing.T) {
+	corruptionCase(t, func(t *testing.T, dir string) {
+		if err := os.WriteFile(filepath.Join(dir, "meta.json"), []byte("{not json"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestCorruptMissingMeta(t *testing.T) {
+	corruptionCase(t, func(t *testing.T, dir string) {
+		if err := os.Remove(filepath.Join(dir, "meta.json")); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestCorruptMissingArtifactFile(t *testing.T) {
+	corruptionCase(t, func(t *testing.T, dir string) {
+		if err := os.Remove(filepath.Join(dir, "aggregate.csv")); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// TestPartialTempLeftoverSwept simulates a crash between staging and rename:
+// the leftover lives under tmp/, is invisible to lookups, and Open removes it.
+func TestPartialTempLeftoverSwept(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := testArtifacts(1)
+	if err := s.PutArtifacts(good); err != nil {
+		t.Fatal(err)
+	}
+	partial := filepath.Join(dir, "tmp", testHash(2)+".crash")
+	if err := os.MkdirAll(partial, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(partial, "matrix.json"), []byte("part"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// The partial write never published, so its hash is simply absent.
+	if _, err := s.GetArtifacts(testHash(2)); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("partial entry visible: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if leftovers, _ := os.ReadDir(filepath.Join(dir, "tmp")); len(leftovers) != 0 {
+		t.Fatalf("tmp/ holds %d leftovers after reopen", len(leftovers))
+	}
+	// The completed entry survived the "crash" and the sweep.
+	got, err := s2.GetArtifacts(good.Hash)
+	if err != nil || !bytes.Equal(got.JSON, good.JSON) {
+		t.Fatalf("good entry after reopen: %v", err)
+	}
+}
+
+func TestJobLogReplayAndCompaction(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendRec := func(id, state string) {
+		t.Helper()
+		if err := s.AppendJob(JobRecord{ID: id, Hash: testHash(1), State: state, UpdatedAtMs: 7}, state != "queued" && state != "running"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	appendRec("m000001", "queued")
+	appendRec("m000001", "running")
+	appendRec("m000001", "done")
+	appendRec("m000002", "queued")
+	appendRec("m000003", "queued")
+	appendRec("m000003", "cancelled")
+
+	recs, err := s.ReplayJobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("replayed %d jobs, want 3: %+v", len(recs), recs)
+	}
+	// Latest state per job, in order of first appearance.
+	for i, want := range []JobRecord{
+		{ID: "m000001", State: "done"},
+		{ID: "m000002", State: "queued"},
+		{ID: "m000003", State: "cancelled"},
+	} {
+		if recs[i].ID != want.ID || recs[i].State != want.State {
+			t.Fatalf("record %d = %+v, want %s/%s", i, recs[i], want.ID, want.State)
+		}
+	}
+
+	if n := s.PendingAppends(); n != 6 {
+		t.Fatalf("pending appends %d, want 6", n)
+	}
+	dropped, err := s.CompactJobs(func(r JobRecord) bool { return r.State != "cancelled" })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dropped != 1 {
+		t.Fatalf("dropped %d, want 1", dropped)
+	}
+	if n := s.PendingAppends(); n != 0 {
+		t.Fatalf("pending appends after compaction %d, want 0", n)
+	}
+	// Appends keep working on the reopened handle, and a fresh Open sees
+	// the compacted log plus the new append.
+	appendRec("m000004", "queued")
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	recs, err = s2.ReplayJobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("after compaction + append: %d jobs, want 3: %+v", len(recs), recs)
+	}
+}
+
+// TestJobLogTornWrite covers a crash mid-append: the partial trailing line
+// is skipped and intact records replay.
+func TestJobLogTornWrite(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AppendJob(JobRecord{ID: "m000001", Hash: testHash(1), State: "done"}, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(filepath.Join(dir, "jobs.log"), os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"id":"m000002","state":"que`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	recs, err := s2.ReplayJobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].ID != "m000001" {
+		t.Fatalf("replay after torn write: %+v", recs)
+	}
+	// Open healed the torn line with a newline terminator, so the next
+	// append lands on a fresh line and is not swallowed by the damage.
+	if err := s2.AppendJob(JobRecord{ID: "m000003", Hash: testHash(1), State: "queued"}, false); err != nil {
+		t.Fatal(err)
+	}
+	recs, err = s2.ReplayJobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || recs[1].ID != "m000003" {
+		t.Fatalf("append after torn line: %+v", recs)
+	}
+}
+
+func TestClosedStore(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("double close: %v", err)
+	}
+	if err := s.PutArtifacts(testArtifacts(1)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("put after close: %v", err)
+	}
+	if _, err := s.GetArtifacts(testHash(1)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("get after close: %v", err)
+	}
+	if err := s.AppendJob(JobRecord{ID: "x"}, true); !errors.Is(err, ErrClosed) {
+		t.Fatalf("append after close: %v", err)
+	}
+	if _, err := s.ReplayJobs(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("replay after close: %v", err)
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"mrclone/internal/sched"
 	"mrclone/internal/service"
 	svcspec "mrclone/internal/service/spec"
+	"mrclone/internal/store"
 	"mrclone/internal/trace"
 )
 
@@ -68,8 +69,9 @@ type (
 	// over RunMatrix with single-flight deduplication and a
 	// content-addressed result cache (see internal/service).
 	Service = service.Service
-	// ServiceConfig sizes a Service (workers, queue depth, cache entries,
-	// per-matrix cell parallelism).
+	// ServiceConfig sizes a Service (workers, queue depth, cache byte
+	// budget and TTL, per-matrix cell parallelism, job retention, GC
+	// cadence, and optionally a persistent store).
 	ServiceConfig = service.Config
 	// ServiceJobStatus is the client-visible snapshot of one service job.
 	ServiceJobStatus = service.JobStatus
@@ -316,10 +318,27 @@ func RunMatrix(ctx context.Context, spec MatrixSpec, opts ...MatrixOption) (*Mat
 // NewService starts an in-process simulation service: submissions are
 // validated and content-hashed (ParseServiceSpec / ServiceSpec.Hash),
 // identical in-flight specs share one computation, and completed matrices
-// are served from an LRU cache — soundly, because RunMatrix artifacts are
-// byte-identical for equal specs. Serve it over HTTP with Service.Handler
-// (or run the bundled cmd/mrserved daemon), and stop it with Service.Close.
+// are served from a byte-budgeted LRU cache — soundly, because RunMatrix
+// artifacts are byte-identical for equal specs. Serve it over HTTP with
+// Service.Handler (or run the bundled cmd/mrserved daemon), and stop it
+// with Service.Close.
 func NewService(cfg ServiceConfig) *Service { return service.New(cfg) }
+
+// NewPersistentService starts a simulation service whose result cache and
+// job table are backed by a disk store rooted at dataDir (created if
+// needed): completed artifacts survive restarts and are served back as disk
+// cache hits, terminal-job history is recovered on startup, and jobs that
+// were in flight when the previous process died are marked failed. The
+// service owns the store; Service.Close closes it. See cmd/mrserved and
+// docs/OPERATIONS.md for the operational details.
+func NewPersistentService(dataDir string, cfg ServiceConfig) (*Service, error) {
+	st, err := store.Open(dataDir)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Store = st
+	return service.New(cfg), nil
+}
 
 // ParseServiceSpec decodes and validates a canonical matrix spec. Parsing
 // is strict: unknown fields, trailing data, unregistered scheduler names,
