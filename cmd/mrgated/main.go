@@ -1,0 +1,152 @@
+// Command mrgated fronts a pool of mrserved shards with consistent-hash
+// routing: submissions are placed on the shard that owns their spec content
+// hash (so identical specs from any client, through any gateway, meet in
+// one shard's single-flight table and compute once cluster-wide), job routes
+// follow the shard namespace baked into gateway job IDs, and /healthz and
+// /metrics aggregate the whole pool. The gateway owns no compute and no
+// durable state; run several for availability.
+//
+// Usage:
+//
+//	mrgated [-addr :8081] -shard URL [-shard URL ...]
+//	        [-vnodes 128] [-replicas 0] [-probe-timeout 2s] [-drain-timeout 10s]
+//
+// Each -shard is an mrserved base URL, optionally named ("name=URL"); unnamed
+// shards are called s0, s1, … in flag order. Shard names are embedded in the
+// job IDs the gateway hands out, and ring placement depends only on the set
+// of names — keep names (or flag order) stable across gateway restarts and
+// across a fleet of gateways, or job IDs and placement will not line up.
+// See docs/OPERATIONS.md ("Sharded deployment") for topology guidance.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/url"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"mrclone/internal/gateway"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "mrgated:", err)
+		os.Exit(1)
+	}
+}
+
+// stringSlice is a repeatable string flag.
+type stringSlice []string
+
+func (s *stringSlice) String() string { return strings.Join(*s, ",") }
+
+func (s *stringSlice) Set(v string) error {
+	*s = append(*s, v)
+	return nil
+}
+
+// parseShards turns -shard values ("URL" or "name=URL") into the gateway's
+// pool, auto-naming unnamed shards s0, s1, … in flag order.
+func parseShards(vals []string) ([]gateway.Shard, error) {
+	shards := make([]gateway.Shard, 0, len(vals))
+	for i, v := range vals {
+		name := fmt.Sprintf("s%d", i)
+		raw := v
+		// A name is present when '=' appears before any "://"; a bare URL
+		// like http://host?a=b must not be split at its query '='.
+		if eq := strings.Index(v, "="); eq >= 0 {
+			if scheme := strings.Index(v, "://"); scheme < 0 || eq < scheme {
+				name, raw = v[:eq], v[eq+1:]
+			}
+		}
+		u, err := url.Parse(raw)
+		if err != nil {
+			return nil, fmt.Errorf("-shard %q: %w", v, err)
+		}
+		shards = append(shards, gateway.Shard{Name: name, URL: u})
+	}
+	return shards, nil
+}
+
+func run(ctx context.Context, args []string, logw io.Writer) error {
+	fs := flag.NewFlagSet("mrgated", flag.ContinueOnError)
+	addr := fs.String("addr", ":8081", "listen address")
+	var shardFlags stringSlice
+	fs.Var(&shardFlags, "shard", "mrserved shard base URL, optionally named (\"name=URL\"); repeatable")
+	vnodes := fs.Int("vnodes", 0, "virtual nodes per shard on the placement ring (0 = default 128)")
+	replicas := fs.Int("replicas", 0, "submission failover depth in ring order (0 = try every shard)")
+	probeTimeout := fs.Duration("probe-timeout", 2*time.Second,
+		"per-shard /healthz and /metrics probe timeout")
+	drainTimeout := fs.Duration("drain-timeout", 10*time.Second,
+		"how long shutdown waits for in-flight proxied requests")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if len(shardFlags) == 0 {
+		return errors.New("-shard: need at least one mrserved shard URL")
+	}
+	if *probeTimeout <= 0 {
+		return fmt.Errorf("-probe-timeout %s: need > 0", *probeTimeout)
+	}
+	if *drainTimeout <= 0 {
+		return fmt.Errorf("-drain-timeout %s: need > 0", *drainTimeout)
+	}
+	if *replicas < 0 {
+		return fmt.Errorf("-replicas %d: need >= 0", *replicas)
+	}
+	shards, err := parseShards(shardFlags)
+	if err != nil {
+		return err
+	}
+	gw, err := gateway.New(gateway.Config{
+		Shards:       shards,
+		VirtualNodes: *vnodes,
+		Replicas:     *replicas,
+		ProbeTimeout: *probeTimeout,
+	})
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: gw.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+	fmt.Fprintf(logw, "mrgated: listening on %s (%s, replicas=%d)\n",
+		ln.Addr(), gw.Ring(), *replicas)
+
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+	}
+
+	fmt.Fprintf(logw, "mrgated: signal received, draining (timeout %s)\n", *drainTimeout)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(drainCtx); err != nil {
+		if !errors.Is(err, context.DeadlineExceeded) {
+			return fmt.Errorf("drain: %w", err)
+		}
+		// Distinguishable from a clean drain: in-flight requests (long SSE
+		// streams, typically) were cut at the deadline.
+		fmt.Fprintln(logw, "mrgated: drain timeout exceeded, aborted in-flight requests")
+		return nil
+	}
+	fmt.Fprintln(logw, "mrgated: drained")
+	return nil
+}

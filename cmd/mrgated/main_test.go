@@ -1,0 +1,149 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"mrclone/internal/service"
+)
+
+func TestFlagValidation(t *testing.T) {
+	cases := []struct {
+		args []string
+		want string
+	}{
+		{nil, "-shard"},
+		{[]string{"-shard", "http://h:1", "-probe-timeout", "0s"}, "-probe-timeout"},
+		{[]string{"-shard", "http://h:1", "-drain-timeout", "0s"}, "-drain-timeout"},
+		{[]string{"-shard", "http://h:1", "-replicas", "-1"}, "-replicas"},
+		{[]string{"-shard", "http://h:1?token=x"}, "query"},
+		{[]string{"-shard", "://bad"}, "-shard"},
+		{[]string{"-shard", "relative/path"}, "http(s)"},
+		{[]string{"-shard", "a=http://h:1", "-shard", "a=http://h:2"}, "duplicate"},
+	}
+	for _, tc := range cases {
+		err := run(context.Background(), tc.args, &bytes.Buffer{})
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("run(%v) = %v, want error mentioning %s", tc.args, err, tc.want)
+		}
+	}
+}
+
+func TestParseShards(t *testing.T) {
+	shards, err := parseShards([]string{
+		"http://a:8080",
+		"east=http://b:8080/base",
+		"http://c:8080?x=y",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shards[0].Name != "s0" || shards[0].URL.Host != "a:8080" {
+		t.Errorf("shard 0 = %s %s", shards[0].Name, shards[0].URL)
+	}
+	if shards[1].Name != "east" || shards[1].URL.Host != "b:8080" || shards[1].URL.Path != "/base" {
+		t.Errorf("shard 1 = %s %s", shards[1].Name, shards[1].URL)
+	}
+	// '=' inside a query string is not a name separator.
+	if shards[2].Name != "s2" || shards[2].URL.Host != "c:8080" {
+		t.Errorf("shard 2 = %s %s", shards[2].Name, shards[2].URL)
+	}
+}
+
+// syncBuffer is a goroutine-safe log sink that signals the first write.
+type syncBuffer struct {
+	mu    sync.Mutex
+	buf   bytes.Buffer
+	first chan struct{}
+	once  sync.Once
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	n, err := b.buf.Write(p)
+	b.once.Do(func() { close(b.first) })
+	return n, err
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// TestServeAndDrain boots the gateway against one live in-process shard,
+// checks the aggregated /healthz sees it, then cancels the context (the
+// SIGINT path) and expects a clean drain.
+func TestServeAndDrain(t *testing.T) {
+	svc := service.New(service.Config{Workers: 1})
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = svc.Close(ctx)
+	}()
+	shard := httptest.NewServer(svc.Handler())
+	defer shard.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	logw := &syncBuffer{first: make(chan struct{})}
+	errCh := make(chan error, 1)
+	go func() {
+		errCh <- run(ctx, []string{"-addr", "127.0.0.1:0", "-shard", shard.URL}, logw)
+	}()
+
+	select {
+	case <-logw.first:
+	case err := <-errCh:
+		t.Fatalf("run exited early: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("gateway never logged its listen address")
+	}
+	m := regexp.MustCompile(`listening on ([0-9.:]+)`).FindStringSubmatch(logw.String())
+	if m == nil {
+		t.Fatalf("no listen address in log: %q", logw.String())
+	}
+	resp, err := http.Get("http://" + m[1] + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: HTTP %d", resp.StatusCode)
+	}
+	var health struct {
+		Status string `json:"status"`
+		Shards []struct {
+			Name string `json:"name"`
+			Up   bool   `json:"up"`
+		} `json:"shards"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	if health.Status != "ok" || len(health.Shards) != 1 || !health.Shards[0].Up || health.Shards[0].Name != "s0" {
+		t.Fatalf("pool health = %+v, want ok with shard s0 up", health)
+	}
+
+	cancel()
+	select {
+	case err := <-errCh:
+		if err != nil {
+			t.Fatalf("drain: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("gateway did not drain")
+	}
+	if !strings.Contains(logw.String(), "drained") {
+		t.Fatalf("log missing drain marker: %q", logw.String())
+	}
+}

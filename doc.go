@@ -38,6 +38,15 @@
 //     job log, so restarts begin with a warm cache and visible job history,
 //     with corrupt entries quarantined and retention-driven garbage
 //     collection of old jobs and expired artifacts;
+//   - a sharded multi-node tier for that service (internal/ring,
+//     internal/gateway, served by cmd/mrgated): a consistent-hash ring over
+//     spec content hashes (virtual nodes, deterministic order-independent
+//     placement, replica lists for failover) and a stateless reverse-proxy
+//     gateway that routes submissions to the shard owning their hash — so
+//     the shard-local single-flight table becomes cluster-wide dedup —
+//     fails over to the next ring replica when a shard is down, namespaces
+//     job IDs by shard, and aggregates pool health and metrics; proven by a
+//     multi-node e2e and chaos-test harness in internal/gateway;
 //   - a small real in-process MapReduce engine whose speculative-execution
 //     policy is pluggable with the same strategies.
 //

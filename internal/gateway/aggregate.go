@@ -1,0 +1,229 @@
+package gateway
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"mrclone/internal/service"
+)
+
+// ShardHealth is one shard's entry in the aggregated /healthz payload.
+type ShardHealth struct {
+	Name string `json:"name"`
+	URL  string `json:"url"`
+	Up   bool   `json:"up"`
+	// Error explains why the shard is down (transport or decode failure).
+	Error string `json:"error,omitempty"`
+	// Health is the shard's own /healthz payload when it answered.
+	Health *service.Health `json:"health,omitempty"`
+}
+
+// PoolHealth is the gateway's /healthz payload: per-shard probes plus an
+// overall verdict — "ok" (all shards up), "degraded" (some up), or "down".
+type PoolHealth struct {
+	Status        string        `json:"status"`
+	UptimeSeconds float64       `json:"uptime_seconds"`
+	Shards        []ShardHealth `json:"shards"`
+}
+
+// probeHealth fetches one shard's /healthz under the probe timeout.
+func (g *Gateway) probeHealth(parent context.Context, sh Shard) ShardHealth {
+	out := ShardHealth{Name: sh.Name, URL: sh.URL.String()}
+	ctx, cancel := context.WithTimeout(parent, g.probeTimeout)
+	defer cancel()
+	u := *sh.URL
+	u.Path = strings.TrimSuffix(u.Path, "/") + "/healthz"
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u.String(), nil)
+	if err != nil {
+		out.Error = err.Error()
+		return out
+	}
+	resp, err := g.client.Do(req)
+	if err != nil {
+		out.Error = err.Error()
+		return out
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		out.Error = fmt.Sprintf("HTTP %d", resp.StatusCode)
+		return out
+	}
+	var h service.Health
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&h); err != nil {
+		out.Error = "undecodable health payload: " + err.Error()
+		return out
+	}
+	out.Up = true
+	out.Health = &h
+	return out
+}
+
+// handleHealthz probes every shard concurrently and reports the pool
+// verdict: "ok" only when every shard answers and accepts work ("draining"
+// shards are reachable but rejecting submissions, so they degrade the pool
+// like a down shard does), "degraded" while at least one shard answers,
+// "down" (HTTP 503) when none do.
+func (g *Gateway) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	out := PoolHealth{
+		UptimeSeconds: time.Since(g.start).Seconds(),
+		Shards:        make([]ShardHealth, len(g.order)),
+	}
+	var wg sync.WaitGroup
+	for i, sh := range g.order {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			out.Shards[i] = g.probeHealth(r.Context(), sh)
+		}()
+	}
+	wg.Wait()
+	up, accepting := 0, 0
+	for _, sh := range out.Shards {
+		if sh.Up {
+			up++
+			if sh.Health != nil && sh.Health.Status == "ok" {
+				accepting++
+			}
+		}
+	}
+	code := http.StatusOK
+	switch {
+	case accepting == len(out.Shards):
+		out.Status = "ok"
+	case up > 0:
+		out.Status = "degraded"
+	default:
+		out.Status = "down"
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, out)
+}
+
+// scrapeMetrics fetches and parses one shard's Prometheus-style /metrics
+// into name → value. Comment lines and labeled series are skipped (shards
+// emit plain, unlabeled gauges and counters).
+func (g *Gateway) scrapeMetrics(parent context.Context, sh Shard) (map[string]float64, error) {
+	ctx, cancel := context.WithTimeout(parent, g.probeTimeout)
+	defer cancel()
+	u := *sh.URL
+	u.Path = strings.TrimSuffix(u.Path, "/") + "/metrics"
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u.String(), nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := g.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("HTTP %d", resp.StatusCode)
+	}
+	vals := make(map[string]float64)
+	sc := bufio.NewScanner(io.LimitReader(resp.Body, 1<<20))
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 || strings.Contains(fields[0], "{") {
+			continue
+		}
+		v, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			continue
+		}
+		vals[fields[0]] += v
+	}
+	return vals, sc.Err()
+}
+
+// nonAdditive lists shard series whose sum across the pool would mislead —
+// rates and identity gauges, not counters or occupancy. They are dropped
+// from the aggregate (per-shard values remain on each shard's own
+// /metrics); everything else the shards export is additive by
+// construction: lifetime counters or point-in-time quantities of work and
+// bytes that genuinely add up pool-wide.
+var nonAdditive = map[string]bool{
+	"mrclone_uptime_seconds":   true, // summing uptimes hides single-shard restarts
+	"mrclone_cells_per_second": true, // a mean rate; the sum overstates throughput
+	"mrclone_persistent":       true, // an identity flag, not a quantity
+}
+
+// handleMetrics sums every additive mrclone_* series across the pool and
+// appends the gateway's own counters plus a per-shard up gauge. A shard
+// that fails its scrape contributes nothing to the sums and reports up 0.
+func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	sums := make(map[string]float64)
+	up := make([]bool, len(g.order))
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for i, sh := range g.order {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			vals, err := g.scrapeMetrics(r.Context(), sh)
+			if err != nil {
+				return
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			up[i] = true
+			for name, v := range vals {
+				if !nonAdditive[name] {
+					sums[name] += v
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	names := make([]string, 0, len(sums))
+	for name := range sums {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	upCount := 0
+	for _, ok := range up {
+		if ok {
+			upCount++
+		}
+	}
+	fmt.Fprintf(w, "# Pool aggregate: %d/%d shards answered their scrape.\n", upCount, len(g.order))
+	for _, name := range names {
+		fmt.Fprintf(w, "%s %g\n", name, sums[name])
+	}
+	for _, row := range []struct {
+		name  string
+		help  string
+		value float64
+	}{
+		{"mrclone_gateway_shards", "Configured pool size.", float64(len(g.order))},
+		{"mrclone_gateway_shards_up", "Shards that answered the last scrape.", float64(upCount)},
+		{"mrclone_gateway_requests_total", "Requests handled by this gateway.", float64(g.requests.Load())},
+		{"mrclone_gateway_submissions_total", "Submissions routed by content hash.", float64(g.submissions.Load())},
+		{"mrclone_gateway_failovers_total", "Submissions served by a non-owner replica.", float64(g.failovers.Load())},
+		{"mrclone_gateway_shard_errors_total", "Upstream attempts that failed (transport or draining).", float64(g.shardErrors.Load())},
+		{"mrclone_gateway_uptime_seconds", "Gateway uptime.", time.Since(g.start).Seconds()},
+	} {
+		fmt.Fprintf(w, "# HELP %s %s\n%s %g\n", row.name, row.help, row.name, row.value)
+	}
+	for i, sh := range g.order {
+		v := 0
+		if up[i] {
+			v = 1
+		}
+		fmt.Fprintf(w, "mrclone_gateway_shard_up{shard=%q} %d\n", sh.Name, v)
+	}
+}

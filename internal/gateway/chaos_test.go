@@ -1,0 +1,258 @@
+package gateway
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+	"time"
+
+	"mrclone/internal/service"
+	"mrclone/internal/service/spec"
+	"mrclone/internal/store"
+	"mrclone/internal/trace"
+)
+
+// slowSpec is a matrix big enough to still be mid-flight when the chaos
+// test kills its shard: ~30 cells of a few hundred ms each, executed
+// serially (the chaos shards run Workers=1, CellParallelism=1). The kill
+// only has to land before the whole matrix finishes, so the margin is wide
+// even on slow CI machines.
+func slowSpec(seed int64) spec.Spec {
+	p := trace.GoogleParams()
+	p.Jobs = 400
+	p.Span = 4000
+	return spec.Spec{
+		Workload:   spec.Workload{Trace: &p},
+		Schedulers: []spec.Scheduler{{Name: "srptms+c"}},
+		Points:     []spec.Point{{X: 0, Machines: 10}},
+		Runs:       30,
+		BaseSeed:   seed,
+	}
+}
+
+// chaosShard is one restartable mrserved node: a durable service on a real
+// TCP listener, so the harness can kill it (address refuses connections,
+// in-flight work dies) and later restart it on the same address and
+// data-dir — the disk-recovery path a supervisor restart takes in
+// production.
+type chaosShard struct {
+	name string
+	dir  string
+	addr string
+	svc  *service.Service
+	srv  *http.Server
+}
+
+// startChaosShard opens (or reopens) the data-dir and serves the shard on
+// addr ("127.0.0.1:0" for a fresh port, a previous shard's addr to model a
+// restart). Cleanup force-closes the shard; kill earlier is idempotent
+// with it.
+func startChaosShard(t *testing.T, name, dir, addr string) *chaosShard {
+	t.Helper()
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := service.New(service.Config{Workers: 1, CellParallelism: 1, Store: st})
+	var ln net.Listener
+	for attempt := 0; ; attempt++ {
+		ln, err = net.Listen("tcp", addr)
+		if err == nil {
+			break
+		}
+		if attempt >= 50 {
+			ctx, cancel := context.WithCancel(context.Background())
+			cancel()
+			_ = svc.Close(ctx)
+			t.Fatalf("bind %s: %v", addr, err)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	sh := &chaosShard{
+		name: name,
+		dir:  dir,
+		addr: ln.Addr().String(),
+		svc:  svc,
+		srv:  &http.Server{Handler: svc.Handler()},
+	}
+	go func() { _ = sh.srv.Serve(ln) }()
+	t.Cleanup(func() { sh.kill(t) })
+	return sh
+}
+
+// kill abruptly takes the shard down: the listener and open connections
+// drop, the running flight is force-cancelled, and the store is closed so
+// the data-dir can be reopened by a restart. As close to kill -9 as an
+// in-process harness gets while still releasing file handles.
+func (s *chaosShard) kill(t *testing.T) {
+	t.Helper()
+	_ = s.srv.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already-expired deadline: cancel all remaining work now
+	_ = s.svc.Close(ctx)
+}
+
+// waitRunning polls a namespaced job through the gateway until its flight
+// has started executing.
+func waitRunning(t *testing.T, base, id string) {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		code, st := getStatus(t, base, id)
+		if code != http.StatusOK {
+			t.Fatalf("job %s: HTTP %d", id, code)
+		}
+		switch st.State {
+		case service.StateRunning:
+			return
+		case service.StateDone, service.StateFailed, service.StateCancelled:
+			t.Fatalf("job %s reached %s before the chaos kill", id, st.State)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("job %s never started running", id)
+}
+
+// TestChaosKillFailoverRecovery is the chaos satellite: kill a shard
+// mid-flight, verify the gateway fails the orphaned job cleanly and routes
+// a resubmission to the next ring replica, then restart the shard on its
+// data-dir and verify the gateway serves the shard's recovered artifact as
+// a disk hit — zero new flights.
+func TestChaosKillFailoverRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos harness runs multi-second flights")
+	}
+	const n = 3
+	shards := make([]*chaosShard, n)
+	pool := make([]Shard, n)
+	for i := range shards {
+		shards[i] = startChaosShard(t, fmt.Sprintf("s%d", i), t.TempDir(), "127.0.0.1:0")
+		u, err := url.Parse("http://" + shards[i].addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pool[i] = Shard{Name: shards[i].name, URL: u}
+	}
+	gw, err := New(Config{Shards: pool})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gwSrv := httptest.NewServer(gw.Handler())
+	t.Cleanup(gwSrv.Close)
+	base := gwSrv.URL
+
+	// Phase 0: a fast spec completes and persists on its owning shard — the
+	// artifact the recovery phase must later serve from disk. Its owner is
+	// the shard the chaos kill will target.
+	fastSp := testSpec(21)
+	fastCanon, fastHash := canonHash(t, fastSp)
+	wantJSON, _, _ := directArtifacts(t, fastSp)
+	victim := gw.Ring().Lookup(fastHash)
+	victimIdx := -1
+	for i, sh := range shards {
+		if sh.name == victim {
+			victimIdx = i
+		}
+	}
+	resp, stB := postSpec(t, base, fastCanon)
+	if got := resp.Header.Get(HeaderShard); got != victim {
+		t.Fatalf("fast spec served by %q, ring owner is %q", got, victim)
+	}
+	waitDone(t, base, stB.ID)
+
+	// Phase 1: a slow spec owned by the same victim goes mid-flight.
+	var slowCanon []byte
+	var slowHash string
+	for seed := int64(100); ; seed++ {
+		if seed > 300 {
+			t.Fatal("no slow-spec seed placed on the victim shard")
+		}
+		canon, hash := canonHash(t, slowSpec(seed))
+		if gw.Ring().Lookup(hash) == victim {
+			slowCanon, slowHash = canon, hash
+			break
+		}
+	}
+	_, stA := postSpec(t, base, slowCanon)
+	waitRunning(t, base, stA.ID)
+
+	// Phase 2: kill the shard mid-flight. The orphaned job must fail
+	// cleanly at the gateway: a 502 naming the dead shard, not a hang.
+	shards[victimIdx].kill(t)
+	errResp, err := http.Get(base + "/v1/matrices/" + stA.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	errBody, _ := io.ReadAll(errResp.Body)
+	errResp.Body.Close()
+	if errResp.StatusCode != http.StatusBadGateway {
+		t.Fatalf("orphaned job: HTTP %d (%s), want 502", errResp.StatusCode, errBody)
+	}
+	if !strings.Contains(string(errBody), victim) || !strings.Contains(string(errBody), "unreachable") {
+		t.Fatalf("orphaned-job error %q does not name the dead shard", errBody)
+	}
+
+	// Phase 3: resubmitting the same spec fails over to the next replica in
+	// ring order — the shard that would own the hash if the victim left the
+	// ring (ring_test pins this equivalence).
+	next := gw.Ring().Replicas(slowHash, 2)[1]
+	resub, stA2 := postSpec(t, base, slowCanon)
+	if got := resub.Header.Get(HeaderShard); got != next {
+		t.Fatalf("resubmission served by %q, want next replica %q", got, next)
+	}
+	if resub.Header.Get(HeaderFailover) != "true" {
+		t.Error("resubmission missing the failover header")
+	}
+	if !strings.HasPrefix(stA2.ID, next+idSep) {
+		t.Fatalf("resubmitted job id %q not namespaced by replica %q", stA2.ID, next)
+	}
+	if code, _ := getStatus(t, base, stA2.ID); code != http.StatusOK {
+		t.Fatalf("resubmitted job status: HTTP %d", code)
+	}
+	// Cancel the replica's flight — the chaos assertions are about routing,
+	// not about burning CPU to the end of a 30-cell matrix.
+	req, err := http.NewRequest(http.MethodDelete, base+"/v1/matrices/"+stA2.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delResp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delResp.Body.Close()
+	if delResp.StatusCode != http.StatusOK {
+		t.Fatalf("cancel resubmission: HTTP %d", delResp.StatusCode)
+	}
+
+	// Phase 4: restart the victim on its data-dir and address. The gateway
+	// needs no nudge (membership is static, health is probed per request):
+	// the fast spec resubmitted through it is served by the restarted shard
+	// straight from disk — completed on arrival, cached, zero new flights.
+	shards[victimIdx] = startChaosShard(t, victim, shards[victimIdx].dir, shards[victimIdx].addr)
+	recResp, stB2 := postSpec(t, base, fastCanon)
+	if recResp.StatusCode != http.StatusOK {
+		t.Fatalf("post-restart submission: HTTP %d, want 200 (completed on arrival)", recResp.StatusCode)
+	}
+	if got := recResp.Header.Get(HeaderShard); got != victim {
+		t.Fatalf("post-restart submission served by %q, want restarted %q", got, victim)
+	}
+	if stB2.State != service.StateDone || !stB2.Cached {
+		t.Fatalf("post-restart job = %+v, want done and cached", stB2)
+	}
+	m := shards[victimIdx].svc.Metrics()
+	if m.Flights != 0 {
+		t.Errorf("restarted shard ran %d flights, want 0 (disk hit)", m.Flights)
+	}
+	if m.DiskHits != 1 {
+		t.Errorf("restarted shard disk hits = %d, want 1", m.DiskHits)
+	}
+	if got := getResult(t, base, stB2.ID, "json"); string(got) != string(wantJSON) {
+		t.Error("recovered artifact differs from direct runner.Run bytes")
+	}
+}

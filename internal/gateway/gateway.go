@@ -1,0 +1,478 @@
+// Package gateway is the routing tier of the sharded simulation service: an
+// HTTP reverse proxy that owns no compute and no state beyond its static
+// member list. It fronts a pool of mrserved shards (internal/service) and
+// routes every request to the shard that owns it:
+//
+//   - submissions (POST /v1/matrices) are routed by content — the gateway
+//     extracts the spec hash from the raw body (spec.HashSubmission) and
+//     forwards to the shard the consistent-hash ring (internal/ring) places
+//     that hash on, falling back to the next replica in ring order when the
+//     owner is unreachable or draining;
+//   - job routes (GET/DELETE /v1/matrices/{id}, /result, SSE /events) are
+//     routed by ID — gateway job IDs are namespaced "<shard>.<local-id>", so
+//     the owning shard is recoverable from the ID alone;
+//   - GET /healthz and /metrics aggregate the whole pool.
+//
+// Routing by hash is what makes the shard-local single-flight table
+// cluster-wide: identical specs hash identically, every gateway places a
+// hash on the same shard (ring placement is deterministic and order-
+// independent), so concurrent identical submissions through any number of
+// gateways meet in one shard's dedup table and collapse into one flight.
+// And because the runner produces byte-identical artifacts for equal specs,
+// failover is safe: a resubmission routed to the next replica computes
+// exactly the bytes the dead owner would have served.
+//
+// Responses the gateway has routed carry X-Mrclone-Shard (the shard that
+// served the request), and submissions additionally X-Mrclone-Routed-By
+// (the spec hash used for placement) and X-Mrclone-Failover when a replica
+// other than the ring owner served it. Result bytes are passed through
+// untouched — byte-identity survives the proxy hop.
+package gateway
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"mrclone/internal/ring"
+	"mrclone/internal/service"
+	"mrclone/internal/service/spec"
+)
+
+// idSep separates the shard namespace from the shard-local job ID in
+// gateway job IDs ("<shard>.<local-id>"); shard names must not contain it.
+const idSep = "."
+
+// Gateway-added response headers.
+const (
+	// HeaderShard names the shard that served the request.
+	HeaderShard = "X-Mrclone-Shard"
+	// HeaderRoutedBy carries the spec content hash a submission was placed
+	// by.
+	HeaderRoutedBy = "X-Mrclone-Routed-By"
+	// HeaderFailover is "true" when a submission was served by a replica
+	// other than the ring owner.
+	HeaderFailover = "X-Mrclone-Failover"
+)
+
+// ErrNoShards reports an attempt to build a gateway with an empty pool.
+var ErrNoShards = errors.New("gateway: need at least one shard")
+
+// Shard is one mrserved worker in the pool.
+type Shard struct {
+	// Name is the stable shard identifier used in the ring, in namespaced
+	// job IDs, and in the aggregated health/metrics output. It must be
+	// non-empty and must not contain ".", "/", or whitespace.
+	Name string
+	// URL is the shard's base URL (scheme + host, optionally a path
+	// prefix).
+	URL *url.URL
+}
+
+// Config assembles a gateway. Shards is required; everything else defaults.
+type Config struct {
+	// Shards is the static pool membership. Order is cosmetic (health
+	// output); placement depends only on the set of names.
+	Shards []Shard
+	// VirtualNodes is the per-shard point count of the consistent-hash
+	// ring (default ring.DefaultVirtualNodes).
+	VirtualNodes int
+	// Replicas bounds how many shards a submission is attempted on before
+	// the gateway gives up (ring order: owner first). 0 means every shard.
+	Replicas int
+	// Client issues upstream requests (default: a client with no overall
+	// timeout, so SSE streams are not cut; per-request lifetime follows
+	// the client's request context).
+	Client *http.Client
+	// ProbeTimeout bounds each per-shard /healthz and /metrics probe
+	// (default 2s).
+	ProbeTimeout time.Duration
+}
+
+// Gateway routes requests across the shard pool. Create with New, serve
+// via Handler. A gateway is stateless apart from counters: shard health is
+// probed per request (a down shard costs one failed dial, then the next
+// replica is tried), so recovered shards are used again immediately.
+type Gateway struct {
+	shards       map[string]Shard
+	order        []Shard // Config order, for display
+	ring         *ring.Ring
+	client       *http.Client
+	replicas     int
+	probeTimeout time.Duration
+	start        time.Time
+
+	requests    atomic.Int64
+	submissions atomic.Int64
+	failovers   atomic.Int64
+	shardErrors atomic.Int64
+}
+
+// New validates the pool and builds the routing ring.
+func New(cfg Config) (*Gateway, error) {
+	if len(cfg.Shards) == 0 {
+		return nil, ErrNoShards
+	}
+	byName := make(map[string]Shard, len(cfg.Shards))
+	names := make([]string, 0, len(cfg.Shards))
+	for _, sh := range cfg.Shards {
+		if sh.Name == "" || strings.ContainsAny(sh.Name, idSep+"/ \t\n") {
+			return nil, fmt.Errorf("gateway: invalid shard name %q (must be non-empty, no %q, %q, or whitespace)",
+				sh.Name, idSep, "/")
+		}
+		if sh.URL == nil || (sh.URL.Scheme != "http" && sh.URL.Scheme != "https") || sh.URL.Host == "" {
+			return nil, fmt.Errorf("gateway: shard %s: need an absolute http(s) base URL", sh.Name)
+		}
+		if sh.URL.RawQuery != "" || sh.URL.Fragment != "" {
+			// forward() rebuilds the query from each client request, so a
+			// query on the base URL would be silently dropped — reject it.
+			return nil, fmt.Errorf("gateway: shard %s: base URL must not carry a query or fragment", sh.Name)
+		}
+		if _, dup := byName[sh.Name]; dup {
+			return nil, fmt.Errorf("gateway: duplicate shard name %q", sh.Name)
+		}
+		byName[sh.Name] = sh
+		names = append(names, sh.Name)
+	}
+	r, err := ring.New(names, cfg.VirtualNodes)
+	if err != nil {
+		return nil, err
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{}
+	}
+	probe := cfg.ProbeTimeout
+	if probe <= 0 {
+		probe = 2 * time.Second
+	}
+	replicas := cfg.Replicas
+	if replicas <= 0 || replicas > len(names) {
+		replicas = len(names)
+	}
+	return &Gateway{
+		shards:       byName,
+		order:        append([]Shard(nil), cfg.Shards...),
+		ring:         r,
+		client:       client,
+		replicas:     replicas,
+		probeTimeout: probe,
+		start:        time.Now(),
+	}, nil
+}
+
+// Ring exposes the placement ring (for tests and diagnostics).
+func (g *Gateway) Ring() *ring.Ring { return g.ring }
+
+// Handler returns the gateway's HTTP API — the same surface a single
+// mrserved exposes (docs/API.md), with gateway job IDs namespaced by shard.
+func (g *Gateway) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/matrices", g.handleSubmit)
+	mux.HandleFunc("GET /v1/matrices/{id}", g.handleGet)
+	mux.HandleFunc("DELETE /v1/matrices/{id}", g.handleCancel)
+	mux.HandleFunc("GET /v1/matrices/{id}/result", g.handleResult)
+	mux.HandleFunc("GET /v1/matrices/{id}/events", g.handleEvents)
+	mux.HandleFunc("GET /healthz", g.handleHealthz)
+	mux.HandleFunc("GET /metrics", g.handleMetrics)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		g.requests.Add(1)
+		mux.ServeHTTP(w, r)
+	})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, struct {
+		Error string `json:"error"`
+	}{err.Error()})
+}
+
+// splitJobID decomposes a namespaced gateway job ID.
+func splitJobID(id string) (shard, local string, ok bool) {
+	shard, local, ok = strings.Cut(id, idSep)
+	if !ok || shard == "" || local == "" {
+		return "", "", false
+	}
+	return shard, local, true
+}
+
+// forward issues one upstream request against a shard's base URL. The body,
+// when non-nil, is a fully buffered submission (retries need rewinding).
+func (g *Gateway) forward(r *http.Request, sh Shard, method, path, rawQuery string, body []byte) (*http.Response, error) {
+	u := *sh.URL
+	u.Path = strings.TrimSuffix(u.Path, "/") + path
+	u.RawQuery = rawQuery
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(r.Context(), method, u.String(), rd)
+	if err != nil {
+		return nil, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	return g.client.Do(req)
+}
+
+// handleSubmit routes a submission by content hash: owner first, then the
+// ring's replica sequence when the owner is down. A shard that answers —
+// including with a client error or queue-full backpressure — ends the
+// walk, and so does a transport error after the connection was
+// established: only dial failures (the request provably never reached the
+// shard) and 503 (drain in progress, the shard rejected it) fail over.
+// That keeps per-shard backpressure visible to the client and guarantees a
+// spec never silently computes on two shards — an ambiguous mid-response
+// failure surfaces as 502 for the client to retry rather than being
+// replayed onto a replica while the owner may still be running it.
+func (g *Gateway) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, service.MaxSpecBytes+1))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("read body: %w", err))
+		return
+	}
+	if len(body) > service.MaxSpecBytes {
+		writeError(w, http.StatusRequestEntityTooLarge,
+			fmt.Errorf("spec exceeds %d bytes", service.MaxSpecBytes))
+		return
+	}
+	hash, err := spec.HashSubmission(body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	g.submissions.Add(1)
+	var lastErr error
+	allDraining := true // every failed attempt was a shard answering 503
+	for i, name := range g.ring.Replicas(hash, g.replicas) {
+		sh := g.shards[name]
+		resp, ferr := g.forward(r, sh, http.MethodPost, "/v1/matrices", "", body)
+		if ferr != nil {
+			g.shardErrors.Add(1)
+			lastErr = fmt.Errorf("shard %s: %w", name, ferr)
+			allDraining = false
+			if !dialFailure(ferr) {
+				// The request may have been delivered (error after the
+				// connection was up): replaying it elsewhere could compute
+				// the spec twice and orphan a job on the owner. Let the
+				// client retry against a known state instead.
+				break
+			}
+			continue
+		}
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			resp.Body.Close()
+			g.shardErrors.Add(1)
+			lastErr = fmt.Errorf("shard %s: draining (HTTP 503)", name)
+			continue
+		}
+		if i > 0 {
+			g.failovers.Add(1)
+			w.Header().Set(HeaderFailover, "true")
+		}
+		w.Header().Set(HeaderShard, name)
+		w.Header().Set(HeaderRoutedBy, hash)
+		g.relayJobStatus(w, resp, name)
+		return
+	}
+	// A pool where every attempted shard answered 503 is draining, not
+	// broken: relay the retryable-unavailable signal instead of a hard 502.
+	code := http.StatusBadGateway
+	if allDraining {
+		code = http.StatusServiceUnavailable
+	}
+	writeError(w, code,
+		fmt.Errorf("gateway: no replica accepted spec %.12s…: %v", hash, lastErr))
+}
+
+// dialFailure reports whether an upstream error happened while connecting —
+// before any bytes of the request could reach the shard — which is the only
+// transport failure a submission may safely fail over on.
+func dialFailure(err error) bool {
+	var op *net.OpError
+	return errors.As(err, &op) && op.Op == "dial"
+}
+
+// relayJobStatus forwards a shard response that carries a JobStatus,
+// namespacing the job ID; non-2xx responses pass through untouched.
+func (g *Gateway) relayJobStatus(w http.ResponseWriter, resp *http.Response, shard string) {
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusAccepted {
+		passThrough(w, resp)
+		return
+	}
+	var st service.JobStatus
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&st); err != nil {
+		writeError(w, http.StatusBadGateway,
+			fmt.Errorf("gateway: shard %s: undecodable job status: %w", shard, err))
+		return
+	}
+	st.ID = shard + idSep + st.ID
+	writeJSON(w, resp.StatusCode, st)
+}
+
+// passThrough relays an upstream response verbatim.
+func passThrough(w http.ResponseWriter, resp *http.Response) {
+	if ct := resp.Header.Get("Content-Type"); ct != "" {
+		w.Header().Set("Content-Type", ct)
+	}
+	w.WriteHeader(resp.StatusCode)
+	_, _ = io.Copy(w, resp.Body)
+}
+
+// routeJob resolves the shard a namespaced job ID lives on, writing the
+// error response itself when the ID is malformed or names an unknown shard.
+func (g *Gateway) routeJob(w http.ResponseWriter, id string) (Shard, string, bool) {
+	shardName, local, ok := splitJobID(id)
+	if !ok {
+		writeError(w, http.StatusNotFound,
+			fmt.Errorf("gateway: malformed job id %q (want <shard>%s<id>)", id, idSep))
+		return Shard{}, "", false
+	}
+	sh, ok := g.shards[shardName]
+	if !ok {
+		writeError(w, http.StatusNotFound,
+			fmt.Errorf("gateway: job %q names unknown shard %q", id, shardName))
+		return Shard{}, "", false
+	}
+	return sh, local, true
+}
+
+// unreachable reports a job route whose owning shard did not answer. Jobs
+// live on exactly one shard, so there is no replica to fall back to — the
+// client gets a clean 502 naming the shard instead of a hung request.
+func (g *Gateway) unreachable(w http.ResponseWriter, sh Shard, err error) {
+	g.shardErrors.Add(1)
+	writeError(w, http.StatusBadGateway,
+		fmt.Errorf("gateway: shard %s unreachable: %v", sh.Name, err))
+}
+
+func (g *Gateway) handleGet(w http.ResponseWriter, r *http.Request) {
+	sh, local, ok := g.routeJob(w, r.PathValue("id"))
+	if !ok {
+		return
+	}
+	resp, err := g.forward(r, sh, http.MethodGet, "/v1/matrices/"+local, "", nil)
+	if err != nil {
+		g.unreachable(w, sh, err)
+		return
+	}
+	w.Header().Set(HeaderShard, sh.Name)
+	g.relayJobStatus(w, resp, sh.Name)
+}
+
+func (g *Gateway) handleCancel(w http.ResponseWriter, r *http.Request) {
+	sh, local, ok := g.routeJob(w, r.PathValue("id"))
+	if !ok {
+		return
+	}
+	resp, err := g.forward(r, sh, http.MethodDelete, "/v1/matrices/"+local, "", nil)
+	if err != nil {
+		g.unreachable(w, sh, err)
+		return
+	}
+	defer resp.Body.Close()
+	w.Header().Set(HeaderShard, sh.Name)
+	if resp.StatusCode != http.StatusOK {
+		passThrough(w, resp)
+		return
+	}
+	var body struct {
+		Cancelled bool `json:"cancelled"`
+		service.JobStatus
+	}
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&body); err != nil {
+		writeError(w, http.StatusBadGateway,
+			fmt.Errorf("gateway: shard %s: undecodable cancel response: %w", sh.Name, err))
+		return
+	}
+	body.ID = sh.Name + idSep + body.ID
+	writeJSON(w, http.StatusOK, body)
+}
+
+// handleResult streams artifact bytes through untouched: the deterministic
+// runner guarantees byte-identical artifacts per spec, and the gateway must
+// not break that property, so no rewriting happens on this route.
+func (g *Gateway) handleResult(w http.ResponseWriter, r *http.Request) {
+	sh, local, ok := g.routeJob(w, r.PathValue("id"))
+	if !ok {
+		return
+	}
+	resp, err := g.forward(r, sh, http.MethodGet, "/v1/matrices/"+local+"/result", r.URL.RawQuery, nil)
+	if err != nil {
+		g.unreachable(w, sh, err)
+		return
+	}
+	defer resp.Body.Close()
+	w.Header().Set(HeaderShard, sh.Name)
+	passThrough(w, resp)
+}
+
+// handleEvents relays the shard's SSE stream frame by frame, rewriting the
+// job field of each event to the namespaced gateway ID.
+func (g *Gateway) handleEvents(w http.ResponseWriter, r *http.Request) {
+	sh, local, ok := g.routeJob(w, r.PathValue("id"))
+	if !ok {
+		return
+	}
+	resp, err := g.forward(r, sh, http.MethodGet, "/v1/matrices/"+local+"/events", "", nil)
+	if err != nil {
+		g.unreachable(w, sh, err)
+		return
+	}
+	defer resp.Body.Close()
+	w.Header().Set(HeaderShard, sh.Name)
+	if resp.StatusCode != http.StatusOK {
+		passThrough(w, resp)
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, errors.New("streaming unsupported"))
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if data, isData := strings.CutPrefix(line, "data: "); isData {
+			var e service.Event
+			if json.Unmarshal([]byte(data), &e) == nil {
+				e.Job = sh.Name + idSep + e.Job
+				if b, merr := json.Marshal(e); merr == nil {
+					line = "data: " + string(b)
+				}
+			}
+		}
+		if _, err := fmt.Fprintln(w, line); err != nil {
+			return
+		}
+		if line == "" { // frame boundary
+			flusher.Flush()
+		}
+	}
+	flusher.Flush()
+}

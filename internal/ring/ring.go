@@ -1,0 +1,158 @@
+// Package ring implements the consistent-hash ring the sharded simulation
+// tier routes on: spec content hashes (lowercase-hex SHA-256, see
+// internal/service/spec) map to member nodes so that
+//
+//   - placement is deterministic and total — every key maps to exactly one
+//     member of a non-empty ring, independent of the order members were
+//     listed in, so two gateways configured with the same member set route
+//     identically;
+//   - membership changes move few keys — removing one of N members
+//     relocates only the keys that member owned (≈ 1/N of them) and never
+//     moves a key between surviving members, because a member contributes
+//     only its own points to the ring; and
+//   - every key has a replica list — the owner followed by the distinct
+//     successors in ring order — giving a gateway a deterministic failover
+//     sequence when the owner is down.
+//
+// Each member is hashed onto the ring at VirtualNodes positions ("virtual
+// nodes"), which evens out the share of hash space per member; a key is
+// owned by the member whose point is the first at or clockwise after the
+// key's hash. The point positions depend only on the member name and the
+// virtual-node index, never on the rest of the membership.
+package ring
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// DefaultVirtualNodes is the per-member point count used when a Ring is
+// built with a non-positive vnodes argument. 128 keeps the per-member share
+// of hash space within a few percent of 1/N.
+const DefaultVirtualNodes = 128
+
+// ErrNoNodes reports an attempt to build a ring with no members.
+var ErrNoNodes = errors.New("ring: need at least one node")
+
+// Ring is an immutable consistent-hash ring over a fixed member set. Build
+// one with New; all methods are safe for concurrent use.
+type Ring struct {
+	nodes  []string // sorted member names
+	vnodes int
+	points []point // sorted by hash position
+}
+
+// point is one virtual node: a position on the ring owned by a member.
+type point struct {
+	hash uint64
+	node int32 // index into nodes
+}
+
+// New builds a ring over the given member names with vnodes virtual nodes
+// per member (non-positive means DefaultVirtualNodes). Names must be
+// non-empty and distinct; their order does not matter — placement depends
+// only on the set.
+func New(nodes []string, vnodes int) (*Ring, error) {
+	if len(nodes) == 0 {
+		return nil, ErrNoNodes
+	}
+	if vnodes <= 0 {
+		vnodes = DefaultVirtualNodes
+	}
+	sorted := append([]string(nil), nodes...)
+	sort.Strings(sorted)
+	for i, n := range sorted {
+		if n == "" {
+			return nil, errors.New("ring: empty node name")
+		}
+		if i > 0 && sorted[i-1] == n {
+			return nil, fmt.Errorf("ring: duplicate node %q", n)
+		}
+	}
+	r := &Ring{
+		nodes:  sorted,
+		vnodes: vnodes,
+		points: make([]point, 0, len(sorted)*vnodes),
+	}
+	for i, n := range sorted {
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, point{
+				hash: hash64(n + "#" + strconv.Itoa(v)),
+				node: int32(i),
+			})
+		}
+	}
+	// Ties (astronomically rare 64-bit collisions) break toward the
+	// lexicographically smaller member so placement stays deterministic.
+	sort.Slice(r.points, func(a, b int) bool {
+		if r.points[a].hash != r.points[b].hash {
+			return r.points[a].hash < r.points[b].hash
+		}
+		return r.points[a].node < r.points[b].node
+	})
+	return r, nil
+}
+
+// hash64 maps a string to a ring position: the first 8 bytes of its SHA-256,
+// big-endian. SHA-256 keeps positions stable across builds and platforms.
+func hash64(s string) uint64 {
+	sum := sha256.Sum256([]byte(s))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// Nodes returns the member names in sorted order.
+func (r *Ring) Nodes() []string {
+	return append([]string(nil), r.nodes...)
+}
+
+// Len returns the member count.
+func (r *Ring) Len() int { return len(r.nodes) }
+
+// VirtualNodes returns the per-member point count the ring was built with.
+func (r *Ring) VirtualNodes() int { return r.vnodes }
+
+// Lookup returns the member that owns key: the member whose point is the
+// first at or clockwise after the key's hash position.
+func (r *Ring) Lookup(key string) string {
+	return r.nodes[r.points[r.ownerPoint(hash64(key))].node]
+}
+
+// ownerPoint locates the first ring point at or after position h, wrapping
+// past the top of the hash space back to the first point.
+func (r *Ring) ownerPoint(h uint64) int {
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return i
+}
+
+// Replicas returns the key's failover sequence: the owning member first,
+// then the distinct members encountered walking the ring clockwise. It
+// returns min(n, Len()) members; n <= 0 means all members.
+func (r *Ring) Replicas(key string, n int) []string {
+	if n <= 0 || n > len(r.nodes) {
+		n = len(r.nodes)
+	}
+	out := make([]string, 0, n)
+	seen := make([]bool, len(r.nodes))
+	start := r.ownerPoint(hash64(key))
+	for off := 0; off < len(r.points) && len(out) < n; off++ {
+		p := r.points[(start+off)%len(r.points)]
+		if !seen[p.node] {
+			seen[p.node] = true
+			out = append(out, r.nodes[p.node])
+		}
+	}
+	return out
+}
+
+// String renders the membership compactly for logs.
+func (r *Ring) String() string {
+	return fmt.Sprintf("ring(%s; vnodes=%d)", strings.Join(r.nodes, ","), r.vnodes)
+}

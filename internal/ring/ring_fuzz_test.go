@@ -1,0 +1,68 @@
+package ring
+
+import (
+	"fmt"
+	"testing"
+)
+
+// FuzzRingPlacement checks, for arbitrary keys and memberships, that
+// placement is total (every key maps to a member), deterministic (an
+// independently rebuilt ring places identically), and that the replica list
+// is a duplicate-free member sequence led by the owner.
+func FuzzRingPlacement(f *testing.F) {
+	f.Add("deadbeef", uint8(3), uint8(16), uint8(2))
+	f.Add("", uint8(1), uint8(0), uint8(0))
+	f.Add("a0b1c2d3e4f5a6b7c8d9e0f1a2b3c4d5e6f7a8b9c0d1e2f3a4b5c6d7e8f9a0b1", uint8(8), uint8(64), uint8(8))
+	f.Add("same", uint8(200), uint8(255), uint8(255))
+	f.Fuzz(func(t *testing.T, key string, nodeCount, vnodes, depth uint8) {
+		n := int(nodeCount)%12 + 1
+		vn := int(vnodes)%48 + 1
+		names := make([]string, n)
+		member := make(map[string]bool, n)
+		for i := range names {
+			names[i] = fmt.Sprintf("shard-%d", i)
+			member[names[i]] = true
+		}
+		r, err := New(names, vn)
+		if err != nil {
+			t.Fatalf("New(%d nodes, %d vnodes): %v", n, vn, err)
+		}
+		owner := r.Lookup(key)
+		if !member[owner] {
+			t.Fatalf("Lookup(%q) = %q, not a member", key, owner)
+		}
+		// Rebuild from scratch (reversed input order): placement must agree.
+		rev := make([]string, n)
+		for i := range names {
+			rev[i] = names[n-1-i]
+		}
+		r2, err := New(rev, vn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := r2.Lookup(key); got != owner {
+			t.Fatalf("rebuilt ring places %q on %q, first ring on %q", key, got, owner)
+		}
+		want := int(depth)
+		if want <= 0 || want > n {
+			want = n
+		}
+		reps := r.Replicas(key, int(depth))
+		if len(reps) != want {
+			t.Fatalf("Replicas(%q, %d) returned %d members, want %d", key, depth, len(reps), want)
+		}
+		if reps[0] != owner {
+			t.Fatalf("Replicas[0] = %q, owner %q", reps[0], owner)
+		}
+		seen := make(map[string]bool)
+		for _, name := range reps {
+			if !member[name] {
+				t.Fatalf("replica %q not a member", name)
+			}
+			if seen[name] {
+				t.Fatalf("replica list repeats %q", name)
+			}
+			seen[name] = true
+		}
+	})
+}

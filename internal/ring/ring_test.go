@@ -1,0 +1,223 @@
+package ring
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"math"
+	"testing"
+)
+
+// sampleKeys returns n deterministic spec-hash-shaped keys (lowercase-hex
+// SHA-256 digests), matching what the gateway actually routes.
+func sampleKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		sum := sha256.Sum256([]byte(fmt.Sprintf("spec-%d", i)))
+		keys[i] = hex.EncodeToString(sum[:])
+	}
+	return keys
+}
+
+func nodeNames(n int) []string {
+	names := make([]string, n)
+	for i := range names {
+		names[i] = fmt.Sprintf("s%d", i)
+	}
+	return names
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil, 0); err == nil {
+		t.Error("New(nil) succeeded, want error")
+	}
+	if _, err := New([]string{"a", ""}, 0); err == nil {
+		t.Error("New with empty name succeeded, want error")
+	}
+	if _, err := New([]string{"a", "b", "a"}, 0); err == nil {
+		t.Error("New with duplicate name succeeded, want error")
+	}
+	r, err := New([]string{"solo"}, -5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.VirtualNodes() != DefaultVirtualNodes {
+		t.Errorf("VirtualNodes() = %d, want default %d", r.VirtualNodes(), DefaultVirtualNodes)
+	}
+	if got := r.Lookup("anything"); got != "solo" {
+		t.Errorf("single-node Lookup = %q, want solo", got)
+	}
+}
+
+// TestPlacementOrderIndependent proves placement depends only on the member
+// set: two gateways listing the same shards in different order must route
+// every key identically.
+func TestPlacementOrderIndependent(t *testing.T) {
+	a, err := New([]string{"s0", "s1", "s2", "s3"}, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New([]string{"s3", "s1", "s0", "s2"}, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range sampleKeys(1000) {
+		if a.Lookup(key) != b.Lookup(key) {
+			t.Fatalf("key %s: order-dependent placement %q vs %q", key, a.Lookup(key), b.Lookup(key))
+		}
+	}
+}
+
+// TestRemovalRelocation is the minimal-movement property: removing one of N
+// members relocates roughly 1/N of 10k sampled spec hashes — bounded by
+// 1/N + ε — and never moves a key between surviving members.
+func TestRemovalRelocation(t *testing.T) {
+	const n = 8
+	const keys = 10000
+	const epsilon = 0.05 // vnode-variance allowance over the expected 1/N
+	names := nodeNames(n)
+	full, err := New(names, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sample := sampleKeys(keys)
+	owners := make([]string, keys)
+	for i, key := range sample {
+		owners[i] = full.Lookup(key)
+	}
+
+	for removed := 0; removed < n; removed++ {
+		var rest []string
+		for i, name := range names {
+			if i != removed {
+				rest = append(rest, name)
+			}
+		}
+		shrunk, err := New(rest, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		moved := 0
+		for i, key := range sample {
+			after := shrunk.Lookup(key)
+			if owners[i] == names[removed] {
+				moved++
+				continue
+			}
+			if after != owners[i] {
+				t.Fatalf("remove %s: key %s moved between survivors %s -> %s",
+					names[removed], key, owners[i], after)
+			}
+		}
+		frac := float64(moved) / keys
+		if frac > 1.0/n+epsilon {
+			t.Errorf("remove %s: %.3f of keys relocated, want <= 1/%d+%.2f", names[removed], frac, n, epsilon)
+		}
+		if moved == 0 {
+			t.Errorf("remove %s: no keys relocated; member owned nothing", names[removed])
+		}
+	}
+}
+
+// TestBalance sanity-checks the virtual-node spreading: every member owns a
+// share of sampled keys within a factor of two of the fair 1/N.
+func TestBalance(t *testing.T) {
+	const n = 5
+	r, err := New(nodeNames(n), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make(map[string]int)
+	sample := sampleKeys(10000)
+	for _, key := range sample {
+		counts[r.Lookup(key)]++
+	}
+	fair := float64(len(sample)) / n
+	for _, name := range r.Nodes() {
+		share := float64(counts[name])
+		if share < fair/2 || share > fair*2 {
+			t.Errorf("node %s owns %.0f keys, want within [%.0f, %.0f]", name, share, fair/2, fair*2)
+		}
+	}
+}
+
+func TestReplicas(t *testing.T) {
+	r, err := New(nodeNames(4), 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range sampleKeys(200) {
+		all := r.Replicas(key, 0)
+		if len(all) != 4 {
+			t.Fatalf("Replicas(key, 0) returned %d members, want all 4", len(all))
+		}
+		if all[0] != r.Lookup(key) {
+			t.Fatalf("Replicas[0] = %q, Lookup = %q", all[0], r.Lookup(key))
+		}
+		seen := make(map[string]bool)
+		for _, name := range all {
+			if seen[name] {
+				t.Fatalf("Replicas repeats %q", name)
+			}
+			seen[name] = true
+		}
+		if two := r.Replicas(key, 2); len(two) != 2 || two[0] != all[0] || two[1] != all[1] {
+			t.Fatalf("Replicas(key, 2) = %v, want prefix of %v", two, all)
+		}
+		if over := r.Replicas(key, 99); len(over) != 4 {
+			t.Fatalf("Replicas(key, 99) returned %d members, want 4", len(over))
+		}
+	}
+}
+
+// TestReplicaFailoverConsistency pins the property the chaos path relies on:
+// the second replica of a key equals the key's owner once the first replica
+// is removed from the ring.
+func TestReplicaFailoverConsistency(t *testing.T) {
+	names := nodeNames(6)
+	full, err := New(names, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range sampleKeys(500) {
+		reps := full.Replicas(key, 2)
+		var rest []string
+		for _, n := range names {
+			if n != reps[0] {
+				rest = append(rest, n)
+			}
+		}
+		shrunk, err := New(rest, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := shrunk.Lookup(key); got != reps[1] {
+			t.Fatalf("key %s: owner-after-removal %q != second replica %q", key, got, reps[1])
+		}
+	}
+}
+
+// TestLoadStdDev documents the vnode count's effect rather than asserting a
+// tight bound: with the default vnodes the per-node share of 10k keys stays
+// within a few percent of fair.
+func TestLoadStdDev(t *testing.T) {
+	const n = 8
+	r, err := New(nodeNames(n), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make(map[string]int)
+	sample := sampleKeys(10000)
+	for _, key := range sample {
+		counts[r.Lookup(key)]++
+	}
+	var sq float64
+	fair := float64(len(sample)) / n
+	for _, c := range counts {
+		d := float64(c) - fair
+		sq += d * d
+	}
+	if rel := math.Sqrt(sq/n) / fair; rel > 0.40 {
+		t.Errorf("relative load stddev %.2f, want <= 0.40", rel)
+	}
+}

@@ -10,9 +10,10 @@ import (
 	"mrclone/internal/service/spec"
 )
 
-// maxSpecBytes bounds the accepted request body: large enough for a full
-// 6064-row explicit trace, small enough to shed abusive payloads.
-const maxSpecBytes = 32 << 20
+// MaxSpecBytes bounds the accepted request body: large enough for a full
+// 6064-row explicit trace, small enough to shed abusive payloads. Exported
+// so the gateway tier enforces the same cap as the shards it fronts.
+const MaxSpecBytes = 32 << 20
 
 // Handler returns the HTTP/JSON API of the service:
 //
@@ -54,14 +55,14 @@ func writeError(w http.ResponseWriter, code int, err error) {
 }
 
 func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
-	body, err := io.ReadAll(io.LimitReader(r.Body, maxSpecBytes+1))
+	body, err := io.ReadAll(io.LimitReader(r.Body, MaxSpecBytes+1))
 	if err != nil {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("read body: %w", err))
 		return
 	}
-	if len(body) > maxSpecBytes {
+	if len(body) > MaxSpecBytes {
 		writeError(w, http.StatusRequestEntityTooLarge,
-			fmt.Errorf("spec exceeds %d bytes", maxSpecBytes))
+			fmt.Errorf("spec exceeds %d bytes", MaxSpecBytes))
 		return
 	}
 	sp, err := spec.Parse(body)
@@ -174,10 +175,7 @@ func (s *Service) handleEvents(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Service) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, struct {
-		Status        string  `json:"status"`
-		UptimeSeconds float64 `json:"uptime_seconds"`
-	}{"ok", s.Metrics().UptimeSeconds})
+	writeJSON(w, http.StatusOK, s.Health())
 }
 
 func (s *Service) handleMetrics(w http.ResponseWriter, _ *http.Request) {

@@ -125,7 +125,7 @@ func TestCorruptEntryTriggersRecompute(t *testing.T) {
 	closeService(t, svc1)
 
 	// Truncate the stored JSON artifact.
-	if err := os.Truncate(filepath.Join(dir, "artifacts", sr1.Hash, "matrix.json"), 5); err != nil {
+	if err := os.Truncate(filepath.Join(dir, "artifacts", sr1.Hash[:2], sr1.Hash, "matrix.json"), 5); err != nil {
 		t.Fatal(err)
 	}
 
@@ -154,7 +154,7 @@ func TestCorruptEntryTriggersRecompute(t *testing.T) {
 	if err != nil || len(quarantined) == 0 {
 		t.Fatalf("quarantine empty (%v)", err)
 	}
-	if _, err := os.Stat(filepath.Join(dir, "artifacts", sr1.Hash, "matrix.json")); err != nil {
+	if _, err := os.Stat(filepath.Join(dir, "artifacts", sr1.Hash[:2], sr1.Hash, "matrix.json")); err != nil {
 		t.Fatalf("store not repopulated: %v", err)
 	}
 }

@@ -949,6 +949,40 @@ func (s *Service) GC() (jobsRemoved, artifactsRemoved int) {
 	return jobsRemoved, artifactsRemoved
 }
 
+// Health is the payload of GET /healthz: the cheap shard-health probe a
+// routing tier uses to aggregate pool state (see internal/gateway). It
+// carries the handful of gauges an operator needs to judge one shard at a
+// glance — backpressure (queue depth vs capacity), job-table size, and
+// whether the shard is durable — without the full Metrics scrape.
+type Health struct {
+	// Status is "ok" while the shard accepts submissions and "draining"
+	// once Close has begun.
+	Status        string  `json:"status"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	QueueDepth    int     `json:"queue_depth"`
+	QueueCapacity int     `json:"queue_capacity"`
+	JobsTracked   int     `json:"jobs_tracked"`
+	Persistent    bool    `json:"persistent"`
+}
+
+// Health returns the shard-health snapshot served on /healthz.
+func (s *Service) Health() Health {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	status := "ok"
+	if s.closed {
+		status = "draining"
+	}
+	return Health{
+		Status:        status,
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		QueueDepth:    len(s.pending) + s.reserved,
+		QueueCapacity: s.cfg.QueueDepth,
+		JobsTracked:   len(s.jobs),
+		Persistent:    s.storeHandle != nil,
+	}
+}
+
 // Metrics is a point-in-time snapshot of service counters and gauges.
 type Metrics struct {
 	Submissions    int64   `json:"submissions"`

@@ -280,6 +280,21 @@ func (s Spec) Hash() (string, error) {
 	return hex.EncodeToString(sum[:]), nil
 }
 
+// HashSubmission parses a raw submission body strictly and returns the
+// spec content hash without building any execution context: the workload is
+// validated structurally but never expanded into job specs, so a routing
+// tier (internal/gateway) can compute the placement key of a 6000-row trace
+// submission for the cost of one JSON decode. The hash is identical to what
+// the owning shard computes for the same bytes — the property that makes
+// hash routing a pure placement decision.
+func HashSubmission(data []byte) (string, error) {
+	s, err := Parse(data)
+	if err != nil {
+		return "", err
+	}
+	return s.Hash()
+}
+
 // jobSpecs expands the workload into engine-ready job specs.
 func (s Spec) jobSpecs() ([]job.Spec, error) {
 	if s.Workload.Trace != nil {

@@ -300,3 +300,51 @@ func TestRowWorkloadRoundTrip(t *testing.T) {
 		t.Fatal("hash changed across round-trip")
 	}
 }
+
+// TestHashSubmission proves the routing tier's hash extraction agrees with
+// the hash an owning shard computes, without expanding the workload.
+func TestHashSubmission(t *testing.T) {
+	sp := tinySpec()
+	canon, err := sp.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := sp.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := HashSubmission(canon)
+	if err != nil {
+		t.Fatalf("HashSubmission: %v", err)
+	}
+	if got != want {
+		t.Fatalf("HashSubmission = %s, Spec.Hash = %s", got, want)
+	}
+	// Non-canonical but equivalent bodies (reordered fields, defaults
+	// spelled out) hash identically: routing normalizes like the shard does.
+	loose := `{"runs":2,"base_seed":7,"points":[{"x":1,"machines":40,"speed":1}],` +
+		`"schedulers":[{"name":"srptms+c","params":` + mustJSON(t, sched.DefaultParams()) + `}],` +
+		`"workload":{"trace":` + mustJSON(t, *sp.Workload.Trace) + `},"version":1}`
+	got2, err := HashSubmission([]byte(loose))
+	if err != nil {
+		t.Fatalf("HashSubmission(loose): %v", err)
+	}
+	if got2 != want {
+		t.Fatalf("equivalent body hashed differently: %s vs %s", got2, want)
+	}
+	if _, err := HashSubmission([]byte(`{"version":1}`)); err == nil {
+		t.Error("HashSubmission accepted a spec with no workload")
+	}
+	if _, err := HashSubmission([]byte(`not json`)); err == nil {
+		t.Error("HashSubmission accepted garbage")
+	}
+}
+
+func mustJSON(t *testing.T, v any) string {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}

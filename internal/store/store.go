@@ -16,10 +16,17 @@
 //
 // Layout under the data directory:
 //
-//	artifacts/<hash>/  meta.json, matrix.json, cells.csv, aggregate.csv
-//	quarantine/        corrupt entries moved aside with a unique suffix
-//	tmp/               staging area for atomic writes (swept on Open)
-//	jobs.log           append-only JSONL job records, periodically compacted
+//	artifacts/<hh>/<hash>/  meta.json, matrix.json, cells.csv, aggregate.csv
+//	quarantine/             corrupt entries moved aside with a unique suffix
+//	tmp/                    staging area for atomic writes (swept on Open)
+//	jobs.log                append-only JSONL job records, periodically compacted
+//
+// Entries are sharded by the first two hex digits of the hash (<hh>), so
+// entry counts per directory stay ~1/256th of the total and never brush
+// filesystem per-directory limits. Data directories written by builds that
+// used the older flat layout (artifacts/<hash>/) are migrated transparently:
+// Open renames every flat entry into its prefix directory before serving
+// reads, so old stores keep their warm cache.
 //
 // The spec hash is the on-disk key: internal/service/spec guarantees its
 // stability across releases (see the package documentation there), which is
@@ -137,6 +144,9 @@ func Open(dir string) (*Store, error) {
 			return nil, fmt.Errorf("store: sweep tmp: %w", err)
 		}
 	}
+	if err := s.migrateFlatLayout(); err != nil {
+		return nil, err
+	}
 	if err := healJobLog(s.jobLogPath()); err != nil {
 		return nil, err
 	}
@@ -177,6 +187,59 @@ func healJobLog(path string) error {
 		return fmt.Errorf("store: heal job log: %w", err)
 	}
 	return f.Sync()
+}
+
+// migrateFlatLayout upgrades a data directory written by a pre-sharding
+// build: every entry sitting directly under artifacts/ (its name is a full
+// hash, which can never collide with the two-character prefix directories)
+// is renamed into its hash-prefix subdirectory. Runs before the job log
+// opens, so a migrated store is indistinguishable from a natively sharded
+// one by the time any read can happen.
+func (s *Store) migrateFlatLayout() error {
+	dirents, err := os.ReadDir(s.artDir)
+	if err != nil {
+		return fmt.Errorf("store: migrate layout: %w", err)
+	}
+	moved := false
+	for _, e := range dirents {
+		hash := e.Name()
+		if !e.IsDir() || validHash(hash) != nil {
+			continue // prefix dirs (2 chars) and junk fail validHash
+		}
+		pfx := filepath.Join(s.artDir, hash[:2])
+		if err := os.MkdirAll(pfx, 0o755); err != nil {
+			return fmt.Errorf("store: migrate layout: %w", err)
+		}
+		dst := filepath.Join(pfx, hash)
+		// A destination can only pre-exist if a previous migration crashed
+		// between rename and sync; equal hashes mean equal bytes, so the
+		// already-migrated copy wins and the flat leftover is dropped.
+		if _, statErr := os.Stat(dst); statErr == nil {
+			if err := os.RemoveAll(filepath.Join(s.artDir, hash)); err != nil {
+				return fmt.Errorf("store: migrate layout: %w", err)
+			}
+			continue
+		}
+		if err := os.Rename(filepath.Join(s.artDir, hash), dst); err != nil {
+			return fmt.Errorf("store: migrate layout: %w", err)
+		}
+		if err := syncDir(pfx); err != nil {
+			return fmt.Errorf("store: migrate layout: %w", err)
+		}
+		moved = true
+	}
+	if moved {
+		if err := syncDir(s.artDir); err != nil {
+			return fmt.Errorf("store: migrate layout: %w", err)
+		}
+	}
+	return nil
+}
+
+// entryDir is where an entry lives: sharded under the 2-hex-digit prefix of
+// its hash. Callers have run validHash, so hash[:2] is safe.
+func (s *Store) entryDir(hash string) string {
+	return filepath.Join(s.artDir, hash[:2], hash)
 }
 
 // Dir returns the data directory the store is rooted at.
@@ -260,7 +323,10 @@ func (s *Store) PutArtifacts(a Artifacts) error {
 	if err := syncDir(stage); err != nil {
 		return cleanup(fmt.Errorf("store: sync stage: %w", err))
 	}
-	dst := filepath.Join(s.artDir, a.Hash)
+	dst := s.entryDir(a.Hash)
+	if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
+		return cleanup(fmt.Errorf("store: prefix dir: %w", err))
+	}
 	if err := os.Rename(stage, dst); err != nil {
 		// The destination exists (a concurrent writer won the race, or a
 		// TTL-expired entry is being refreshed). Clear it and retry once;
@@ -271,6 +337,11 @@ func (s *Store) PutArtifacts(a Artifacts) error {
 		if err := os.Rename(stage, dst); err != nil {
 			return cleanup(fmt.Errorf("store: publish entry: %w", err))
 		}
+	}
+	// Sync the prefix dir (the rename) and artifacts/ (in case the prefix
+	// dir was just created) so the published entry survives a crash.
+	if err := syncDir(filepath.Dir(dst)); err != nil {
+		return fmt.Errorf("store: sync prefix dir: %w", err)
 	}
 	if err := syncDir(s.artDir); err != nil {
 		return fmt.Errorf("store: sync artifacts dir: %w", err)
@@ -288,7 +359,7 @@ func (s *Store) GetArtifacts(hash string) (Artifacts, error) {
 	if s.isClosed() {
 		return Artifacts{}, ErrClosed
 	}
-	dir := filepath.Join(s.artDir, hash)
+	dir := s.entryDir(hash)
 	metaBytes, err := os.ReadFile(filepath.Join(dir, metaFile))
 	if errors.Is(err, fs.ErrNotExist) {
 		if _, statErr := os.Stat(dir); statErr == nil {
@@ -342,10 +413,17 @@ func (s *Store) DeleteArtifacts(hash string) error {
 	if s.isClosed() {
 		return ErrClosed
 	}
-	if err := os.RemoveAll(filepath.Join(s.artDir, hash)); err != nil {
+	if err := os.RemoveAll(s.entryDir(hash)); err != nil {
 		return fmt.Errorf("store: delete: %w", err)
 	}
-	return syncDir(s.artDir)
+	err := syncDir(filepath.Join(s.artDir, hash[:2]))
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil // nothing was ever stored under this prefix
+	}
+	if err != nil {
+		return fmt.Errorf("store: delete: %w", err)
+	}
+	return nil
 }
 
 // ListArtifacts summarizes every stored entry from its metadata record.
@@ -355,39 +433,64 @@ func (s *Store) ListArtifacts() ([]ArtifactInfo, error) {
 	if s.isClosed() {
 		return nil, ErrClosed
 	}
-	dirents, err := os.ReadDir(s.artDir)
+	prefixes, err := os.ReadDir(s.artDir)
 	if err != nil {
 		return nil, fmt.Errorf("store: list: %w", err)
 	}
 	var infos []ArtifactInfo
-	for _, e := range dirents {
-		hash := e.Name()
-		if !e.IsDir() || validHash(hash) != nil {
+	for _, p := range prefixes {
+		if !p.IsDir() || !validPrefix(p.Name()) {
 			continue
 		}
-		metaBytes, err := os.ReadFile(filepath.Join(s.artDir, hash, metaFile))
+		dirents, err := os.ReadDir(filepath.Join(s.artDir, p.Name()))
 		if err != nil {
-			_ = s.quarantine(hash, "listing: "+err.Error())
+			// One unreadable prefix directory must not fail the whole
+			// listing (the GC sweep depends on it): its entries are
+			// skipped this pass, every other prefix keeps serving.
 			continue
 		}
-		var m meta
-		if err := json.Unmarshal(metaBytes, &m); err != nil || m.Hash != hash {
-			_ = s.quarantine(hash, "listing: bad metadata")
-			continue
+		for _, e := range dirents {
+			hash := e.Name()
+			if !e.IsDir() || validHash(hash) != nil || hash[:2] != p.Name() {
+				continue
+			}
+			metaBytes, err := os.ReadFile(filepath.Join(s.entryDir(hash), metaFile))
+			if err != nil {
+				_ = s.quarantine(hash, "listing: "+err.Error())
+				continue
+			}
+			var m meta
+			if err := json.Unmarshal(metaBytes, &m); err != nil || m.Hash != hash {
+				_ = s.quarantine(hash, "listing: bad metadata")
+				continue
+			}
+			info := ArtifactInfo{Hash: hash, Cells: m.Cells, CreatedAt: time.UnixMilli(m.CreatedAtMs)}
+			for _, f := range m.Files {
+				info.Bytes += f.Size
+			}
+			infos = append(infos, info)
 		}
-		info := ArtifactInfo{Hash: hash, Cells: m.Cells, CreatedAt: time.UnixMilli(m.CreatedAtMs)}
-		for _, f := range m.Files {
-			info.Bytes += f.Size
-		}
-		infos = append(infos, info)
 	}
 	return infos, nil
+}
+
+// validPrefix recognizes the 2-hex-digit shard directories under artifacts/.
+func validPrefix(name string) bool {
+	if len(name) != 2 {
+		return false
+	}
+	for _, c := range name {
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
 }
 
 // quarantine moves a damaged entry out of artifacts/ so it cannot fail the
 // same lookup twice, and returns the ErrCorrupt to hand to the caller.
 func (s *Store) quarantine(hash, reason string) error {
-	src := filepath.Join(s.artDir, hash)
+	src := s.entryDir(hash)
 	for n := 0; n < 1000; n++ {
 		dst := filepath.Join(s.quarDir, fmt.Sprintf("%s.%d", hash, n))
 		err := os.Rename(src, dst)

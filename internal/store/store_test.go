@@ -111,7 +111,7 @@ func corruptionCase(t *testing.T, damage func(t *testing.T, dir string)) {
 			t.Fatal(err)
 		}
 	}
-	damage(t, filepath.Join(s.Dir(), "artifacts", victim.Hash))
+	damage(t, filepath.Join(s.Dir(), "artifacts", victim.Hash[:2], victim.Hash))
 
 	if _, err := s.GetArtifacts(victim.Hash); !errors.Is(err, ErrCorrupt) {
 		t.Fatalf("corrupt entry: %v, want ErrCorrupt", err)
@@ -361,5 +361,112 @@ func TestClosedStore(t *testing.T) {
 	}
 	if _, err := s.ReplayJobs(); !errors.Is(err, ErrClosed) {
 		t.Fatalf("replay after close: %v", err)
+	}
+}
+
+// TestFlatLayoutMigration pre-seeds a data directory in the pre-sharding
+// flat layout (artifacts/<hash>/) and proves Open upgrades it in place:
+// every entry is readable and listable afterwards, lives under its
+// 2-hex-prefix subdirectory, and the flat path is gone — the warm cache
+// survives the layout change.
+func TestFlatLayoutMigration(t *testing.T) {
+	dir := t.TempDir()
+	// Write entries with the current store, then demote them to the flat
+	// layout a previous build would have left behind.
+	seed, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arts := []Artifacts{testArtifacts(1), testArtifacts(2), testArtifacts(3)}
+	for _, a := range arts {
+		if err := seed.PutArtifacts(a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := seed.Close(); err != nil {
+		t.Fatal(err)
+	}
+	artRoot := filepath.Join(dir, "artifacts")
+	for _, a := range arts {
+		flat := filepath.Join(artRoot, a.Hash)
+		if err := os.Rename(filepath.Join(artRoot, a.Hash[:2], a.Hash), flat); err != nil {
+			t.Fatal(err)
+		}
+		// All test hashes share the "ab" prefix; the dir goes once empty.
+		_ = os.Remove(filepath.Join(artRoot, a.Hash[:2]))
+	}
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	for _, a := range arts {
+		got, err := s2.GetArtifacts(a.Hash)
+		if err != nil {
+			t.Fatalf("migrated entry %s: %v", a.Hash, err)
+		}
+		if !bytes.Equal(got.JSON, a.JSON) || got.Cells != a.Cells || !got.CreatedAt.Equal(a.CreatedAt) {
+			t.Fatalf("migrated entry %s changed", a.Hash)
+		}
+		if _, err := os.Stat(filepath.Join(artRoot, a.Hash[:2], a.Hash, "meta.json")); err != nil {
+			t.Fatalf("entry %s not under its prefix dir: %v", a.Hash, err)
+		}
+		if _, err := os.Stat(filepath.Join(artRoot, a.Hash)); !os.IsNotExist(err) {
+			t.Fatalf("flat path for %s still present (%v)", a.Hash, err)
+		}
+	}
+	infos, err := s2.ListArtifacts()
+	if err != nil || len(infos) != len(arts) {
+		t.Fatalf("listed %d entries after migration (%v), want %d", len(infos), err, len(arts))
+	}
+}
+
+// TestFlatMigrationCrashDuplicate models a crash between a migration rename
+// and the next Open: the destination already holds the entry while a stale
+// flat copy remains. Open keeps the migrated copy and drops the leftover.
+func TestFlatMigrationCrashDuplicate(t *testing.T) {
+	dir := t.TempDir()
+	seed, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := testArtifacts(4)
+	if err := seed.PutArtifacts(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := seed.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Duplicate the sharded entry back to the flat location.
+	artRoot := filepath.Join(dir, "artifacts")
+	flat := filepath.Join(artRoot, a.Hash)
+	if err := os.MkdirAll(flat, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	src := filepath.Join(artRoot, a.Hash[:2], a.Hash)
+	ents, err := os.ReadDir(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		b, err := os.ReadFile(filepath.Join(src, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(flat, e.Name()), b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if _, err := os.Stat(flat); !os.IsNotExist(err) {
+		t.Fatalf("flat duplicate survived Open (%v)", err)
+	}
+	got, err := s2.GetArtifacts(a.Hash)
+	if err != nil || !bytes.Equal(got.JSON, a.JSON) {
+		t.Fatalf("entry unreadable after duplicate cleanup: %v", err)
 	}
 }
