@@ -8,13 +8,19 @@
 //
 //	mrserved [-addr :8080] [-parallel NumCPU] [-workers 2] [-queue 16]
 //	         [-data-dir DIR] [-cache-bytes 256MiB] [-cache-ttl 0]
+//	         [-cell-cache] [-cell-cache-bytes 0]
 //	         [-job-retention 24h] [-gc-interval 1m]
 //
 // By default the service is in-memory: results and job history vanish with
 // the process. With -data-dir it becomes durable — completed artifacts and
 // the job table persist on disk, so a restart serves previously computed
 // specs straight from the store and keeps terminal-job history visible.
-// See docs/OPERATIONS.md for the data-dir layout and tuning guidance.
+// Durable mode also enables the per-cell content-addressed cache (disable
+// with -cell-cache=false): every simulated matrix cell persists under its
+// cell hash, overlapping matrices recompute only the cells they don't
+// share, and a matrix interrupted by a crash is requeued on restart and
+// refills from its persisted cells. See docs/OPERATIONS.md for the data-dir
+// layout and tuning guidance.
 //
 // The daemon drains gracefully on SIGINT/SIGTERM: the listener closes,
 // queued and running matrices finish, then the process exits. A second
@@ -63,6 +69,10 @@ func run(ctx context.Context, args []string, logw io.Writer) error {
 		"in-memory result-cache budget in artifact bytes, e.g. 64MiB or 1GiB (0 disables caching)")
 	cacheTTL := fs.Duration("cache-ttl", 0,
 		"expire cached artifacts (memory and disk) this long after computation (0 = never)")
+	cellCache := fs.Bool("cell-cache", true,
+		"persist and reuse per-cell results in the data dir (needs -data-dir; enables cross-matrix reuse and crash resume)")
+	cellCacheBytes := fs.String("cell-cache-bytes", "0",
+		"disk budget for the per-cell tier; GC evicts oldest cells beyond it (0 = unbounded)")
 	jobRetention := fs.Duration("job-retention", 24*time.Hour,
 		"age terminal jobs out of the job table after this long (0 = keep forever)")
 	gcInterval := fs.Duration("gc-interval", time.Minute,
@@ -76,6 +86,10 @@ func run(ctx context.Context, args []string, logw io.Writer) error {
 	if err != nil {
 		return fmt.Errorf("-cache-bytes %q: %w", *cacheBytes, err)
 	}
+	cellBudget, err := parseBytes(*cellCacheBytes)
+	if err != nil {
+		return fmt.Errorf("-cell-cache-bytes %q: %w", *cellCacheBytes, err)
+	}
 	switch {
 	case *parallel < 1:
 		return fmt.Errorf("-parallel %d: need at least one worker", *parallel)
@@ -85,6 +99,8 @@ func run(ctx context.Context, args []string, logw io.Writer) error {
 		return fmt.Errorf("-queue %d: need at least one slot", *queue)
 	case cacheBudget < 0:
 		return fmt.Errorf("-cache-bytes %q: need >= 0", *cacheBytes)
+	case cellBudget < 0:
+		return fmt.Errorf("-cell-cache-bytes %q: need >= 0", *cellCacheBytes)
 	case *cacheTTL < 0:
 		return fmt.Errorf("-cache-ttl %s: need >= 0", *cacheTTL)
 	case *jobRetention < 0:
@@ -94,13 +110,15 @@ func run(ctx context.Context, args []string, logw io.Writer) error {
 	}
 
 	cfg := service.Config{
-		Workers:         *workers,
-		QueueDepth:      *queue,
-		CacheBytes:      cacheBudget,
-		CacheTTL:        *cacheTTL,
-		CellParallelism: *parallel,
-		JobRetention:    *jobRetention,
-		GCInterval:      *gcInterval,
+		Workers:          *workers,
+		QueueDepth:       *queue,
+		CacheBytes:       cacheBudget,
+		CacheTTL:         *cacheTTL,
+		CellParallelism:  *parallel,
+		DisableCellCache: !*cellCache,
+		CellCacheBytes:   cellBudget,
+		JobRetention:     *jobRetention,
+		GCInterval:       *gcInterval,
 	}
 	if cacheBudget == 0 {
 		cfg.CacheBytes = -1 // Config treats 0 as "default"; negative disables.

@@ -38,6 +38,12 @@
 //     job log, so restarts begin with a warm cache and visible job history,
 //     with corrupt entries quarantined and retention-driven garbage
 //     collection of old jobs and expired artifacts;
+//   - cell-level content addressing on top of that store: every
+//     (scheduler, point, replicate) cell persists under a hash of the
+//     single-cell projection of its spec, so overlapping matrices recompute
+//     only the cells they don't share, interrupted matrices are requeued on
+//     restart and refill from persisted cells, and clients watch the
+//     cached/simulated split through streaming "cells" events;
 //   - a sharded multi-node tier for that service (internal/ring,
 //     internal/gateway, served by cmd/mrgated): a consistent-hash ring over
 //     spec content hashes (virtual nodes, deterministic order-independent

@@ -10,6 +10,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"net/url"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -18,6 +19,7 @@ import (
 	"mrclone/internal/runner"
 	"mrclone/internal/service"
 	"mrclone/internal/service/spec"
+	"mrclone/internal/store"
 	"mrclone/internal/trace"
 )
 
@@ -656,5 +658,76 @@ func TestSubmitPoolDrainingIs503(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusServiceUnavailable {
 		t.Fatalf("pool-wide drain: HTTP %d (%s), want 503", resp.StatusCode, body)
+	}
+}
+
+// TestGatewayAggregatesCellMetrics: the cell-cache counters are plain
+// additive totals, so the gateway's summed /metrics surfaces cross-matrix
+// cell reuse happening inside a durable shard.
+func TestGatewayAggregatesCellMetrics(t *testing.T) {
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One durable shard (the service owns and closes the store): placement
+	// is deterministic, so the overlap below is guaranteed to hit its cache.
+	c := newTestCluster(t, 1, 1, service.Config{
+		Workers: 1, CellParallelism: 2, Store: st, GCInterval: -1,
+	})
+	base := c.gwURL(0)
+
+	overlapping := func(points []spec.Point) spec.Spec {
+		p := trace.GoogleParams()
+		p.Jobs = 6
+		p.Span = 120
+		return spec.Spec{
+			Workload:   spec.Workload{Trace: &p},
+			Schedulers: []spec.Scheduler{{Name: "fair"}},
+			Points:     points,
+			Runs:       1,
+			BaseSeed:   3,
+		}
+	}
+	pA := spec.Point{X: 0, Machines: 20}
+	pB := spec.Point{X: 1, Machines: 25}
+	pC := spec.Point{X: 2, Machines: 30}
+
+	canonA, _ := canonHash(t, overlapping([]spec.Point{pA, pB}))
+	_, stA := postSpec(t, base, canonA)
+	waitDone(t, base, stA.ID)
+	canonB, _ := canonHash(t, overlapping([]spec.Point{pB, pC}))
+	_, stB := postSpec(t, base, canonB)
+	final := waitDone(t, base, stB.ID)
+	if final.CachedCells != 1 {
+		t.Errorf("overlapping matrix reports %d cached cells through the gateway, want 1", final.CachedCells)
+	}
+
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := string(b)
+	for _, want := range []string{
+		"mrclone_cell_hits_total 1",   // the shared pB cell
+		"mrclone_cell_misses_total 3", // pA, pB cold + pC
+		"mrclone_gc_cells_total 0",
+	} {
+		if !strings.Contains(m, want) {
+			t.Errorf("aggregated metrics missing %q:\n%s", want, m)
+		}
+	}
+	// Bytes were written for every simulated (missed) cell.
+	for _, line := range strings.Split(m, "\n") {
+		if v, ok := strings.CutPrefix(line, "mrclone_cell_bytes_total "); ok {
+			n, err := strconv.ParseInt(strings.TrimSpace(v), 10, 64)
+			if err != nil || n <= 0 {
+				t.Errorf("mrclone_cell_bytes_total = %q, want a positive sum", v)
+			}
+		}
 	}
 }

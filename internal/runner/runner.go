@@ -24,6 +24,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 
 	"mrclone/internal/cluster"
@@ -147,19 +148,46 @@ type Options struct {
 	// number of finished cells and the matrix size. Calls are serialized
 	// and monotone in done; keep the callback cheap.
 	Progress func(done, total int)
+	// CellProgress, when non-nil, is called after each cell lands with the
+	// counts of finished cells, cells resolved from CellCache, and the
+	// matrix size. Calls are serialized and monotone in done; keep the
+	// callback cheap.
+	CellProgress func(done, cached, total int)
+	// CellCache, when non-nil, is consulted before each cell executes and
+	// receives each freshly computed cell. A Lookup hit skips the
+	// simulation entirely: the payload is restamped with this matrix's
+	// coordinates, so the reduced artifacts are byte-identical whether 0%,
+	// 50%, or 100% of cells resolved from the cache, at any parallelism.
+	// Lookups are skipped when KeepRaw is set (a cached payload carries no
+	// raw result); Publish still runs.
+	CellCache CellCache
 	// KeepRaw retains each cell's full *cluster.Result (per-job records),
 	// enabling CDF reductions at the cost of memory proportional to
 	// jobs × cells.
 	KeepRaw bool
 }
 
-// CellResult is the outcome of one matrix cell, identified by its
-// coordinates (Scheduler, Point, Run) on the three axes.
-type CellResult struct {
-	Scheduler int   `json:"scheduler"` // index into Spec.Schedulers
-	Point     int   `json:"point"`     // index into Spec.Points
-	Run       int   `json:"run"`       // replicate index
-	Seed      int64 `json:"seed"`
+// CellCache supplies previously computed cell payloads and receives fresh
+// ones. Implementations are called concurrently from the worker pool and
+// must be safe for concurrent use; how cells are keyed (e.g. the content
+// hashes of internal/service/spec.CellHash) is the implementation's
+// business — the runner only speaks coordinates.
+type CellCache interface {
+	// Lookup returns the payload of cell (si, pi, run) if it resolves.
+	Lookup(si, pi, run int) (CellPayload, bool)
+	// Publish offers the payload of a freshly computed cell. Failures to
+	// store are the implementation's to swallow: publishing is an
+	// optimization, never a correctness requirement.
+	Publish(si, pi, run int, p CellPayload)
+}
+
+// CellPayload is the coordinate-independent outcome of one cell —
+// everything CellResult carries except its (scheduler, point, run) position
+// in a particular matrix. It is the unit of cross-matrix caching: a payload
+// computed inside one matrix restamps as the CellResult of any other matrix
+// whose cell has the same content identity.
+type CellPayload struct {
+	Seed int64 `json:"seed"`
 
 	SchedulerName string  `json:"scheduler_name"` // engine-reported name
 	X             float64 `json:"x"`
@@ -173,6 +201,17 @@ type CellResult struct {
 	MachineSlots  int64                   `json:"machine_slots"`
 	WastedCopyWrk float64                 `json:"wasted_copy_work"`
 	FinishedJobs  int                     `json:"finished_jobs"`
+}
+
+// CellResult is the outcome of one matrix cell, identified by its
+// coordinates (Scheduler, Point, Run) on the three axes. The embedded
+// payload keeps the JSON encoding flat and byte-identical to the historical
+// artifact schema.
+type CellResult struct {
+	Scheduler int `json:"scheduler"` // index into Spec.Schedulers
+	Point     int `json:"point"`     // index into Spec.Points
+	Run       int `json:"run"`       // replicate index
+	CellPayload
 
 	// Raw is the full simulation result; nil unless Options.KeepRaw.
 	Raw *cluster.Result `json:"-"`
@@ -198,9 +237,19 @@ func (r *Result) Cell(si, pi, run int) *CellResult {
 	return &r.Cells[r.cellIndex(si, pi, run)]
 }
 
+// cellError is one failed cell, kept with its flat index so the joined
+// error lists cells in matrix order regardless of completion order.
+type cellError struct {
+	idx int
+	err error
+}
+
 // Run executes every cell of the matrix on a bounded worker pool and
-// returns the assembled result. The first cell error (or a context
-// cancellation) stops the feed, drains in-flight cells, and is returned.
+// returns the assembled result. Cells whose payloads resolve from
+// Options.CellCache skip execution and reduce alongside fresh cells in
+// matrix order. The first cell error (or a context cancellation) stops the
+// feed and drains in-flight cells; every cell that failed is reported,
+// joined in matrix order with its (scheduler, point, run) coordinates.
 func Run(ctx context.Context, spec Spec, opts Options) (*Result, error) {
 	spec = spec.normalize()
 	if err := spec.Validate(); err != nil {
@@ -236,16 +285,32 @@ func Run(ctx context.Context, spec Spec, opts Options) (*Result, error) {
 	defer cancel()
 
 	var (
-		mu       sync.Mutex
-		firstErr error
-		done     int
-		wg       sync.WaitGroup
+		mu     sync.Mutex
+		errs   []cellError
+		done   int
+		cached int
+		wg     sync.WaitGroup
 	)
-	fail := func(err error) {
+	fail := func(idx int, err error) {
 		mu.Lock()
-		if firstErr == nil {
-			firstErr = err
-			cancel()
+		errs = append(errs, cellError{idx: idx, err: err})
+		if len(errs) == 1 {
+			cancel() // stop the feed; in-flight cells drain and may add errors
+		}
+		mu.Unlock()
+	}
+	land := func(idx int, cell *CellResult, fromCache bool) {
+		mu.Lock()
+		res.Cells[idx] = *cell
+		done++
+		if fromCache {
+			cached++
+		}
+		if opts.Progress != nil {
+			opts.Progress(done, total)
+		}
+		if opts.CellProgress != nil {
+			opts.CellProgress(done, cached, total)
 		}
 		mu.Unlock()
 	}
@@ -255,18 +320,20 @@ func Run(ctx context.Context, spec Spec, opts Options) (*Result, error) {
 		go func() {
 			defer wg.Done()
 			for idx := range idxCh {
-				cell, err := spec.runCell(idx, opts.KeepRaw)
-				if err != nil {
-					fail(err)
+				if cell, ok := spec.cachedCell(idx, opts); ok {
+					land(idx, cell, true)
 					continue
 				}
-				mu.Lock()
-				res.Cells[idx] = *cell
-				done++
-				if opts.Progress != nil {
-					opts.Progress(done, total)
+				cell, err := spec.runCell(idx, opts.KeepRaw)
+				if err != nil {
+					fail(idx, err)
+					continue
 				}
-				mu.Unlock()
+				if opts.CellCache != nil {
+					si, pi, run := spec.cellCoords(idx)
+					opts.CellCache.Publish(si, pi, run, cell.CellPayload)
+				}
+				land(idx, cell, false)
 			}
 		}()
 	}
@@ -280,8 +347,15 @@ feed:
 	}
 	close(idxCh)
 	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
+	if len(errs) > 0 {
+		// Matrix order, not completion order, so the joined message is
+		// deterministic for a fixed set of failing cells.
+		sort.Slice(errs, func(i, j int) bool { return errs[i].idx < errs[j].idx })
+		joined := make([]error, len(errs))
+		for i, ce := range errs {
+			joined[i] = ce.err
+		}
+		return nil, errors.Join(joined...)
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("runner: canceled after %d/%d cells: %w", done, total, err)
@@ -289,13 +363,41 @@ feed:
 	return res, nil
 }
 
+// cellCoords maps a flat cell index to its (scheduler, point, run)
+// coordinates; the inverse of Result.cellIndex.
+func (s *Spec) cellCoords(idx int) (si, pi, run int) {
+	run = idx % s.Runs
+	pi = (idx / s.Runs) % len(s.Points)
+	si = idx / (s.Runs * len(s.Points))
+	return si, pi, run
+}
+
+// cachedCell resolves one cell from Options.CellCache, restamped with this
+// matrix's coordinates. Payloads whose identity fields contradict the cell —
+// a stale or miskeyed cache entry — are rejected as misses, so a bad cache
+// degrades to recomputation, never to a wrong artifact.
+func (s *Spec) cachedCell(idx int, opts Options) (*CellResult, bool) {
+	if opts.CellCache == nil || opts.KeepRaw {
+		return nil, false
+	}
+	si, pi, run := s.cellCoords(idx)
+	p, ok := opts.CellCache.Lookup(si, pi, run)
+	if !ok {
+		return nil, false
+	}
+	pt := s.Points[pi]
+	if p.Seed != CellSeed(s.BaseSeed, s.SeedStride, run) ||
+		p.X != pt.X || p.Machines != pt.Machines {
+		return nil, false
+	}
+	return &CellResult{Scheduler: si, Point: pi, Run: run, CellPayload: p}, true
+}
+
 // runCell simulates one cell. It is called concurrently: everything it
 // touches on spec is read-only, and it builds a private scheduler and
 // engine.
 func (s *Spec) runCell(idx int, keepRaw bool) (*CellResult, error) {
-	run := idx % s.Runs
-	pi := (idx / s.Runs) % len(s.Points)
-	si := idx / (s.Runs * len(s.Points))
+	si, pi, run := s.cellCoords(idx)
 
 	ss := s.Schedulers[si]
 	pt := s.Points[pi]
@@ -305,7 +407,8 @@ func (s *Spec) runCell(idx int, keepRaw bool) (*CellResult, error) {
 	}
 	seed := CellSeed(s.BaseSeed, s.SeedStride, run)
 	fail := func(err error) (*CellResult, error) {
-		return nil, fmt.Errorf("runner: cell %s x=%v run=%d: %w", ss.Name, pt.X, run, err)
+		return nil, fmt.Errorf("runner: cell (si=%d,pi=%d,run=%d) %s x=%v: %w",
+			si, pi, run, ss.Name, pt.X, err)
 	}
 
 	schedImpl, err := sched.Build(ss.Name, params)
@@ -330,21 +433,23 @@ func (s *Spec) runCell(idx int, keepRaw bool) (*CellResult, error) {
 		return fail(err)
 	}
 	cell := &CellResult{
-		Scheduler:     si,
-		Point:         pi,
-		Run:           run,
-		Seed:          seed,
-		SchedulerName: raw.Scheduler,
-		X:             pt.X,
-		Machines:      raw.Machines,
-		Speed:         raw.Speed,
-		Summary:       sum,
-		Slots:         raw.Slots,
-		TotalCopies:   raw.TotalCopies,
-		CloneCopies:   raw.CloneCopies,
-		MachineSlots:  raw.MachineSlots,
-		WastedCopyWrk: raw.WastedCopyWrk,
-		FinishedJobs:  raw.FinishedJobs,
+		Scheduler: si,
+		Point:     pi,
+		Run:       run,
+		CellPayload: CellPayload{
+			Seed:          seed,
+			SchedulerName: raw.Scheduler,
+			X:             pt.X,
+			Machines:      raw.Machines,
+			Speed:         raw.Speed,
+			Summary:       sum,
+			Slots:         raw.Slots,
+			TotalCopies:   raw.TotalCopies,
+			CloneCopies:   raw.CloneCopies,
+			MachineSlots:  raw.MachineSlots,
+			WastedCopyWrk: raw.WastedCopyWrk,
+			FinishedJobs:  raw.FinishedJobs,
+		},
 	}
 	if keepRaw {
 		cell.Raw = raw

@@ -1,0 +1,133 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"time"
+
+	"mrclone/internal/runner"
+	"mrclone/internal/service/spec"
+	"mrclone/internal/store"
+)
+
+// storeCellCache adapts the store's cells/ tier to runner.CellCache for one
+// flight. Coordinates are translated to content addresses by the flight's
+// CellHasher, so a cell computed by any earlier matrix — same workload,
+// scheduler row, point, and derived seed — resolves here regardless of where
+// it sat in that matrix. Lookup and Publish run on runner worker goroutines;
+// the store is safe for concurrent use, and counter updates take Service.mu
+// briefly per cell.
+//
+// Every path degrades to recomputation: a missing, corrupt, or undecodable
+// record is a miss, and a failed Publish only costs the next matrix a rerun
+// of that cell. Neither can fail the flight.
+type storeCellCache struct {
+	svc    *Service
+	st     *store.Store
+	hasher *spec.CellHasher
+}
+
+// Lookup resolves cell (si, pi, run) from the cells tier.
+func (c *storeCellCache) Lookup(si, pi, run int) (runner.CellPayload, bool) {
+	hash, err := c.hasher.Hash(si, pi, run)
+	if err != nil {
+		// Unreachable for a flight built from a validated spec; count the
+		// miss and recompute rather than guess.
+		c.svc.countCellLookup(false, false, false)
+		return runner.CellPayload{}, false
+	}
+	cell, err := c.st.GetCell(hash)
+	switch {
+	case err == nil:
+	case errors.Is(err, store.ErrCorrupt):
+		c.svc.countCellLookup(false, true, false)
+		return runner.CellPayload{}, false
+	case errors.Is(err, store.ErrNotFound):
+		c.svc.countCellLookup(false, false, false)
+		return runner.CellPayload{}, false
+	default:
+		c.svc.countCellLookup(false, false, true)
+		return runner.CellPayload{}, false
+	}
+	var p runner.CellPayload
+	if err := json.Unmarshal(cell.Payload, &p); err != nil {
+		// The record's envelope checksum held but the payload is not a cell
+		// payload — a foreign or damaged write. Drop it so it cannot miss
+		// again and recompute.
+		_ = c.st.DeleteCell(hash)
+		c.svc.countCellLookup(false, false, true)
+		return runner.CellPayload{}, false
+	}
+	c.svc.countCellLookup(true, false, false)
+	return p, true
+}
+
+// Publish stores a freshly computed cell payload under its content address.
+func (c *storeCellCache) Publish(si, pi, run int, p runner.CellPayload) {
+	hash, err := c.hasher.Hash(si, pi, run)
+	if err != nil {
+		return
+	}
+	payload, err := json.Marshal(p)
+	if err != nil {
+		return
+	}
+	if err := c.st.PutCell(store.Cell{
+		Hash:      hash,
+		Payload:   payload,
+		CreatedAt: time.Now(),
+	}); err != nil {
+		c.svc.countCellPublish(0, true)
+		return
+	}
+	c.svc.countCellPublish(int64(len(payload)), false)
+}
+
+// countCellLookup records one cell-cache lookup outcome.
+func (s *Service) countCellLookup(hit, corrupt, ioErr bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if hit {
+		s.cellHits++
+		return
+	}
+	s.cellMisses++
+	if corrupt {
+		s.quarantined++
+	}
+	if ioErr {
+		s.storeErrors++
+	}
+}
+
+// countCellPublish records one cell-cache publish outcome.
+func (s *Service) countCellPublish(bytes int64, failed bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if failed {
+		s.storeErrors++
+		return
+	}
+	s.cellBytes += bytes
+}
+
+// cellCacheEnabled reports whether this service persists and reuses
+// per-cell results: a disk store is configured and cell caching was not
+// disabled.
+func (s *Service) cellCacheEnabled() bool {
+	return s.storeHandle != nil && !s.cfg.DisableCellCache
+}
+
+// cellCacheFor builds the runner cell-cache hook for one flight, or nil when
+// cell caching is off. A spec that cannot be hashed (unreachable for specs
+// that passed Submit validation) runs uncached rather than failing.
+func (s *Service) cellCacheFor(fl *flight) runner.CellCache {
+	if !s.cellCacheEnabled() {
+		return nil
+	}
+	h, err := fl.sp.CellHasher()
+	if err != nil {
+		return nil
+	}
+	return &storeCellCache{svc: s, st: s.storeHandle, hasher: h}
+}

@@ -14,6 +14,7 @@ const (
 	EventQueued    EventType = "queued"
 	EventRunning   EventType = "running"
 	EventProgress  EventType = "progress"
+	EventCells     EventType = "cells"
 	EventDone      EventType = "done"
 	EventFailed    EventType = "failed"
 	EventCancelled EventType = "cancelled"
@@ -24,12 +25,15 @@ type Event struct {
 	Type EventType `json:"type"`
 	// Job is the subscriber's job ID.
 	Job string `json:"job"`
-	// Done/Total report matrix-cell progress; set on progress events and on
-	// the running event (0/Total).
+	// Done/Total report matrix-cell progress; set on progress and cells
+	// events and on the running event (0/Total).
 	Done  int `json:"done,omitempty"`
 	Total int `json:"total,omitempty"`
 	// Cached marks a done event served from the result cache.
 	Cached bool `json:"cached,omitempty"`
+	// CachedCells is the count of landed cells that were resolved from the
+	// cell cache rather than simulated; set on cells events.
+	CachedCells int `json:"cached_cells,omitempty"`
 	// Error carries the failure message on failed events.
 	Error string `json:"error,omitempty"`
 }
@@ -63,9 +67,11 @@ func newSubscription() *Subscription {
 func (s *Subscription) publish(e Event) {
 	s.mu.Lock()
 	if !s.closed {
-		// Coalesce back-to-back pending progress events so a slow consumer
-		// of a large matrix holds O(1) progress backlog, not O(cells).
-		if n := len(s.events); e.Type == EventProgress && n > 0 && s.events[n-1].Type == EventProgress {
+		// Coalesce back-to-back pending progress and cells events so a slow
+		// consumer of a large matrix holds O(1) backlog per stream, not
+		// O(cells). Only newest-wins streams coalesce: every frame carries
+		// the full running counts, so dropping the stale one loses nothing.
+		if n := len(s.events); n > 0 && coalescable(e.Type) && s.events[n-1].Type == e.Type {
 			s.events[n-1] = e
 		} else {
 			s.events = append(s.events, e)
@@ -76,6 +82,12 @@ func (s *Subscription) publish(e Event) {
 	}
 	s.mu.Unlock()
 	s.cond.Broadcast()
+}
+
+// coalescable reports whether back-to-back events of this type carry full
+// running counts, making newest-wins coalescing lossless.
+func coalescable(t EventType) bool {
+	return t == EventProgress || t == EventCells
 }
 
 // Next blocks until an event is available, the stream has drained past its

@@ -204,7 +204,11 @@ func (s *Service) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		{"mrclone_cache_bytes", "Artifact bytes held in the in-memory result cache.", float64(m.CacheBytes)},
 		{"mrclone_jobs_tracked", "Job records currently in the job table.", float64(m.JobsTracked)},
 		{"mrclone_persistent", "1 when a disk store is configured.", boolGauge(m.Persistent)},
-		{"mrclone_cells_done_total", "Matrix cells simulated.", float64(m.CellsDone)},
+		{"mrclone_cells_done_total", "Matrix cells landed (simulated or resolved from the cell cache).", float64(m.CellsDone)},
+		{"mrclone_cell_hits_total", "Cells resolved from the content-addressed cell cache.", float64(m.CellHits)},
+		{"mrclone_cell_misses_total", "Cell lookups that missed the cell cache.", float64(m.CellMisses)},
+		{"mrclone_cell_bytes_total", "Cell payload bytes written to the cell store.", float64(m.CellBytes)},
+		{"mrclone_gc_cells_total", "Expired or evicted cell records deleted from the disk store.", float64(m.CellsGCed)},
 		{"mrclone_uptime_seconds", "Service uptime.", m.UptimeSeconds},
 		{"mrclone_cells_per_second", "Lifetime mean simulation throughput.", m.CellsPerSecond},
 	} {

@@ -22,11 +22,18 @@
 //
 // With a Store configured, job state transitions are appended to a durable
 // job log: on startup the service replays it, keeping terminal-job history
-// visible across restarts, and marks jobs that were queued or running at
-// crash time as failed. A background garbage collector ages terminal jobs
-// (and their replayable event buffers) out of the job table under
-// JobRetention, expires cached artifacts past CacheTTL from memory and disk,
-// and compacts the job log.
+// visible across restarts. Unless disabled, the store also backs a per-cell
+// content-addressed cache (keyed by spec.CellHash): every computed cell is
+// persisted individually, matrices resolve cells they share with earlier
+// matrices from disk instead of recomputing them, and a job that was queued
+// or running at crash time is requeued from its persisted spec — its new
+// flight refills from the dead process's cells and recomputes only the
+// remainder. Cell-level progress streams to subscribers as "cells" events
+// carrying done/cached/total counts. A background garbage collector ages
+// terminal jobs (and their replayable event buffers) out of the job table
+// under JobRetention, expires cached artifacts and cells past CacheTTL from
+// memory and disk, evicts oldest cells past the CellCacheBytes budget, and
+// compacts the job log.
 package service
 
 import (
@@ -35,6 +42,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -98,6 +106,16 @@ type Config struct {
 	// Store, when non-nil, persists artifacts and the job table across
 	// restarts. The service takes ownership: Close closes it.
 	Store *store.Store
+	// DisableCellCache turns off the per-cell content-addressed cache that
+	// is otherwise on whenever a Store is configured: with it on, every
+	// computed cell is persisted under its cell hash (spec.CellHash) and
+	// matrices resolve cells shared with earlier matrices — or with their
+	// own interrupted previous run — from disk instead of recomputing them.
+	DisableCellCache bool
+	// CellCacheBytes bounds the disk cells tier: when a GC sweep finds the
+	// tier above this budget, oldest cells are evicted first until it fits
+	// (0 = unbounded).
+	CellCacheBytes int64
 	// JobRetention ages terminal jobs (and their event history) out of the
 	// job table (default 24h; negative keeps them forever).
 	JobRetention time.Duration
@@ -136,41 +154,65 @@ type JobStatus struct {
 	State  State  `json:"state"`
 	Cached bool   `json:"cached,omitempty"`
 	// Done/Total report matrix-cell progress.
-	Done  int    `json:"done"`
-	Total int    `json:"total"`
-	Error string `json:"error,omitempty"`
+	Done  int `json:"done"`
+	Total int `json:"total"`
+	// CachedCells counts landed cells resolved from the cell cache rather
+	// than simulated.
+	CachedCells int    `json:"cached_cells,omitempty"`
+	Error       string `json:"error,omitempty"`
 }
 
 // jobState is one submission's server-side state. Guarded by Service.mu.
 type jobState struct {
-	id         string
-	hash       string
-	state      State
-	cached     bool
-	errMsg     string
-	done       int
-	total      int
-	terminalAt time.Time // when the job reached a terminal state (GC anchor)
-	result     *CachedResult
-	flight     *flight // nil once terminal
-	subs       []*Subscription
-	history    []Event // state transitions, replayed to late subscribers
+	id          string
+	hash        string
+	state       State
+	cached      bool
+	errMsg      string
+	done        int
+	cachedCells int
+	total       int
+	terminalAt  time.Time // when the job reached a terminal state (GC anchor)
+	result      *CachedResult
+	flight      *flight // nil once terminal
+	subs        []*Subscription
+	history     []Event // state transitions, replayed to late subscribers
 }
 
 func (j *jobState) status() JobStatus {
 	return JobStatus{
 		ID: j.id, Hash: j.hash, State: j.state, Cached: j.cached,
-		Done: j.done, Total: j.total, Error: j.errMsg,
+		Done: j.done, Total: j.total, CachedCells: j.cachedCells, Error: j.errMsg,
 	}
 }
 
-// emit publishes an event to every subscriber and records state transitions
-// for replay. A terminal event closes every subscription, so the references
-// are dropped immediately rather than pinned for the life of the job record.
+// historyFrameCap bounds a job's replayable event buffer in frames. State
+// transitions are few and cells frames coalesce to one trailing entry, so
+// the cap is a defensive ceiling, not a working limit; once reached, further
+// non-terminal frames are dropped from replay (live subscribers still see
+// them) rather than growing the buffer.
+const historyFrameCap = 64
+
+// emit publishes an event to every subscriber and records replayable frames:
+// state transitions always, and cells frames coalesced newest-wins (each
+// carries the full running counts, so one trailing frame replays the same
+// progress a live subscriber saw). Raw progress events stay live-only. The
+// buffer is bounded by historyFrameCap; terminal events are recorded even at
+// the cap. A terminal event closes every subscription, so the references are
+// dropped immediately rather than pinned for the life of the job record.
 // Callers hold Service.mu.
 func (j *jobState) emit(e Event) {
 	e.Job = j.id
-	if e.Type != EventProgress {
+	switch {
+	case e.Type == EventProgress:
+		// live-only
+	case e.Type == EventCells:
+		if n := len(j.history); n > 0 && j.history[n-1].Type == EventCells {
+			j.history[n-1] = e
+		} else if n < historyFrameCap {
+			j.history = append(j.history, e)
+		}
+	case e.Terminal() || len(j.history) < historyFrameCap:
 		j.history = append(j.history, e)
 	}
 	for _, sub := range j.subs {
@@ -203,12 +245,14 @@ func (j *jobState) terminalEvent() Event {
 type flight struct {
 	hash      string
 	rspec     runner.Spec
+	sp        spec.Spec // normalized service spec, for cell hashing
 	jobs      []*jobState
 	ctx       context.Context
 	cancel    context.CancelFunc
 	cancelled bool
 	state     State
 	done      int
+	cached    int // landed cells resolved from the cell cache
 	lastDone  int // cells already counted into Service.cellsDone
 	total     int
 }
@@ -262,6 +306,10 @@ type Service struct {
 	quarantined   int64
 	storeErrors   int64
 	cellsDone     int64
+	cellHits      int64
+	cellMisses    int64
+	cellBytes     int64
+	cellsGCed     int64
 }
 
 // New starts a service with cfg defaults filled and its worker pool running.
@@ -308,10 +356,14 @@ func New(cfg Config) *Service {
 }
 
 // recoverJobs rebuilds the job table from the store's job log: the latest
-// record per job wins, non-terminal records are failed (their flight died
-// with the previous process), and the ID sequence resumes past the highest
-// recovered ID. Recovered jobs do not count into this process's lifetime
-// counters. Called from New before any worker starts.
+// record per job wins and the ID sequence resumes past the highest recovered
+// ID. A job that was queued or running at crash time is requeued when its
+// canonical spec survived in the specs/ tier — its new flight refills from
+// the cells the dead process persisted, recomputing only the remainder — and
+// failed otherwise (the pre-cell-cache behavior, and the only option with
+// cell caching off). Recovered jobs do not count into this process's
+// submission counters; requeued flights count as flights because they run
+// here. Called from New before any worker starts.
 func (s *Service) recoverJobs() {
 	recs, err := s.storeHandle.ReplayJobs()
 	if err != nil {
@@ -331,6 +383,15 @@ func (s *Service) recoverJobs() {
 			terminalAt: time.UnixMilli(r.UpdatedAtMs),
 		}
 		if !j.state.Terminal() {
+			if s.requeueRecovered(j) {
+				j.history = []Event{{Type: EventQueued, Job: j.id, Total: j.total}}
+				interrupted = append(interrupted, j)
+				s.jobs[j.id] = j
+				if n, ok := parseJobSeq(j.id); ok && n > s.seq {
+					s.seq = n
+				}
+				continue
+			}
 			j.state = StateFailed
 			j.errMsg = restartErrMsg
 			j.terminalAt = time.Now()
@@ -345,11 +406,71 @@ func (s *Service) recoverJobs() {
 			s.seq = n
 		}
 	}
-	// Record the failed-by-restart verdicts so the next restart replays
-	// them as terminal instead of re-failing them.
+	// Record the recovery verdicts — failed-by-restart or back-to-queued —
+	// so the next restart replays them instead of re-deciding.
 	for _, j := range interrupted {
 		s.persistJob(j)
 	}
+}
+
+// requeueRecovered rebuilds the flight of an interrupted job from its
+// persisted spec record, reporting success. On success the job is queued on
+// the flight (shared with other interrupted jobs of the same hash); any
+// failure — cell cache off, record missing or corrupt, spec no longer
+// parseable — leaves the job for the caller to fail. Runs single-threaded
+// from New, before any worker starts.
+func (s *Service) requeueRecovered(j *jobState) bool {
+	if !s.cellCacheEnabled() {
+		return false
+	}
+	if fl, ok := s.inflight[j.hash]; ok {
+		// An earlier interrupted job of the same matrix already rebuilt the
+		// flight; share it.
+		j.state = StateQueued
+		j.done, j.cachedCells, j.total = 0, 0, fl.total
+		j.flight = fl
+		fl.jobs = append(fl.jobs, j)
+		return true
+	}
+	canon, err := s.storeHandle.GetSpec(j.hash)
+	switch {
+	case err == nil:
+	case errors.Is(err, store.ErrCorrupt):
+		s.quarantined++
+		return false
+	case errors.Is(err, store.ErrNotFound):
+		return false
+	default:
+		s.storeErrors++
+		return false
+	}
+	sp, err := spec.Parse(canon)
+	if err != nil {
+		return false
+	}
+	norm := sp.Normalize()
+	rspec, err := norm.Runner()
+	if err != nil {
+		return false
+	}
+	fctx, fcancel := context.WithCancel(s.baseCtx)
+	fl := &flight{
+		hash:   j.hash,
+		rspec:  rspec,
+		sp:     norm,
+		ctx:    fctx,
+		cancel: fcancel,
+		state:  StateQueued,
+		total:  len(norm.Schedulers) * len(norm.Points) * norm.Runs,
+	}
+	s.inflight[j.hash] = fl
+	s.pending = append(s.pending, fl)
+	s.flightsRun++
+	j.state = StateQueued
+	j.done, j.cachedCells, j.total = 0, 0, fl.total
+	j.flight = fl
+	fl.jobs = append(fl.jobs, j)
+	return true
 }
 
 // parseJobSeq extracts the numeric sequence of a job ID ("m%06d").
@@ -465,6 +586,7 @@ func (s *Service) Submit(sp spec.Spec) (JobStatus, error) {
 	fctx, fcancel := context.WithCancel(s.baseCtx)
 	fl := &flight{
 		hash:   hash,
+		sp:     norm,
 		ctx:    fctx,
 		cancel: fcancel,
 		state:  StateQueued,
@@ -484,8 +606,23 @@ func (s *Service) Submit(sp spec.Spec) (JobStatus, error) {
 
 	rspec, rerr := norm.Runner()
 
+	// Persist the canonical spec under its matrix hash while the flight is
+	// alive: should this process die mid-matrix, the next one requeues the
+	// interrupted job from this record and refills from persisted cells
+	// instead of failing it. Best-effort — without the record, recovery
+	// degrades to the fail-on-restart behavior.
+	specPutFailed := false
+	if rerr == nil && s.cellCacheEnabled() {
+		if canon, cerr := norm.Canonical(); cerr == nil {
+			specPutFailed = s.storeHandle.PutSpec(hash, canon) != nil
+		}
+	}
+
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if specPutFailed {
+		s.storeErrors++
+	}
 	s.reserved--
 	if fl.cancelled {
 		// Every attached job was cancelled while the workload expanded;
@@ -546,11 +683,17 @@ func (s *Service) fastPath(hash string) (JobStatus, bool) {
 		j := s.newJob(hash)
 		j.state = fl.state
 		j.done, j.total = fl.done, fl.total
+		j.cachedCells = fl.cached
 		j.flight = fl
 		fl.jobs = append(fl.jobs, j)
 		j.emit(Event{Type: EventQueued, Total: j.total})
 		if fl.state == StateRunning {
 			j.emit(Event{Type: EventRunning, Done: j.done, Total: j.total})
+			if fl.done > 0 {
+				// Catch the late job up to the flight's cell counts so its
+				// replay buffer is consistent with jobs attached earlier.
+				j.emit(Event{Type: EventCells, Done: fl.done, CachedCells: fl.cached, Total: fl.total})
+			}
 		}
 		s.persistJob(j)
 		return j.status(), true
@@ -611,8 +754,10 @@ func (s *Service) runFlight(fl *flight) {
 	s.mu.Unlock()
 
 	res, err := s.runMatrix(fl.ctx, fl.rspec, runner.Options{
-		Parallelism: s.cfg.CellParallelism,
-		Progress:    func(done, total int) { s.flightProgress(fl, done, total) },
+		Parallelism:  s.cfg.CellParallelism,
+		Progress:     func(done, total int) { s.flightProgress(fl, done, total) },
+		CellProgress: func(done, cached, total int) { s.flightCells(fl, done, cached, total) },
+		CellCache:    s.cellCacheFor(fl),
 	})
 
 	var cached *CachedResult
@@ -633,6 +778,13 @@ func (s *Service) runFlight(fl *flight) {
 		}); perr != nil {
 			persistFailed = true
 		}
+	}
+	// The flight is over either way: its spec record has served its purpose
+	// (crash-resume needs it only while the matrix is in flight — on success
+	// the cells and artifacts carry the result, on failure a resubmission
+	// writes a fresh record).
+	if s.cellCacheEnabled() {
+		_ = s.storeHandle.DeleteSpec(fl.hash)
 	}
 
 	s.mu.Lock()
@@ -681,6 +833,19 @@ func (s *Service) flightProgress(fl *flight, done, total int) {
 	for _, j := range fl.jobs {
 		j.done, j.total = done, total
 		j.emit(Event{Type: EventProgress, Done: done, Total: total})
+	}
+}
+
+// flightCells fans one runner cell callback — the streaming partial
+// aggregate — out to every attached job: how much of the matrix has landed
+// and how much of that was resolved from the cell cache.
+func (s *Service) flightCells(fl *flight, done, cached, total int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	fl.done, fl.cached, fl.total = done, cached, total
+	for _, j := range fl.jobs {
+		j.done, j.cachedCells, j.total = done, cached, total
+		j.emit(Event{Type: EventCells, Done: done, CachedCells: cached, Total: total})
 	}
 }
 
@@ -879,8 +1044,11 @@ func (s *Service) gcLoop(interval time.Duration) {
 // replayable event history with them — the unbounded-growth fix), the job
 // log is compacted to the surviving jobs, TTL-expired entries leave the
 // in-memory cache, and TTL-expired artifacts are deleted from the disk
-// store. The background loop calls this every GCInterval; it is also safe
-// to invoke manually.
+// store. With cell caching on, the cells tier is swept too — TTL-expired
+// cells are deleted, then oldest cells are evicted until the tier fits
+// CellCacheBytes — and spec records orphaned by a crash (no live flight,
+// older than JobRetention) are dropped. The background loop calls this
+// every GCInterval; it is also safe to invoke manually.
 func (s *Service) GC() (jobsRemoved, artifactsRemoved int) {
 	now := time.Now()
 	s.mu.Lock()
@@ -911,6 +1079,11 @@ func (s *Service) GC() (jobsRemoved, artifactsRemoved int) {
 	s.jobsGCed += int64(jobsRemoved)
 	st := s.storeHandle
 	ttl := s.cfg.CacheTTL
+	cellsOn := s.cellCacheEnabled()
+	inflightHashes := make(map[string]bool, len(s.inflight))
+	for h := range s.inflight {
+		inflightHashes[h] = true
+	}
 	s.mu.Unlock()
 
 	if st == nil {
@@ -942,11 +1115,87 @@ func (s *Service) GC() (jobsRemoved, artifactsRemoved int) {
 			}
 		}
 	}
+	var cellsRemoved int
+	if cellsOn {
+		cellsRemoved = s.gcCells(st, now, ttl, &storeErrs)
+		s.gcSpecs(st, now, inflightHashes, &storeErrs)
+	}
 	s.mu.Lock()
 	s.artifactsGCed += int64(artifactsRemoved)
+	s.cellsGCed += int64(cellsRemoved)
 	s.storeErrors += storeErrs
 	s.mu.Unlock()
 	return jobsRemoved, artifactsRemoved
+}
+
+// gcCells sweeps the cells tier: TTL-expired cells are deleted, then — the
+// size accounting — oldest surviving cells are evicted until the tier's
+// byte total fits CellCacheBytes. Returns the number of cells removed.
+func (s *Service) gcCells(st *store.Store, now time.Time, ttl time.Duration, storeErrs *int64) int {
+	infos, err := st.ListCells()
+	if err != nil {
+		*storeErrs++
+		return 0
+	}
+	var removed int
+	var live []store.CellInfo
+	var liveBytes int64
+	for _, info := range infos {
+		if ttl > 0 && now.Sub(info.CreatedAt) > ttl {
+			if err := st.DeleteCell(info.Hash); err != nil {
+				*storeErrs++
+			} else {
+				removed++
+			}
+			continue
+		}
+		live = append(live, info)
+		liveBytes += info.Bytes
+	}
+	if budget := s.cfg.CellCacheBytes; budget > 0 && liveBytes > budget {
+		sort.Slice(live, func(i, j int) bool {
+			if !live[i].CreatedAt.Equal(live[j].CreatedAt) {
+				return live[i].CreatedAt.Before(live[j].CreatedAt)
+			}
+			return live[i].Hash < live[j].Hash // deterministic tie-break
+		})
+		for _, info := range live {
+			if liveBytes <= budget {
+				break
+			}
+			if err := st.DeleteCell(info.Hash); err != nil {
+				*storeErrs++
+				continue
+			}
+			liveBytes -= info.Bytes
+			removed++
+		}
+	}
+	return removed
+}
+
+// gcSpecs drops spec records orphaned by a crash: a record whose matrix has
+// no live flight and that has outlived JobRetention will never be requeued
+// (its job either recovered already or aged out of the table), so it only
+// wastes disk. Records of in-flight matrices are never touched; flights
+// delete their own record on completion.
+func (s *Service) gcSpecs(st *store.Store, now time.Time, inflightHashes map[string]bool, storeErrs *int64) {
+	if s.cfg.JobRetention < 0 {
+		return // keep-forever retention keeps orphaned specs too
+	}
+	infos, err := st.ListSpecs()
+	if err != nil {
+		*storeErrs++
+		return
+	}
+	for _, info := range infos {
+		if inflightHashes[info.Hash] || now.Sub(info.CreatedAt) <= s.cfg.JobRetention {
+			continue
+		}
+		if err := st.DeleteSpec(info.Hash); err != nil {
+			*storeErrs++
+		}
+	}
 }
 
 // Health is the payload of GET /healthz: the cheap shard-health probe a
@@ -1004,6 +1253,10 @@ type Metrics struct {
 	JobsTracked    int     `json:"jobs_tracked"`
 	Persistent     bool    `json:"persistent"`
 	CellsDone      int64   `json:"cells_done"`
+	CellHits       int64   `json:"cell_hits"`
+	CellMisses     int64   `json:"cell_misses"`
+	CellBytes      int64   `json:"cell_bytes"`
+	CellsGCed      int64   `json:"cells_gced"`
 	UptimeSeconds  float64 `json:"uptime_seconds"`
 	CellsPerSecond float64 `json:"cells_per_second"`
 }
@@ -1036,6 +1289,10 @@ func (s *Service) Metrics() Metrics {
 		JobsTracked:   len(s.jobs),
 		Persistent:    s.storeHandle != nil,
 		CellsDone:     s.cellsDone,
+		CellHits:      s.cellHits,
+		CellMisses:    s.cellMisses,
+		CellBytes:     s.cellBytes,
+		CellsGCed:     s.cellsGCed,
 	}
 	m.UptimeSeconds = time.Since(s.start).Seconds()
 	if m.UptimeSeconds > 0 {

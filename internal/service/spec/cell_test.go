@@ -1,0 +1,316 @@
+package spec
+
+import (
+	"bytes"
+	"testing"
+
+	"mrclone/internal/sched"
+	"mrclone/internal/trace"
+)
+
+// cellPinSpec is a fixed 2×2×2 matrix with an explicit workload, a
+// point-level params override, and MaxSlots — every input the cell hash
+// derivation touches.
+func cellPinSpec() Spec {
+	eps := sched.Params{Epsilon: 0.6, DeviationFactor: 3}
+	return Spec{
+		Workload: Workload{Rows: []trace.JobRow{{
+			ID: 1, Arrival: 0, Priority: 2,
+			MapTasks: 3, MapScale: 100, ReduceTasks: 1, ReduceScale: 50,
+			Ratio: 5, Alpha: 2.5,
+		}}},
+		Schedulers: []Scheduler{
+			{Name: "fair"},
+			{Name: "srptms+c", Params: sched.Params{Epsilon: 0.9, DeviationFactor: 3}},
+		},
+		Points: []Point{
+			{X: 10, Machines: 25},
+			{X: 20, Machines: 50, Params: &eps},
+		},
+		Runs:     2,
+		BaseSeed: 7,
+		MaxSlots: 100000,
+	}
+}
+
+// TestCellHashGoldenPin pins the hash of one fixed cell. Cell hashes are
+// the on-disk keys of internal/store's cells/ tier (see the cell-hash
+// stability contract in this package's cell.go): if this test breaks, every
+// persisted cell record just became unreachable — bump CellVersion instead
+// of changing the version-1 derivation.
+func TestCellHashGoldenPin(t *testing.T) {
+	sp := cellPinSpec()
+	// Cell (1,1,1): the override point, the parameterized scheduler, the
+	// second replicate — every frozen rule (params collapse, seed
+	// derivation, MaxSlots carry-through) shapes this hash.
+	h, err := sp.CellHash(1, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const wantHash = "5b91f78e7fc645d8f5d639357f7aecbcbc8e63788c6f6b0d897f90ce5101e160"
+	if h != wantHash {
+		t.Errorf("golden cell hash drifted:\n got %s\nwant %s", h, wantHash)
+	}
+}
+
+// TestCellHashAxisPermutation: permuting matrix axes must never change a
+// cell's hash — the hash depends on what the cell simulates, not where it
+// sits in its matrix. This is the property that makes cells reusable across
+// overlapping sweeps.
+func TestCellHashAxisPermutation(t *testing.T) {
+	orig := cellPinSpec()
+	perm := cellPinSpec()
+	perm.Schedulers[0], perm.Schedulers[1] = perm.Schedulers[1], perm.Schedulers[0]
+	perm.Points[0], perm.Points[1] = perm.Points[1], perm.Points[0]
+
+	for si := 0; si < 2; si++ {
+		for pi := 0; pi < 2; pi++ {
+			for run := 0; run < 2; run++ {
+				want, err := orig.CellHash(si, pi, run)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := perm.CellHash(1-si, 1-pi, run)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got != want {
+					t.Errorf("cell (%d,%d,%d): hash changed under axis permutation", si, pi, run)
+				}
+			}
+		}
+	}
+
+	// Growing the matrix must not move existing cells either.
+	grown := cellPinSpec()
+	grown.Schedulers = append(grown.Schedulers, Scheduler{Name: "dolly"})
+	grown.Points = append(grown.Points, Point{X: 40, Machines: 80})
+	grown.Runs = 3
+	for si := 0; si < 2; si++ {
+		for pi := 0; pi < 2; pi++ {
+			for run := 0; run < 2; run++ {
+				want, err := orig.CellHash(si, pi, run)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := grown.CellHash(si, pi, run)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got != want {
+					t.Errorf("cell (%d,%d,%d): hash changed when the matrix grew", si, pi, run)
+				}
+			}
+		}
+	}
+}
+
+// TestCellHashOverrideCollapse: a point-level params override and the same
+// params spelled on the scheduler row describe the same simulation, so
+// their cells must share a hash across matrices.
+func TestCellHashOverrideCollapse(t *testing.T) {
+	eps := sched.Params{Epsilon: 0.6, DeviationFactor: 3}
+	overridden := cellPinSpec() // point 1 overrides scheduler params with eps
+	direct := cellPinSpec()
+	direct.Schedulers[1].Params = eps
+	direct.Points[1].Params = nil
+
+	want, err := overridden.CellHash(1, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := direct.CellHash(1, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Error("override-collapsed cell does not match the directly parameterized cell")
+	}
+}
+
+// TestCellHashSensitivity: coordinates that change what a cell simulates
+// must change its hash.
+func TestCellHashSensitivity(t *testing.T) {
+	sp := cellPinSpec()
+	base, err := sp.CellHash(0, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]string{base: "cell (0,0,0)"}
+	for _, tc := range []struct {
+		name       string
+		si, pi, rn int
+		mutate     func(*Spec)
+	}{
+		{"other scheduler", 1, 0, 0, nil},
+		{"other point", 0, 1, 0, nil},
+		{"other replicate", 0, 0, 1, nil},
+		{"changed base seed", 0, 0, 0, func(s *Spec) { s.BaseSeed++ }},
+		{"changed workload", 0, 0, 0, func(s *Spec) { s.Workload.Rows[0].Ratio++ }},
+		{"changed max slots", 0, 0, 0, func(s *Spec) { s.MaxSlots++ }},
+	} {
+		mutated := cellPinSpec()
+		if tc.mutate != nil {
+			tc.mutate(&mutated)
+		}
+		h, err := mutated.CellHash(tc.si, tc.pi, tc.rn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prev, dup := seen[h]; dup {
+			t.Errorf("%s collides with %s", tc.name, prev)
+		}
+		seen[h] = tc.name
+	}
+}
+
+// TestCellSpecProjection: the single-cell projection is a valid spec, a
+// fixed point of further projection, and hashes (as a cell) to the same
+// address as the cell it projects.
+func TestCellSpecProjection(t *testing.T) {
+	sp := cellPinSpec()
+	for si := 0; si < 2; si++ {
+		for pi := 0; pi < 2; pi++ {
+			for run := 0; run < 2; run++ {
+				proj, err := sp.CellSpec(si, pi, run)
+				if err != nil {
+					t.Fatal(err)
+				}
+				canon, err := proj.Canonical()
+				if err != nil {
+					t.Fatalf("projection (%d,%d,%d) not canonicalizable: %v", si, pi, run, err)
+				}
+				if _, err := Parse(canon); err != nil {
+					t.Fatalf("projection (%d,%d,%d) does not reparse: %v", si, pi, run, err)
+				}
+				again, err := proj.CellSpec(0, 0, 0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				canon2, err := again.Canonical()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(canon, canon2) {
+					t.Fatalf("projection (%d,%d,%d) is not a fixed point:\n%s\nvs\n%s",
+						si, pi, run, canon, canon2)
+				}
+				want, err := sp.CellHash(si, pi, run)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := proj.CellHash(0, 0, 0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got != want {
+					t.Fatalf("projection (%d,%d,%d) hashes to %s as a cell, want %s", si, pi, run, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestCellHashDomainSeparation: a single-cell matrix and its own cell
+// projection share canonical bytes, yet their hashes key different store
+// tiers and must not alias.
+func TestCellHashDomainSeparation(t *testing.T) {
+	proj, err := cellPinSpec().CellSpec(0, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	matrixHash, err := proj.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cellHash, err := proj.CellHash(0, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if matrixHash == cellHash {
+		t.Fatal("cell hash aliases the matrix hash")
+	}
+}
+
+// TestCellHashBounds: out-of-range coordinates and invalid specs error.
+func TestCellHashBounds(t *testing.T) {
+	sp := cellPinSpec()
+	for _, c := range [][3]int{{-1, 0, 0}, {2, 0, 0}, {0, 2, 0}, {0, 0, 2}} {
+		if _, err := sp.CellHash(c[0], c[1], c[2]); err == nil {
+			t.Errorf("cell %v accepted outside the matrix", c)
+		}
+		if _, err := sp.CellSpec(c[0], c[1], c[2]); err == nil {
+			t.Errorf("projection %v accepted outside the matrix", c)
+		}
+	}
+	if _, err := (Spec{}).CellHash(0, 0, 0); err == nil {
+		t.Error("invalid spec hashed")
+	}
+}
+
+// FuzzCellHashProjection: for any spec that parses and validates, the cell
+// projection of its first and last cells must itself parse as a valid
+// single-cell spec, be a fixed point of projection, and hash to the same
+// cell address as the original coordinates.
+func FuzzCellHashProjection(f *testing.F) {
+	for _, sp := range []Spec{cellPinSpec(), tinySpec()} {
+		canon, err := sp.Canonical()
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(canon)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sp, err := Parse(data)
+		if err != nil {
+			t.Skip()
+		}
+		norm := sp.Normalize()
+		if err := norm.Validate(); err != nil {
+			t.Skip()
+		}
+		last := [3]int{len(norm.Schedulers) - 1, len(norm.Points) - 1, norm.Runs - 1}
+		for _, c := range [][3]int{{0, 0, 0}, last} {
+			proj, err := norm.CellSpec(c[0], c[1], c[2])
+			if err != nil {
+				t.Fatalf("projection %v of a valid spec failed: %v", c, err)
+			}
+			canon, err := proj.Canonical()
+			if err != nil {
+				t.Fatalf("projection %v not canonicalizable: %v", c, err)
+			}
+			reparsed, err := Parse(canon)
+			if err != nil {
+				t.Fatalf("projection %v does not reparse: %v", c, err)
+			}
+			if err := reparsed.Validate(); err != nil {
+				t.Fatalf("projection %v reparses invalid: %v", c, err)
+			}
+			if n := len(reparsed.Schedulers) * len(reparsed.Points) * reparsed.Normalize().Runs; n != 1 {
+				t.Fatalf("projection %v describes %d cells, want 1", c, n)
+			}
+			again, err := proj.CellSpec(0, 0, 0)
+			if err != nil {
+				t.Fatalf("re-projection of %v failed: %v", c, err)
+			}
+			canon2, err := again.Canonical()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(canon, canon2) {
+				t.Fatalf("projection %v is not a fixed point", c)
+			}
+			want, err := norm.CellHash(c[0], c[1], c[2])
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := proj.CellHash(0, 0, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Fatalf("projection %v hashes to %s as a cell, want %s", c, got, want)
+			}
+		}
+	})
+}

@@ -1,0 +1,340 @@
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// Cell-level tier: alongside whole-matrix artifacts the store keeps two
+// smaller content-addressed namespaces —
+//
+//	cells/<hh>/<hash>  one JSON record per simulated matrix cell, keyed by
+//	                   the cell content hash (internal/service/spec.CellHash)
+//	specs/<hh>/<hash>  the canonical spec bytes of matrices that are still
+//	                   executing, keyed by the matrix hash, so a restart can
+//	                   requeue interrupted jobs instead of failing them
+//
+// Both share the artifact tier's discipline: writes are staged in tmp/,
+// fsync'd, and renamed into place (a reader observes no entry or a complete
+// one), entries are sharded by the first two hex digits of their hash, and
+// records that fail verification are quarantined and report ErrCorrupt so
+// the caller recomputes. Cell records carry a size and payload checksum;
+// spec records are self-verifying — their file name is the SHA-256 of their
+// contents.
+
+// Cell is one content-addressed cell record: the coordinate-independent
+// payload of one simulated matrix cell, keyed by its cell content hash.
+type Cell struct {
+	// Hash is the cell content address (lowercase hex SHA-256).
+	Hash string
+	// Payload is the canonical JSON of the cell outcome
+	// (runner.CellPayload).
+	Payload []byte
+	// CreatedAt is when the cell was computed; it anchors TTL expiry and
+	// oldest-first byte-budget eviction.
+	CreatedAt time.Time
+}
+
+// CellInfo is the metadata summary of one stored cell, as listed for GC.
+type CellInfo struct {
+	Hash      string
+	Bytes     int64
+	CreatedAt time.Time
+}
+
+// cellRecord is the on-disk form of a cell. The payload checksum lets reads
+// detect truncation and bit rot without a separate metadata file.
+type cellRecord struct {
+	Hash        string          `json:"hash"`
+	CreatedAtMs int64           `json:"created_at_ms"`
+	Size        int64           `json:"size"`
+	SHA256      string          `json:"sha256"`
+	Payload     json.RawMessage `json:"payload"`
+}
+
+// cellPath is where a cell record lives, sharded like artifact entries.
+func (s *Store) cellPath(hash string) string {
+	return filepath.Join(s.cellDir, hash[:2], hash)
+}
+
+// specPath is where a spec record lives.
+func (s *Store) specPath(hash string) string {
+	return filepath.Join(s.specDir, hash[:2], hash)
+}
+
+// PutCell atomically writes one cell record: staged under tmp/, fsync'd,
+// and renamed into cells/<hh>/. Replacing an existing record is harmless —
+// equal cell hashes mean equal payloads (the runner is deterministic).
+func (s *Store) PutCell(c Cell) error {
+	if err := validHash(c.Hash); err != nil {
+		return err
+	}
+	if s.isClosed() {
+		return ErrClosed
+	}
+	sum := checksum(c.Payload)
+	rec, err := json.Marshal(cellRecord{
+		Hash:        c.Hash,
+		CreatedAtMs: c.CreatedAt.UnixMilli(),
+		Size:        sum.Size,
+		SHA256:      sum.SHA256,
+		Payload:     json.RawMessage(c.Payload),
+	})
+	if err != nil {
+		return fmt.Errorf("store: encode cell: %w", err)
+	}
+	return s.publishFile(s.cellPath(c.Hash), rec)
+}
+
+// GetCell reads and verifies the cell stored under hash. A missing record
+// reports ErrNotFound; a record that fails verification is quarantined and
+// reports ErrCorrupt.
+func (s *Store) GetCell(hash string) (Cell, error) {
+	if err := validHash(hash); err != nil {
+		return Cell{}, err
+	}
+	if s.isClosed() {
+		return Cell{}, ErrClosed
+	}
+	data, err := os.ReadFile(s.cellPath(hash))
+	if errors.Is(err, fs.ErrNotExist) {
+		return Cell{}, fmt.Errorf("%w: cell %s", ErrNotFound, hash)
+	}
+	if err != nil {
+		return Cell{}, fmt.Errorf("store: read cell: %w", err)
+	}
+	var rec cellRecord
+	if err := json.Unmarshal(data, &rec); err != nil {
+		return Cell{}, s.quarantineFile(s.cellPath(hash), hash, "bad cell record: "+err.Error())
+	}
+	if rec.Hash != hash {
+		return Cell{}, s.quarantineFile(s.cellPath(hash), hash,
+			fmt.Sprintf("cell record names hash %s", rec.Hash))
+	}
+	if got := checksum(rec.Payload); got.Size != rec.Size || got.SHA256 != rec.SHA256 {
+		return Cell{}, s.quarantineFile(s.cellPath(hash), hash, "cell payload checksum mismatch")
+	}
+	return Cell{
+		Hash:      hash,
+		Payload:   []byte(rec.Payload),
+		CreatedAt: time.UnixMilli(rec.CreatedAtMs),
+	}, nil
+}
+
+// DeleteCell removes the cell stored under hash; deleting a missing cell is
+// not an error.
+func (s *Store) DeleteCell(hash string) error {
+	return s.deleteFile(s.cellPath(hash), hash)
+}
+
+// ListCells summarizes every stored cell record. Records whose envelope
+// cannot be decoded are quarantined and skipped, never failing the listing;
+// payload checksums are deliberately not reverified here (GetCell does) so
+// a GC sweep over a large tier stays cheap.
+func (s *Store) ListCells() ([]CellInfo, error) {
+	if s.isClosed() {
+		return nil, ErrClosed
+	}
+	var infos []CellInfo
+	err := s.walkTier(s.cellDir, func(hash, path string) {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			_ = s.quarantineFile(path, hash, "listing: "+err.Error())
+			return
+		}
+		var rec cellRecord
+		if err := json.Unmarshal(data, &rec); err != nil || rec.Hash != hash {
+			_ = s.quarantineFile(path, hash, "listing: bad cell record")
+			return
+		}
+		infos = append(infos, CellInfo{
+			Hash:      hash,
+			Bytes:     int64(len(data)),
+			CreatedAt: time.UnixMilli(rec.CreatedAtMs),
+		})
+	})
+	if err != nil {
+		return nil, err
+	}
+	return infos, nil
+}
+
+// SpecInfo is the metadata summary of one stored spec record.
+type SpecInfo struct {
+	Hash      string
+	Bytes     int64
+	CreatedAt time.Time // file modification time (when the spec was stored)
+}
+
+// PutSpec atomically stores the canonical spec bytes under their matrix
+// hash, making an in-flight matrix recoverable after a crash. The caller
+// guarantees hash == SHA-256(canonical) (internal/service/spec.Hash); reads
+// reverify it.
+func (s *Store) PutSpec(hash string, canonical []byte) error {
+	if err := validHash(hash); err != nil {
+		return err
+	}
+	if s.isClosed() {
+		return ErrClosed
+	}
+	return s.publishFile(s.specPath(hash), canonical)
+}
+
+// GetSpec reads the canonical spec bytes stored under hash. The content is
+// self-verifying: bytes whose SHA-256 does not match the name are
+// quarantined and report ErrCorrupt.
+func (s *Store) GetSpec(hash string) ([]byte, error) {
+	if err := validHash(hash); err != nil {
+		return nil, err
+	}
+	if s.isClosed() {
+		return nil, ErrClosed
+	}
+	data, err := os.ReadFile(s.specPath(hash))
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, fmt.Errorf("%w: spec %s", ErrNotFound, hash)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("store: read spec: %w", err)
+	}
+	sum := sha256.Sum256(data)
+	if hex.EncodeToString(sum[:]) != hash {
+		return nil, s.quarantineFile(s.specPath(hash), hash, "spec bytes do not hash to their name")
+	}
+	return data, nil
+}
+
+// DeleteSpec removes the spec stored under hash; deleting a missing spec is
+// not an error.
+func (s *Store) DeleteSpec(hash string) error {
+	return s.deleteFile(s.specPath(hash), hash)
+}
+
+// ListSpecs summarizes every stored spec record.
+func (s *Store) ListSpecs() ([]SpecInfo, error) {
+	if s.isClosed() {
+		return nil, ErrClosed
+	}
+	var infos []SpecInfo
+	err := s.walkTier(s.specDir, func(hash, path string) {
+		st, err := os.Stat(path)
+		if err != nil {
+			return
+		}
+		infos = append(infos, SpecInfo{Hash: hash, Bytes: st.Size(), CreatedAt: st.ModTime()})
+	})
+	if err != nil {
+		return nil, err
+	}
+	return infos, nil
+}
+
+// walkTier visits every hash-named file of a sharded single-file tier. One
+// unreadable prefix directory skips its entries for this pass without
+// failing the walk (mirroring ListArtifacts).
+func (s *Store) walkTier(root string, visit func(hash, path string)) error {
+	prefixes, err := os.ReadDir(root)
+	if err != nil {
+		return fmt.Errorf("store: list %s: %w", filepath.Base(root), err)
+	}
+	for _, p := range prefixes {
+		if !p.IsDir() || !validPrefix(p.Name()) {
+			continue
+		}
+		dirents, err := os.ReadDir(filepath.Join(root, p.Name()))
+		if err != nil {
+			continue
+		}
+		for _, e := range dirents {
+			hash := e.Name()
+			if e.IsDir() || validHash(hash) != nil || hash[:2] != p.Name() {
+				continue
+			}
+			visit(hash, filepath.Join(root, p.Name(), hash))
+		}
+	}
+	return nil
+}
+
+// publishFile atomically writes one file of a sharded tier: staged in tmp/,
+// fsync'd, renamed over the destination (rename replaces files atomically),
+// then the prefix directory is fsync'd.
+func (s *Store) publishFile(dst string, data []byte) error {
+	stage, err := os.CreateTemp(s.tmpDir, filepath.Base(dst)+".")
+	if err != nil {
+		return fmt.Errorf("store: stage: %w", err)
+	}
+	stagePath := stage.Name()
+	cleanup := func(err error) error {
+		os.Remove(stagePath)
+		return err
+	}
+	if _, err := stage.Write(data); err != nil {
+		stage.Close()
+		return cleanup(fmt.Errorf("store: stage write: %w", err))
+	}
+	if err := stage.Sync(); err != nil {
+		stage.Close()
+		return cleanup(fmt.Errorf("store: stage sync: %w", err))
+	}
+	if err := stage.Close(); err != nil {
+		return cleanup(fmt.Errorf("store: stage close: %w", err))
+	}
+	pfx := filepath.Dir(dst)
+	if err := os.MkdirAll(pfx, 0o755); err != nil {
+		return cleanup(fmt.Errorf("store: prefix dir: %w", err))
+	}
+	if err := os.Rename(stagePath, dst); err != nil {
+		return cleanup(fmt.Errorf("store: publish: %w", err))
+	}
+	if err := syncDir(pfx); err != nil {
+		return fmt.Errorf("store: sync prefix dir: %w", err)
+	}
+	return nil
+}
+
+// deleteFile removes one file of a sharded tier; missing files (and missing
+// prefix directories) are not errors.
+func (s *Store) deleteFile(path, hash string) error {
+	if err := validHash(hash); err != nil {
+		return err
+	}
+	if s.isClosed() {
+		return ErrClosed
+	}
+	if err := os.Remove(path); err != nil && !errors.Is(err, fs.ErrNotExist) {
+		return fmt.Errorf("store: delete: %w", err)
+	}
+	err := syncDir(filepath.Dir(path))
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("store: delete: %w", err)
+	}
+	return nil
+}
+
+// quarantineFile moves a damaged single-file record into quarantine/ so it
+// cannot fail the same lookup twice, and returns the ErrCorrupt to hand to
+// the caller.
+func (s *Store) quarantineFile(src, hash, reason string) error {
+	for n := 0; n < 1000; n++ {
+		dst := filepath.Join(s.quarDir, fmt.Sprintf("%s.%d", hash, n))
+		if _, err := os.Stat(dst); err == nil {
+			continue // slot taken by an earlier corruption of the same hash
+		}
+		err := os.Rename(src, dst)
+		if err == nil || errors.Is(err, fs.ErrNotExist) {
+			break // moved, or a concurrent reader already quarantined it
+		}
+	}
+	return fmt.Errorf("%w: %s (%s)", ErrCorrupt, hash, reason)
+}

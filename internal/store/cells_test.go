@@ -1,0 +1,258 @@
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func testCell(b byte) Cell {
+	return Cell{
+		Hash:      testHash(b),
+		Payload:   []byte(`{"seed":` + string('0'+b%10) + `,"scheduler_name":"fair"}`),
+		CreatedAt: time.UnixMilli(1700000000000 + int64(b)),
+	}
+}
+
+func TestCellRoundtrip(t *testing.T) {
+	s := openStore(t)
+	want := testCell(1)
+	if err := s.PutCell(want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.GetCell(want.Hash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Hash != want.Hash || string(got.Payload) != string(want.Payload) ||
+		!got.CreatedAt.Equal(want.CreatedAt) {
+		t.Fatalf("roundtrip mismatch: %+v vs %+v", got, want)
+	}
+	// Sharded layout: the record sits under its 2-hex prefix.
+	if _, err := os.Stat(filepath.Join(s.cellDir, want.Hash[:2], want.Hash)); err != nil {
+		t.Fatalf("cell not sharded under its prefix: %v", err)
+	}
+	// Overwrite is idempotent.
+	if err := s.PutCell(want); err != nil {
+		t.Fatalf("overwrite: %v", err)
+	}
+	if _, err := s.GetCell(testHash(9)); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("missing cell: %v", err)
+	}
+	if err := s.PutCell(Cell{Hash: "../evil"}); err == nil {
+		t.Fatal("invalid hash accepted")
+	}
+}
+
+func TestCellListAndDelete(t *testing.T) {
+	s := openStore(t)
+	for b := byte(0); b < 4; b++ {
+		if err := s.PutCell(testCell(b)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	infos, err := s.ListCells()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 4 {
+		t.Fatalf("listed %d cells, want 4", len(infos))
+	}
+	for _, info := range infos {
+		if info.Bytes <= 0 || info.CreatedAt.IsZero() {
+			t.Fatalf("listing lost size accounting: %+v", info)
+		}
+	}
+	if err := s.DeleteCell(testHash(0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.DeleteCell(testHash(0)); err != nil {
+		t.Fatalf("double delete: %v", err)
+	}
+	infos, err = s.ListCells()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 3 {
+		t.Fatalf("listed %d cells after delete, want 3", len(infos))
+	}
+}
+
+func TestCellCorruptQuarantined(t *testing.T) {
+	s := openStore(t)
+	c := testCell(2)
+	if err := s.PutCell(c); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(s.cellDir, c.Hash[:2], c.Hash)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-10] ^= 0x40 // flip a payload bit
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.GetCell(c.Hash); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("bit-flipped cell read as %v, want ErrCorrupt", err)
+	}
+	// Quarantined, not deleted — and the next read is a clean miss.
+	if _, err := os.Stat(filepath.Join(s.quarDir, c.Hash+".0")); err != nil {
+		t.Fatalf("corrupt cell not quarantined: %v", err)
+	}
+	if _, err := s.GetCell(c.Hash); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("second read: %v, want ErrNotFound", err)
+	}
+	// A fresh put heals the entry.
+	if err := s.PutCell(c); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.GetCell(c.Hash); err != nil {
+		t.Fatalf("healed cell: %v", err)
+	}
+}
+
+func TestSpecRoundtrip(t *testing.T) {
+	s := openStore(t)
+	canonical := []byte(`{"version":1,"workload":{"rows":[]}}`)
+	sum := sha256.Sum256(canonical)
+	hash := hex.EncodeToString(sum[:])
+	if err := s.PutSpec(hash, canonical); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.GetSpec(hash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(canonical) {
+		t.Fatalf("spec roundtrip mismatch: %s", got)
+	}
+	infos, err := s.ListSpecs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 1 || infos[0].Hash != hash || infos[0].Bytes != int64(len(canonical)) {
+		t.Fatalf("spec listing wrong: %+v", infos)
+	}
+	if err := s.DeleteSpec(hash); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.DeleteSpec(hash); err != nil {
+		t.Fatalf("double delete: %v", err)
+	}
+	if _, err := s.GetSpec(hash); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("deleted spec read as %v", err)
+	}
+}
+
+func TestSpecSelfVerifying(t *testing.T) {
+	s := openStore(t)
+	// A record whose bytes do not hash to its name is corrupt by definition.
+	hash := testHash(3)
+	if err := s.PutSpec(hash, []byte("not the preimage of that hash")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.GetSpec(hash); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("mismatched spec read as %v, want ErrCorrupt", err)
+	}
+	if _, err := s.GetSpec(hash); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("quarantined spec read as %v, want ErrNotFound", err)
+	}
+}
+
+func TestCellTiersClosedStore(t *testing.T) {
+	s := openStore(t)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutCell(testCell(1)); !errors.Is(err, ErrClosed) {
+		t.Errorf("PutCell on closed store: %v", err)
+	}
+	if _, err := s.GetCell(testHash(1)); !errors.Is(err, ErrClosed) {
+		t.Errorf("GetCell on closed store: %v", err)
+	}
+	if _, err := s.ListCells(); !errors.Is(err, ErrClosed) {
+		t.Errorf("ListCells on closed store: %v", err)
+	}
+	if err := s.PutSpec(testHash(1), nil); !errors.Is(err, ErrClosed) {
+		t.Errorf("PutSpec on closed store: %v", err)
+	}
+	if _, err := s.ListSpecs(); !errors.Is(err, ErrClosed) {
+		t.Errorf("ListSpecs on closed store: %v", err)
+	}
+}
+
+func TestCellSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := testCell(5)
+	if err := s.PutCell(c); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	got, err := s2.GetCell(c.Hash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got.Payload) != string(c.Payload) {
+		t.Fatal("cell payload did not survive reopen")
+	}
+	// Junk in tmp/ from a crash mid-publish is swept by Open and never
+	// visible as a cell.
+	if err := os.WriteFile(filepath.Join(dir, "tmp", "leftover"), []byte("x"), 0o644); err == nil {
+		s2.Close()
+		s3, err := Open(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s3.Close()
+		if _, err := os.Stat(filepath.Join(dir, "tmp", "leftover")); !os.IsNotExist(err) {
+			t.Fatal("tmp leftover not swept on reopen")
+		}
+	}
+}
+
+func TestWalkTierSkipsJunk(t *testing.T) {
+	s := openStore(t)
+	if err := s.PutCell(testCell(1)); err != nil {
+		t.Fatal(err)
+	}
+	// Junk that must not surface: a non-hash file, a wrong-prefix record, a
+	// stray directory.
+	if err := os.WriteFile(filepath.Join(s.cellDir, "README"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	wrong := filepath.Join(s.cellDir, "ff")
+	if err := os.MkdirAll(wrong, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	misfiled := testHash(1) // prefix "ab", filed under ff/
+	if !strings.HasPrefix(misfiled, "ab") {
+		t.Fatal("test hash prefix changed")
+	}
+	if err := os.WriteFile(filepath.Join(wrong, misfiled), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	infos, err := s.ListCells()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 1 {
+		t.Fatalf("listing surfaced junk: %+v", infos)
+	}
+}

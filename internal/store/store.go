@@ -17,6 +17,8 @@
 // Layout under the data directory:
 //
 //	artifacts/<hh>/<hash>/  meta.json, matrix.json, cells.csv, aggregate.csv
+//	cells/<hh>/<hash>       one JSON record per simulated cell (see cells.go)
+//	specs/<hh>/<hash>       canonical spec bytes of in-flight matrices
 //	quarantine/             corrupt entries moved aside with a unique suffix
 //	tmp/                    staging area for atomic writes (swept on Open)
 //	jobs.log                append-only JSONL job records, periodically compacted
@@ -110,6 +112,8 @@ type fileMeta struct {
 type Store struct {
 	dir     string
 	artDir  string
+	cellDir string
+	specDir string
 	tmpDir  string
 	quarDir string
 
@@ -125,10 +129,12 @@ func Open(dir string) (*Store, error) {
 	s := &Store{
 		dir:     dir,
 		artDir:  filepath.Join(dir, "artifacts"),
+		cellDir: filepath.Join(dir, "cells"),
+		specDir: filepath.Join(dir, "specs"),
 		tmpDir:  filepath.Join(dir, "tmp"),
 		quarDir: filepath.Join(dir, "quarantine"),
 	}
-	for _, d := range []string{s.artDir, s.tmpDir, s.quarDir} {
+	for _, d := range []string{s.artDir, s.cellDir, s.specDir, s.tmpDir, s.quarDir} {
 		if err := os.MkdirAll(d, 0o755); err != nil {
 			return nil, fmt.Errorf("store: open: %w", err)
 		}

@@ -327,8 +327,11 @@ func NewService(cfg ServiceConfig) *Service { return service.New(cfg) }
 // NewPersistentService starts a simulation service whose result cache and
 // job table are backed by a disk store rooted at dataDir (created if
 // needed): completed artifacts survive restarts and are served back as disk
-// cache hits, terminal-job history is recovered on startup, and jobs that
-// were in flight when the previous process died are marked failed. The
+// cache hits, terminal-job history is recovered on startup, and every
+// simulated matrix cell persists under its own content address, so
+// overlapping matrices reuse shared cells and jobs that were in flight when
+// the previous process died are requeued and refill from their persisted
+// cells (set ServiceConfig.DisableCellCache to fail them instead). The
 // service owns the store; Service.Close closes it. See cmd/mrserved and
 // docs/OPERATIONS.md for the operational details.
 func NewPersistentService(dataDir string, cfg ServiceConfig) (*Service, error) {
