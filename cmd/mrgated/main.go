@@ -9,7 +9,8 @@
 // Usage:
 //
 //	mrgated [-addr :8081] -shard URL [-shard URL ...]
-//	        [-vnodes 128] [-replicas 0] [-probe-timeout 2s] [-drain-timeout 10s]
+//	        [-vnodes 128] [-replicas 0] [-tenants FILE]
+//	        [-probe-timeout 2s] [-drain-timeout 10s]
 //
 // Each -shard is an mrserved base URL, optionally named ("name=URL"); unnamed
 // shards are called s0, s1, … in flag order. Shard names are embedded in the
@@ -17,6 +18,11 @@
 // of names — keep names (or flag order) stable across gateway restarts and
 // across a fleet of gateways, or job IDs and placement will not line up.
 // See docs/OPERATIONS.md ("Sharded deployment") for topology guidance.
+//
+// With -tenants the gateway authenticates and rate-limits submissions at
+// the edge (same JSON registry file the shards take), rejecting a flooding
+// tenant before it touches a shard; bearer tokens are always forwarded
+// upstream either way.
 package main
 
 import (
@@ -35,6 +41,7 @@ import (
 	"time"
 
 	"mrclone/internal/gateway"
+	"mrclone/internal/tenant"
 )
 
 func main() {
@@ -86,6 +93,8 @@ func run(ctx context.Context, args []string, logw io.Writer) error {
 	fs.Var(&shardFlags, "shard", "mrserved shard base URL, optionally named (\"name=URL\"); repeatable")
 	vnodes := fs.Int("vnodes", 0, "virtual nodes per shard on the placement ring (0 = default 128)")
 	replicas := fs.Int("replicas", 0, "submission failover depth in ring order (0 = try every shard)")
+	tenantsFile := fs.String("tenants", "",
+		"JSON tenant registry for edge admission: authenticate and rate-limit submissions before routing (empty = pass credentials through)")
 	probeTimeout := fs.Duration("probe-timeout", 2*time.Second,
 		"per-shard /healthz and /metrics probe timeout")
 	drainTimeout := fs.Duration("drain-timeout", 10*time.Second,
@@ -109,11 +118,19 @@ func run(ctx context.Context, args []string, logw io.Writer) error {
 	if err != nil {
 		return err
 	}
+	var registry *tenant.Registry
+	if *tenantsFile != "" {
+		registry, err = tenant.Load(*tenantsFile)
+		if err != nil {
+			return fmt.Errorf("-tenants: %w", err)
+		}
+	}
 	gw, err := gateway.New(gateway.Config{
 		Shards:       shards,
 		VirtualNodes: *vnodes,
 		Replicas:     *replicas,
 		ProbeTimeout: *probeTimeout,
+		Tenants:      registry,
 	})
 	if err != nil {
 		return err

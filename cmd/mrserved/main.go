@@ -9,6 +9,7 @@
 //	mrserved [-addr :8080] [-parallel NumCPU] [-workers 2] [-queue 16]
 //	         [-data-dir DIR] [-cache-bytes 256MiB] [-cache-ttl 0]
 //	         [-cell-cache] [-cell-cache-bytes 0]
+//	         [-tenants FILE] [-queue-policy fifo|fair|srpt]
 //	         [-job-retention 24h] [-gc-interval 1m]
 //
 // By default the service is in-memory: results and job history vanish with
@@ -21,6 +22,16 @@
 // share, and a matrix interrupted by a crash is requeued on restart and
 // refills from its persisted cells. See docs/OPERATIONS.md for the data-dir
 // layout and tuning guidance.
+//
+// Without -tenants the service is anonymous and open, exactly as before.
+// With a tenants file (see internal/tenant and docs/OPERATIONS.md,
+// "Multi-tenant deployment") every API request must carry a known bearer
+// token; submissions are rate-limited and quota-checked per tenant, and
+// -queue-policy picks how queued matrices are dequeued: "fifo" (arrival
+// order, the default), "fair" (weighted lottery across tenant queues), or
+// "srpt" — shortest remaining work first, where a matrix's remaining work
+// shrinks as the cell cache fills, dogfooding the SRPT scheduler the
+// service exists to simulate.
 //
 // The daemon drains gracefully on SIGINT/SIGTERM: the listener closes,
 // queued and running matrices finish, then the process exits. A second
@@ -45,6 +56,7 @@ import (
 
 	"mrclone/internal/service"
 	"mrclone/internal/store"
+	"mrclone/internal/tenant"
 )
 
 func main() {
@@ -73,6 +85,10 @@ func run(ctx context.Context, args []string, logw io.Writer) error {
 		"persist and reuse per-cell results in the data dir (needs -data-dir; enables cross-matrix reuse and crash resume)")
 	cellCacheBytes := fs.String("cell-cache-bytes", "0",
 		"disk budget for the per-cell tier; GC evicts oldest cells beyond it (0 = unbounded)")
+	tenantsFile := fs.String("tenants", "",
+		"JSON tenant registry; when set, every request must carry a known bearer token (empty = anonymous, open access)")
+	queuePolicy := fs.String("queue-policy", "fifo",
+		"dequeue order for queued matrices: fifo, fair (weighted across tenants), or srpt (shortest estimated job first)")
 	jobRetention := fs.Duration("job-retention", 24*time.Hour,
 		"age terminal jobs out of the job table after this long (0 = keep forever)")
 	gcInterval := fs.Duration("gc-interval", time.Minute,
@@ -108,6 +124,17 @@ func run(ctx context.Context, args []string, logw io.Writer) error {
 	case *gcInterval <= 0:
 		return fmt.Errorf("-gc-interval %s: need > 0", *gcInterval)
 	}
+	policy, err := tenant.ParsePolicy(*queuePolicy)
+	if err != nil {
+		return fmt.Errorf("-queue-policy: %w", err)
+	}
+	var registry *tenant.Registry
+	if *tenantsFile != "" {
+		registry, err = tenant.Load(*tenantsFile)
+		if err != nil {
+			return fmt.Errorf("-tenants: %w", err)
+		}
+	}
 
 	cfg := service.Config{
 		Workers:          *workers,
@@ -119,6 +146,8 @@ func run(ctx context.Context, args []string, logw io.Writer) error {
 		CellCacheBytes:   cellBudget,
 		JobRetention:     *jobRetention,
 		GCInterval:       *gcInterval,
+		Tenants:          registry,
+		QueuePolicy:      policy,
 	}
 	if cacheBudget == 0 {
 		cfg.CacheBytes = -1 // Config treats 0 as "default"; negative disables.
@@ -147,8 +176,12 @@ func run(ctx context.Context, args []string, logw io.Writer) error {
 	srv := &http.Server{Handler: svc.Handler()}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(ln) }()
-	fmt.Fprintf(logw, "mrserved: listening on %s (workers=%d parallel=%d queue=%d cache=%s ttl=%s %s)\n",
-		ln.Addr(), *workers, *parallel, *queue, *cacheBytes, *cacheTTL, mode)
+	auth := "anonymous"
+	if registry != nil {
+		auth = fmt.Sprintf("%d tenants", registry.Len())
+	}
+	fmt.Fprintf(logw, "mrserved: listening on %s (workers=%d parallel=%d queue=%d policy=%s %s cache=%s ttl=%s %s)\n",
+		ln.Addr(), *workers, *parallel, *queue, policy, auth, *cacheBytes, *cacheTTL, mode)
 
 	select {
 	case err := <-serveErr:

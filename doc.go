@@ -53,6 +53,15 @@
 //     fails over to the next ring replica when a shard is down, namespaces
 //     job IDs by shard, and aggregates pool health and metrics; proven by a
 //     multi-node e2e and chaos-test harness in internal/gateway;
+//   - multi-tenant admission control for that service (internal/tenant,
+//     enabled via mrserved's -tenants): static API-token authentication
+//     mapping requests to named tenants with per-tenant quotas and
+//     token-bucket rate limits, a worker-free fast path assembling
+//     fully-cached matrices straight from persisted cells, and pluggable
+//     dequeue policies that dogfood the paper's schedulers on the
+//     service's own queue — a weighted-fair lottery across tenant
+//     backlogs and shortest-remaining-work-first sized by uncached cells
+//     (exported as ParseTenants / QueuePolicy / SubmitToken);
 //   - a small real in-process MapReduce engine whose speculative-execution
 //     policy is pluggable with the same strategies.
 //

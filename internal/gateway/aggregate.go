@@ -109,8 +109,11 @@ func (g *Gateway) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 // scrapeMetrics fetches and parses one shard's Prometheus-style /metrics
-// into name → value. Comment lines and labeled series are skipped (shards
-// emit plain, unlabeled gauges and counters).
+// into series → value, where a series key is the metric name plus its
+// verbatim label set ("mrclone_tenant_queued{tenant=\"acme\"}"). Comment
+// lines are skipped. Labeled series are kept whole: per-tenant counters are
+// additive across shards exactly like the unlabeled ones, and keying by the
+// full series string makes the pool sum land on the right tenant.
 func (g *Gateway) scrapeMetrics(parent context.Context, sh Shard) (map[string]float64, error) {
 	ctx, cancel := context.WithTimeout(parent, g.probeTimeout)
 	defer cancel()
@@ -136,7 +139,7 @@ func (g *Gateway) scrapeMetrics(parent context.Context, sh Shard) (map[string]fl
 			continue
 		}
 		fields := strings.Fields(line)
-		if len(fields) != 2 || strings.Contains(fields[0], "{") {
+		if len(fields) != 2 {
 			continue
 		}
 		v, err := strconv.ParseFloat(fields[1], 64)
@@ -179,9 +182,10 @@ func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			mu.Lock()
 			defer mu.Unlock()
 			up[i] = true
-			for name, v := range vals {
+			for series, v := range vals {
+				name, _, _ := strings.Cut(series, "{")
 				if !nonAdditive[name] {
-					sums[name] += v
+					sums[series] += v
 				}
 			}
 		}()
@@ -215,6 +219,8 @@ func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		{"mrclone_gateway_submissions_total", "Submissions routed by content hash.", float64(g.submissions.Load())},
 		{"mrclone_gateway_failovers_total", "Submissions served by a non-owner replica.", float64(g.failovers.Load())},
 		{"mrclone_gateway_shard_errors_total", "Upstream attempts that failed (transport or draining).", float64(g.shardErrors.Load())},
+		{"mrclone_gateway_unauthorized_total", "Submissions rejected at the edge for missing or invalid credentials.", float64(g.unauthorized.Load())},
+		{"mrclone_gateway_rate_limited_total", "Submissions rejected at the edge by a tenant's rate limit.", float64(g.rateLimited.Load())},
 		{"mrclone_gateway_uptime_seconds", "Gateway uptime.", time.Since(g.start).Seconds()},
 	} {
 		fmt.Fprintf(w, "# HELP %s %s\n%s %g\n", row.name, row.help, row.name, row.value)

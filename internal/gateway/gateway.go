@@ -36,9 +36,11 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"net"
 	"net/http"
 	"net/url"
+	"strconv"
 	"strings"
 	"sync/atomic"
 	"time"
@@ -46,6 +48,7 @@ import (
 	"mrclone/internal/ring"
 	"mrclone/internal/service"
 	"mrclone/internal/service/spec"
+	"mrclone/internal/tenant"
 )
 
 // idSep separates the shard namespace from the shard-local job ID in
@@ -96,6 +99,14 @@ type Config struct {
 	// ProbeTimeout bounds each per-shard /healthz and /metrics probe
 	// (default 2s).
 	ProbeTimeout time.Duration
+	// Tenants, when set, makes the gateway an admission edge: submissions
+	// are authenticated and rate-limited here, before any shard is dialed,
+	// so a flooding tenant burns gateway CPU rather than shard queue slots.
+	// The Authorization header is still forwarded verbatim — shards
+	// configured with their own registry re-authenticate (use the same
+	// file) and apply queue/cell quotas, which only they can see. Nil means
+	// the gateway forwards credentials without inspecting them.
+	Tenants *tenant.Registry
 }
 
 // Gateway routes requests across the shard pool. Create with New, serve
@@ -109,12 +120,15 @@ type Gateway struct {
 	client       *http.Client
 	replicas     int
 	probeTimeout time.Duration
+	tenants      *tenant.Registry
 	start        time.Time
 
-	requests    atomic.Int64
-	submissions atomic.Int64
-	failovers   atomic.Int64
-	shardErrors atomic.Int64
+	requests     atomic.Int64
+	submissions  atomic.Int64
+	failovers    atomic.Int64
+	shardErrors  atomic.Int64
+	unauthorized atomic.Int64
+	rateLimited  atomic.Int64
 }
 
 // New validates the pool and builds the routing ring.
@@ -166,6 +180,7 @@ func New(cfg Config) (*Gateway, error) {
 		client:       client,
 		replicas:     replicas,
 		probeTimeout: probe,
+		tenants:      cfg.Tenants,
 		start:        time.Now(),
 	}, nil
 }
@@ -230,6 +245,11 @@ func (g *Gateway) forward(r *http.Request, sh Shard, method, path, rawQuery stri
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	// Credentials ride through untouched so multi-tenant shards can
+	// authenticate the original caller, not the gateway.
+	if auth := r.Header.Get("Authorization"); auth != "" {
+		req.Header.Set("Authorization", auth)
+	}
 	return g.client.Do(req)
 }
 
@@ -244,6 +264,9 @@ func (g *Gateway) forward(r *http.Request, sh Shard, method, path, rawQuery stri
 // failure surfaces as 502 for the client to retry rather than being
 // replayed onto a replica while the owner may still be running it.
 func (g *Gateway) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if !g.admit(w, r) {
+		return
+	}
 	body, err := io.ReadAll(io.LimitReader(r.Body, service.MaxSpecBytes+1))
 	if err != nil {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("read body: %w", err))
@@ -303,6 +326,41 @@ func (g *Gateway) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		fmt.Errorf("gateway: no replica accepted spec %.12s…: %v", hash, lastErr))
 }
 
+// admit applies edge admission when the gateway carries a tenant registry:
+// the submission must authenticate and fit the tenant's rate budget before
+// any shard is dialed. The reply mirrors the shard's own semantics — 401
+// with a challenge for missing/unknown tokens, 403 for a disabled tenant,
+// 429 with Retry-After when over rate — so clients cannot tell which tier
+// rejected them. Returns true when the request may proceed.
+func (g *Gateway) admit(w http.ResponseWriter, r *http.Request) bool {
+	if g.tenants == nil {
+		return true
+	}
+	_, err := g.tenants.Admit(tenant.BearerToken(r), time.Now())
+	if err == nil {
+		return true
+	}
+	var rl *tenant.RateLimitError
+	switch {
+	case errors.As(err, &rl):
+		g.rateLimited.Add(1)
+		secs := int(math.Ceil(rl.RetryAfter.Seconds()))
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+		writeError(w, http.StatusTooManyRequests, err)
+	case errors.Is(err, tenant.ErrDisabled):
+		g.unauthorized.Add(1)
+		writeError(w, http.StatusForbidden, err)
+	default:
+		g.unauthorized.Add(1)
+		w.Header().Set("WWW-Authenticate", `Bearer realm="mrclone"`)
+		writeError(w, http.StatusUnauthorized, err)
+	}
+	return false
+}
+
 // dialFailure reports whether an upstream error happened while connecting —
 // before any bytes of the request could reach the shard — which is the only
 // transport failure a submission may safely fail over on.
@@ -329,10 +387,15 @@ func (g *Gateway) relayJobStatus(w http.ResponseWriter, resp *http.Response, sha
 	writeJSON(w, resp.StatusCode, st)
 }
 
-// passThrough relays an upstream response verbatim.
+// passThrough relays an upstream response verbatim, preserving the headers
+// clients act on: content type plus the backpressure (Retry-After) and
+// authentication-challenge (WWW-Authenticate) signals a multi-tenant shard
+// attaches to its rejections.
 func passThrough(w http.ResponseWriter, resp *http.Response) {
-	if ct := resp.Header.Get("Content-Type"); ct != "" {
-		w.Header().Set("Content-Type", ct)
+	for _, h := range []string{"Content-Type", "Retry-After", "WWW-Authenticate"} {
+		if v := resp.Header.Get(h); v != "" {
+			w.Header().Set(h, v)
+		}
 	}
 	w.WriteHeader(resp.StatusCode)
 	_, _ = io.Copy(w, resp.Body)

@@ -1,0 +1,83 @@
+package runner
+
+import (
+	"bytes"
+	"context"
+	"testing"
+)
+
+// TestAssembleByteIdentical: a fully warmed cache must assemble into the
+// exact artifact a real run produces — with no workload attached and no
+// cells published.
+func TestAssembleByteIdentical(t *testing.T) {
+	spec := testMatrix(t, 15)
+	total := len(spec.Schedulers) * len(spec.Points) * spec.Runs
+
+	cache := newMemCellCache()
+	cold, err := Run(context.Background(), spec, Options{Parallelism: 4, CellCache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := artifactBytes(t, cold)
+
+	axes := spec
+	axes.Specs = nil // Assemble must not need the workload
+	cache.lookups, cache.published = 0, 0
+	res, ok := Assemble(axes, cache)
+	if !ok {
+		t.Fatal("Assemble missed on a fully warmed cache")
+	}
+	if got := artifactBytes(t, res); !bytes.Equal(got, want) {
+		t.Fatal("assembled artifacts differ from the cold run")
+	}
+	if cache.lookups != total {
+		t.Errorf("Assemble performed %d lookups, want %d", cache.lookups, total)
+	}
+	if cache.published != 0 {
+		t.Errorf("Assemble published %d cells, want 0", cache.published)
+	}
+}
+
+// TestAssembleAbortsOnFirstMiss: probing a cold or partial cache must be
+// cheap — one lookup past the last hit, and a false result.
+func TestAssembleAbortsOnFirstMiss(t *testing.T) {
+	spec := testMatrix(t, 15)
+
+	empty := newMemCellCache()
+	if _, ok := Assemble(spec, empty); ok {
+		t.Fatal("Assemble succeeded on an empty cache")
+	}
+	if empty.lookups != 1 {
+		t.Errorf("cold probe cost %d lookups, want 1", empty.lookups)
+	}
+
+	cache := newMemCellCache()
+	if _, err := Run(context.Background(), spec, Options{CellCache: cache}); err != nil {
+		t.Fatal(err)
+	}
+	delete(cache.cells, [3]int{1, 0, 0}) // one hole mid-matrix
+	if _, ok := Assemble(spec, cache); ok {
+		t.Fatal("Assemble succeeded with a missing cell")
+	}
+
+	if _, ok := Assemble(spec, nil); ok {
+		t.Fatal("Assemble succeeded with a nil cache")
+	}
+}
+
+// TestAssembleRejectsMismatchedPayload mirrors the Run-path contract: a
+// payload whose identity fields contradict the cell reads as a miss.
+func TestAssembleRejectsMismatchedPayload(t *testing.T) {
+	spec := testMatrix(t, 10)
+	cache := newMemCellCache()
+	if _, err := Run(context.Background(), spec, Options{CellCache: cache}); err != nil {
+		t.Fatal(err)
+	}
+	k := [3]int{0, 0, 0}
+	p := cache.cells[k]
+	p.Seed++
+	cache.cells[k] = p
+	if _, ok := Assemble(spec, cache); ok {
+		t.Fatal("Assemble accepted a payload with the wrong seed")
+	}
+}

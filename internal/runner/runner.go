@@ -363,6 +363,51 @@ feed:
 	return res, nil
 }
 
+// Assemble builds the full matrix result purely from cache, without
+// simulating (or even carrying) a workload: every cell must resolve from
+// the CellCache with identity fields matching the matrix coordinates, or
+// Assemble reports false. spec.Specs may be nil — only the scheduler axis,
+// sweep axis, and seeding scheme are read (see
+// internal/service/spec.Axes) — which is what makes the fully-cached fast
+// path cheap: a submission whose cells all persist from earlier matrices
+// reduces to Total() cache reads, no trace expansion and no worker slot.
+// Assemble aborts on the first miss, so probing a cold spec costs one
+// lookup.
+func Assemble(spec Spec, cache CellCache) (*Result, bool) {
+	if cache == nil {
+		return nil, false
+	}
+	spec = spec.normalize()
+	// The workload-free subset of Validate: Assemble never simulates, so
+	// an empty Specs is fine, but the axes must still describe a matrix.
+	if len(spec.Schedulers) == 0 || len(spec.Points) == 0 {
+		return nil, false
+	}
+	total := spec.Total()
+	res := &Result{
+		Schedulers: make([]string, len(spec.Schedulers)),
+		Points:     make([]float64, len(spec.Points)),
+		Runs:       spec.Runs,
+		BaseSeed:   spec.BaseSeed,
+		Cells:      make([]CellResult, total),
+	}
+	for i, s := range spec.Schedulers {
+		res.Schedulers[i] = s.Name
+	}
+	for i, p := range spec.Points {
+		res.Points[i] = p.X
+	}
+	opts := Options{CellCache: cache}
+	for idx := 0; idx < total; idx++ {
+		cell, ok := spec.cachedCell(idx, opts)
+		if !ok {
+			return nil, false
+		}
+		res.Cells[idx] = *cell
+	}
+	return res, true
+}
+
 // cellCoords maps a flat cell index to its (scheduler, point, run)
 // coordinates; the inverse of Result.cellIndex.
 func (s *Spec) cellCoords(idx int) (si, pi, run int) {

@@ -131,3 +131,109 @@ func (s *Service) cellCacheFor(fl *flight) runner.CellCache {
 	}
 	return &storeCellCache{svc: s, st: s.storeHandle, hasher: h}
 }
+
+// probeCellCache is the read-only cousin of storeCellCache used by the
+// assembly fast path: lookups are silent (a probe that aborts on its first
+// miss would otherwise skew the hit-rate counters) and Publish is a no-op —
+// every cell it reads is already persisted.
+type probeCellCache struct {
+	st     *store.Store
+	hasher *spec.CellHasher
+}
+
+func (c *probeCellCache) Lookup(si, pi, run int) (runner.CellPayload, bool) {
+	hash, err := c.hasher.Hash(si, pi, run)
+	if err != nil {
+		return runner.CellPayload{}, false
+	}
+	cell, err := c.st.GetCell(hash)
+	if err != nil {
+		return runner.CellPayload{}, false
+	}
+	var p runner.CellPayload
+	if err := json.Unmarshal(cell.Payload, &p); err != nil {
+		return runner.CellPayload{}, false
+	}
+	return p, true
+}
+
+func (c *probeCellCache) Publish(si, pi, run int, p runner.CellPayload) {}
+
+// tryAssemble attempts the worker-free completion path for a freshly
+// reserved flight: when every cell of the matrix is already in the cells
+// tier, the artifact is stitched together from them directly and the flight
+// completes without ever occupying a queue slot or a worker. Called off the
+// lock while s.reserved holds the flight's slot; on success (or a cancel
+// that raced the assembly) it settles the reservation itself and the caller
+// returns the status. On a miss it leaves the reservation for the caller's
+// normal enqueue path.
+func (s *Service) tryAssemble(fl *flight, j *jobState) (JobStatus, bool) {
+	if !s.cellCacheEnabled() {
+		return JobStatus{}, false
+	}
+	h, err := fl.sp.CellHasher()
+	if err != nil {
+		return JobStatus{}, false
+	}
+	axes, err := fl.sp.Axes()
+	if err != nil {
+		return JobStatus{}, false
+	}
+	res, ok := runner.Assemble(axes, &probeCellCache{st: s.storeHandle, hasher: h})
+	if !ok {
+		return JobStatus{}, false
+	}
+	cached, err := encodeResult(fl.hash, res)
+	if err != nil {
+		// Deterministic encoding failing means the payloads are unusable;
+		// treat as a miss and recompute.
+		return JobStatus{}, false
+	}
+	// Same persist-before-announce rule as runFlight: once a client sees
+	// done, a crash must not lose the artifact it was promised.
+	persistFailed := s.storeHandle.PutArtifacts(store.Artifacts{
+		Hash:         cached.Hash,
+		JSON:         cached.JSON,
+		CSV:          cached.CSV,
+		AggregateCSV: cached.AggregateCSV,
+		Cells:        cached.Cells,
+		CreatedAt:    cached.CreatedAt,
+	}) != nil
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if persistFailed {
+		s.storeErrors++
+	}
+	s.reserved--
+	if fl.cancelled {
+		// Cancel already detached every job and removed the flight; the
+		// assembled artifact stays persisted for the next submission.
+		return j.status(), true
+	}
+	if s.inflight[fl.hash] == fl {
+		delete(s.inflight, fl.hash)
+	}
+	fl.cancel()
+	s.cache.add(cached)
+	s.assembled++
+	total := int64(fl.total)
+	s.cellsDone += total
+	s.cellHits += total
+	jobs := fl.jobs
+	fl.jobs = nil
+	for _, jb := range jobs {
+		s.tenantAcctTerminal(jb, StateQueued)
+		jb.state = StateDone
+		jb.cached = true
+		jb.result = cached
+		jb.done, jb.cachedCells = jb.total, jb.total
+		jb.flight = nil
+		jb.terminalAt = time.Now()
+		s.jobsDone++
+		jb.emit(Event{Type: EventCells, Done: jb.total, CachedCells: jb.total, Total: jb.total})
+		jb.emit(Event{Type: EventDone, Done: jb.done, Total: jb.total, Cached: true})
+		s.persistJob(jb)
+	}
+	return j.status(), true
+}

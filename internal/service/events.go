@@ -36,6 +36,9 @@ type Event struct {
 	CachedCells int `json:"cached_cells,omitempty"`
 	// Error carries the failure message on failed events.
 	Error string `json:"error,omitempty"`
+	// Tenant names the tenant that owns the job; empty for anonymous
+	// submissions, keeping single-tenant streams byte-identical.
+	Tenant string `json:"tenant,omitempty"`
 }
 
 // Terminal reports whether the event ends the stream.

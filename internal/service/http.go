@@ -5,9 +5,13 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
+	"sort"
+	"strconv"
 
 	"mrclone/internal/service/spec"
+	"mrclone/internal/tenant"
 )
 
 // MaxSpecBytes bounds the accepted request body: large enough for a full
@@ -54,6 +58,54 @@ func writeError(w http.ResponseWriter, code int, err error) {
 	writeJSON(w, code, errorBody{Error: err.Error()})
 }
 
+// retryAfterSeconds renders a wait as a whole-second Retry-After value,
+// rounded up so a client that honors it exactly does not immediately trip
+// the limiter again. Zero (quota rejections, full queue) reads as "soon".
+func retryAfterSeconds(d float64) string {
+	secs := int(math.Ceil(d))
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.Itoa(secs)
+}
+
+// writeAuthError maps a tenant authentication/admission failure onto HTTP:
+// missing or unknown credentials are 401 with a challenge, a disabled
+// tenant is 403, and a rate-limited one is 429 with Retry-After.
+func writeAuthError(w http.ResponseWriter, err error) {
+	var rl *tenant.RateLimitError
+	switch {
+	case errors.As(err, &rl):
+		w.Header().Set("Retry-After", retryAfterSeconds(rl.RetryAfter.Seconds()))
+		writeError(w, http.StatusTooManyRequests, err)
+	case errors.Is(err, tenant.ErrDisabled):
+		writeError(w, http.StatusForbidden, err)
+	default:
+		w.Header().Set("WWW-Authenticate", `Bearer realm="mrclone"`)
+		writeError(w, http.StatusUnauthorized, err)
+	}
+}
+
+// authorize resolves the request's tenant for read/cancel routes. Without a
+// registry every request is the anonymous tenant; with one, a valid token is
+// required (but no submission rate is consumed — only POST pays the bucket).
+// On failure the response has been written and ok is false.
+func (s *Service) authorize(w http.ResponseWriter, r *http.Request) (string, bool) {
+	reg := s.cfg.Tenants
+	if reg == nil {
+		return "", true
+	}
+	t, err := reg.Authenticate(tenant.BearerToken(r))
+	if err != nil {
+		s.mu.Lock()
+		s.unauthorized++
+		s.mu.Unlock()
+		writeAuthError(w, err)
+		return "", false
+	}
+	return t.Name, true
+}
+
 func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	body, err := io.ReadAll(io.LimitReader(r.Body, MaxSpecBytes+1))
 	if err != nil {
@@ -70,9 +122,13 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	st, err := s.Submit(sp)
+	st, err := s.SubmitToken(tenant.BearerToken(r), sp)
 	switch {
-	case errors.Is(err, ErrQueueFull):
+	case errors.Is(err, tenant.ErrRateLimited), errors.Is(err, tenant.ErrDisabled),
+		errors.Is(err, tenant.ErrNoToken), errors.Is(err, tenant.ErrUnknownToken):
+		writeAuthError(w, err)
+	case errors.Is(err, ErrTenantQuota), errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", retryAfterSeconds(0))
 		writeError(w, http.StatusTooManyRequests, err)
 	case errors.Is(err, ErrClosed):
 		writeError(w, http.StatusServiceUnavailable, err)
@@ -86,6 +142,9 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Service) handleGet(w http.ResponseWriter, r *http.Request) {
+	if _, ok := s.authorize(w, r); !ok {
+		return
+	}
 	st, err := s.Get(r.PathValue("id"))
 	if err != nil {
 		writeError(w, http.StatusNotFound, err)
@@ -95,6 +154,9 @@ func (s *Service) handleGet(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Service) handleResult(w http.ResponseWriter, r *http.Request) {
+	if _, ok := s.authorize(w, r); !ok {
+		return
+	}
 	id := r.PathValue("id")
 	res, err := s.Result(id)
 	if err != nil {
@@ -125,7 +187,25 @@ func (s *Service) handleResult(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Service) handleCancel(w http.ResponseWriter, r *http.Request) {
+	tn, ok := s.authorize(w, r)
+	if !ok {
+		return
+	}
 	id := r.PathValue("id")
+	if s.cfg.Tenants != nil {
+		// Cancellation is destructive, so it is owner-only: a job submitted
+		// under one token cannot be torn down by another tenant.
+		st, err := s.Get(id)
+		if err != nil {
+			writeError(w, http.StatusNotFound, err)
+			return
+		}
+		if st.Tenant != "" && st.Tenant != tn {
+			writeError(w, http.StatusForbidden,
+				fmt.Errorf("job %s belongs to another tenant", id))
+			return
+		}
+	}
 	cancelled, err := s.Cancel(id)
 	if err != nil {
 		writeError(w, http.StatusNotFound, err)
@@ -143,6 +223,9 @@ func (s *Service) handleCancel(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Service) handleEvents(w http.ResponseWriter, r *http.Request) {
+	if _, ok := s.authorize(w, r); !ok {
+		return
+	}
 	sub, err := s.Subscribe(r.PathValue("id"))
 	if err != nil {
 		writeError(w, http.StatusNotFound, err)
@@ -209,10 +292,36 @@ func (s *Service) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		{"mrclone_cell_misses_total", "Cell lookups that missed the cell cache.", float64(m.CellMisses)},
 		{"mrclone_cell_bytes_total", "Cell payload bytes written to the cell store.", float64(m.CellBytes)},
 		{"mrclone_gc_cells_total", "Expired or evicted cell records deleted from the disk store.", float64(m.CellsGCed)},
+		{"mrclone_assembled_total", "Matrices assembled entirely from cached cells without a worker slot.", float64(m.Assembled)},
+		{"mrclone_unauthorized_total", "Requests rejected for missing or invalid credentials.", float64(m.Unauthorized)},
 		{"mrclone_uptime_seconds", "Service uptime.", m.UptimeSeconds},
 		{"mrclone_cells_per_second", "Lifetime mean simulation throughput.", m.CellsPerSecond},
 	} {
 		fmt.Fprintf(w, "# HELP %s %s\n%s %g\n", row.name, row.help, row.name, row.value)
+	}
+	if len(m.Tenants) == 0 {
+		return
+	}
+	names := make([]string, 0, len(m.Tenants))
+	for name := range m.Tenants {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, row := range []struct {
+		name string
+		help string
+		get  func(TenantMetrics) float64
+	}{
+		{"mrclone_tenant_submitted_total", "Submissions accepted, by tenant.", func(t TenantMetrics) float64 { return float64(t.Submitted) }},
+		{"mrclone_tenant_rejected_total", "Submissions rejected by quota or rate limit, by tenant.", func(t TenantMetrics) float64 { return float64(t.Rejected) }},
+		{"mrclone_tenant_queued", "Jobs waiting for a worker, by tenant.", func(t TenantMetrics) float64 { return float64(t.Queued) }},
+		{"mrclone_tenant_running", "Jobs occupying a worker, by tenant.", func(t TenantMetrics) float64 { return float64(t.Running) }},
+		{"mrclone_tenant_cell_seconds_total", "Worker wall-clock seconds consumed, by tenant.", func(t TenantMetrics) float64 { return t.CellSeconds }},
+	} {
+		fmt.Fprintf(w, "# HELP %s %s\n", row.name, row.help)
+		for _, name := range names {
+			fmt.Fprintf(w, "%s{tenant=%q} %g\n", row.name, name, row.get(m.Tenants[name]))
+		}
 	}
 }
 

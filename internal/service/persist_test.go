@@ -129,7 +129,10 @@ func TestCorruptEntryTriggersRecompute(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	svc2 := New(Config{Workers: 1, Store: openTestStore(t, dir), GCInterval: -1})
+	// Cell caching off: with the cells intact the service would assemble
+	// the matrix from them instead (covered by the assembly-path tests);
+	// this test pins the recompute fallback.
+	svc2 := New(Config{Workers: 1, Store: openTestStore(t, dir), GCInterval: -1, DisableCellCache: true})
 	defer closeService(t, svc2)
 	ts2 := httptest.NewServer(svc2.Handler())
 	defer ts2.Close()

@@ -51,14 +51,16 @@ import (
 	"mrclone/internal/runner"
 	"mrclone/internal/service/spec"
 	"mrclone/internal/store"
+	"mrclone/internal/tenant"
 )
 
 // Errors reported by the service.
 var (
-	ErrClosed     = errors.New("service: closed")
-	ErrQueueFull  = errors.New("service: queue full")
-	ErrUnknownJob = errors.New("service: unknown job")
-	ErrNotReady   = errors.New("service: result not ready")
+	ErrClosed      = errors.New("service: closed")
+	ErrQueueFull   = errors.New("service: queue full")
+	ErrUnknownJob  = errors.New("service: unknown job")
+	ErrNotReady    = errors.New("service: result not ready")
+	ErrTenantQuota = errors.New("service: tenant quota exceeded")
 )
 
 // restartErrMsg marks jobs that were queued or running when the previous
@@ -123,6 +125,21 @@ type Config struct {
 	// CacheTTL (default 1m; negative disables the background sweep — GC can
 	// still be invoked manually).
 	GCInterval time.Duration
+	// Tenants, when non-nil, turns on multi-tenant admission control:
+	// submissions must carry a registered API token (SubmitToken), each
+	// tenant's quotas and submission rate are enforced, and per-tenant
+	// accounting is kept on every job state transition. Nil (the default) is
+	// anonymous single-tenant mode with all pre-tenant behavior unchanged.
+	Tenants *tenant.Registry
+	// QueuePolicy selects how queued matrices are dequeued: fifo (default),
+	// fair (weighted-fair lottery across tenants), or srpt
+	// (shortest-estimated-job-first, sized by uncached cells × workload
+	// jobs). fair degenerates to fifo without Tenants; srpt is useful either
+	// way.
+	QueuePolicy tenant.Policy
+	// QueueSeed fixes the fair-policy lottery for reproducible tests
+	// (0 = derived from the clock at startup).
+	QueueSeed int64
 }
 
 func (c Config) normalize() Config {
@@ -144,14 +161,23 @@ func (c Config) normalize() Config {
 	if c.GCInterval == 0 {
 		c.GCInterval = time.Minute
 	}
+	if c.QueuePolicy == "" {
+		c.QueuePolicy = tenant.PolicyFIFO
+	}
+	if c.QueueSeed == 0 {
+		c.QueueSeed = time.Now().UnixNano()
+	}
 	return c
 }
 
 // JobStatus is the client-visible snapshot of one job.
 type JobStatus struct {
-	ID     string `json:"id"`
-	Hash   string `json:"hash"`
-	State  State  `json:"state"`
+	ID    string `json:"id"`
+	Hash  string `json:"hash"`
+	State State  `json:"state"`
+	// Tenant is the submitting tenant's name; empty in anonymous mode (the
+	// field is omitted, keeping anonymous responses byte-identical).
+	Tenant string `json:"tenant,omitempty"`
 	Cached bool   `json:"cached,omitempty"`
 	// Done/Total report matrix-cell progress.
 	Done  int `json:"done"`
@@ -166,6 +192,7 @@ type JobStatus struct {
 type jobState struct {
 	id          string
 	hash        string
+	tenant      string // submitting tenant; "" in anonymous mode
 	state       State
 	cached      bool
 	errMsg      string
@@ -181,7 +208,7 @@ type jobState struct {
 
 func (j *jobState) status() JobStatus {
 	return JobStatus{
-		ID: j.id, Hash: j.hash, State: j.state, Cached: j.cached,
+		ID: j.id, Hash: j.hash, State: j.state, Tenant: j.tenant, Cached: j.cached,
 		Done: j.done, Total: j.total, CachedCells: j.cachedCells, Error: j.errMsg,
 	}
 }
@@ -203,6 +230,7 @@ const historyFrameCap = 64
 // Callers hold Service.mu.
 func (j *jobState) emit(e Event) {
 	e.Job = j.id
+	e.Tenant = j.tenant
 	switch {
 	case e.Type == EventProgress:
 		// live-only
@@ -244,6 +272,8 @@ func (j *jobState) terminalEvent() Event {
 // same spec hash while it is queued or running attaches to it.
 type flight struct {
 	hash      string
+	tenant    string  // owner: the tenant that first submitted this matrix
+	size      float64 // estimated remaining work (SRPT dequeue key)
 	rspec     runner.Spec
 	sp        spec.Spec // normalized service spec, for cell hashing
 	jobs      []*jobState
@@ -251,6 +281,7 @@ type flight struct {
 	cancel    context.CancelFunc
 	cancelled bool
 	state     State
+	startedAt time.Time // when a worker picked the flight up
 	done      int
 	cached    int // landed cells resolved from the cell cache
 	lastDone  int // cells already counted into Service.cellsDone
@@ -279,11 +310,12 @@ type Service struct {
 	storeHandle *store.Store
 
 	mu   sync.Mutex
-	cond *sync.Cond // wakes workers when pending grows or the service closes
-	// pending is the bounded FIFO of flights waiting for a worker. A slice
-	// rather than a channel so Cancel can remove a fully-cancelled queued
-	// flight immediately and free its slot for new submissions.
-	pending []*flight
+	cond *sync.Cond // wakes workers when the queue grows or the service closes
+	// queue holds the flights waiting for a worker under the configured
+	// dequeue policy (fifo, weighted-fair, or srpt). A policy queue rather
+	// than a channel so Cancel can remove a fully-cancelled queued flight
+	// immediately and free its slot for new submissions.
+	queue *tenant.Queue[*flight]
 	// reserved counts flights registered in inflight whose workload is
 	// still expanding; they hold a queue slot but are not yet in pending.
 	reserved int
@@ -310,6 +342,25 @@ type Service struct {
 	cellMisses    int64
 	cellBytes     int64
 	cellsGCed     int64
+	assembled     int64 // matrices completed from cells without a worker slot
+	unauthorized  int64 // requests rejected for missing/unknown/disabled tokens
+
+	// tenantAccts is the per-tenant counter and gauge table, lazily created
+	// per named tenant; anonymous submissions ("") are never entered.
+	tenantAccts map[string]*tenantAcct
+}
+
+// tenantAcct is one tenant's accounting row. The queued/running/cells
+// fields are gauges maintained on every job state transition — cells (the
+// live total across the tenant's queued and running jobs) is the basis of
+// the MaxCells quota — and the rest are process-lifetime counters.
+type tenantAcct struct {
+	submitted   int64
+	rejected    int64 // quota, queue-full, and rate-limit rejections
+	queued      int64
+	running     int64
+	cells       int64
+	cellSeconds float64 // wall-clock seconds of matrix execution
 }
 
 // New starts a service with cfg defaults filled and its worker pool running.
@@ -330,7 +381,13 @@ func New(cfg Config) *Service {
 		cache:       newLRUCache(cfg.CacheBytes, cfg.CacheTTL),
 		storeHandle: cfg.Store,
 		runMatrix:   runner.Run,
+		tenantAccts: make(map[string]*tenantAcct),
 	}
+	var weight func(string) float64
+	if cfg.Tenants != nil {
+		weight = cfg.Tenants.Weight
+	}
+	s.queue = tenant.NewQueue[*flight](cfg.QueuePolicy, weight, cfg.QueueSeed)
 	s.cond = sync.NewCond(&s.mu)
 	if s.storeHandle != nil {
 		s.recoverJobs()
@@ -375,6 +432,7 @@ func (s *Service) recoverJobs() {
 		j := &jobState{
 			id:         r.ID,
 			hash:       r.Hash,
+			tenant:     r.Tenant,
 			state:      State(r.State),
 			cached:     r.Cached,
 			errMsg:     r.Error,
@@ -430,6 +488,7 @@ func (s *Service) requeueRecovered(j *jobState) bool {
 		j.done, j.cachedCells, j.total = 0, 0, fl.total
 		j.flight = fl
 		fl.jobs = append(fl.jobs, j)
+		s.tenantAcctAdmit(j)
 		return true
 	}
 	canon, err := s.storeHandle.GetSpec(j.hash)
@@ -456,6 +515,7 @@ func (s *Service) requeueRecovered(j *jobState) bool {
 	fctx, fcancel := context.WithCancel(s.baseCtx)
 	fl := &flight{
 		hash:   j.hash,
+		tenant: j.tenant,
 		rspec:  rspec,
 		sp:     norm,
 		ctx:    fctx,
@@ -463,14 +523,133 @@ func (s *Service) requeueRecovered(j *jobState) bool {
 		state:  StateQueued,
 		total:  len(norm.Schedulers) * len(norm.Points) * norm.Runs,
 	}
+	fl.size = s.jobSize(norm, fl.total)
 	s.inflight[j.hash] = fl
-	s.pending = append(s.pending, fl)
+	s.queue.Push(fl.tenant, fl.size, fl)
 	s.flightsRun++
 	j.state = StateQueued
 	j.done, j.cachedCells, j.total = 0, 0, fl.total
 	j.flight = fl
 	fl.jobs = append(fl.jobs, j)
+	s.tenantAcctAdmit(j)
 	return true
+}
+
+// acct returns (creating if needed) a named tenant's accounting row.
+// Anonymous submissions are never entered: every tenant helper below
+// no-ops on an empty name, which is what keeps anonymous single-tenant
+// mode behaviorally identical to the pre-tenant service. Caller holds mu.
+func (s *Service) acct(name string) *tenantAcct {
+	ta, ok := s.tenantAccts[name]
+	if !ok {
+		ta = &tenantAcct{}
+		s.tenantAccts[name] = ta
+	}
+	return ta
+}
+
+// tenantAcctAdmit records a live (non-terminal) job entering the tenant's
+// books: the gauge of its current state and its matrix cells. Caller holds
+// mu (or runs single-threaded from New).
+func (s *Service) tenantAcctAdmit(j *jobState) {
+	if j.tenant == "" {
+		return
+	}
+	ta := s.acct(j.tenant)
+	switch j.state {
+	case StateQueued:
+		ta.queued++
+	case StateRunning:
+		ta.running++
+	}
+	ta.cells += int64(j.total)
+}
+
+// tenantAcctRun moves one job from the queued to the running gauge.
+// Caller holds mu.
+func (s *Service) tenantAcctRun(j *jobState) {
+	if j.tenant == "" {
+		return
+	}
+	ta := s.acct(j.tenant)
+	ta.queued--
+	ta.running++
+}
+
+// tenantAcctTerminal removes a job that was live in state `from` from the
+// tenant's gauges. Caller holds mu.
+func (s *Service) tenantAcctTerminal(j *jobState, from State) {
+	if j.tenant == "" {
+		return
+	}
+	ta := s.acct(j.tenant)
+	switch from {
+	case StateQueued:
+		ta.queued--
+	case StateRunning:
+		ta.running--
+	}
+	ta.cells -= int64(j.total)
+}
+
+// checkQuota enforces a tenant's admission quotas for a job that would
+// enter in state `state` with `total` matrix cells: MaxQueued bounds jobs
+// waiting in the queue, MaxCells bounds live cells across the tenant's
+// queued and running jobs. Cache and disk hits never reach here — they
+// complete immediately and hold neither a queue slot nor cells. Caller
+// holds mu.
+func (s *Service) checkQuota(tn string, state State, total int) error {
+	if tn == "" || s.cfg.Tenants == nil {
+		return nil
+	}
+	t, ok := s.cfg.Tenants.Lookup(tn)
+	if !ok {
+		return nil
+	}
+	ta := s.acct(tn)
+	if t.MaxQueued > 0 && state == StateQueued && ta.queued >= int64(t.MaxQueued) {
+		return fmt.Errorf("%w: tenant %s has %d queued jobs (max %d)",
+			ErrTenantQuota, tn, ta.queued, t.MaxQueued)
+	}
+	if t.MaxCells > 0 && ta.cells+int64(total) > t.MaxCells {
+		return fmt.Errorf("%w: tenant %s would hold %d in-flight cells (max %d)",
+			ErrTenantQuota, tn, ta.cells+int64(total), t.MaxCells)
+	}
+	return nil
+}
+
+// jobSize estimates a matrix's remaining work for the SRPT dequeue policy:
+// uncached cells × workload jobs. The uncached count comes from cheap
+// existence probes against the cells tier (PR 6 content addressing), so a
+// mostly-cached matrix estimates small and jumps the queue; under other
+// policies — where nothing reads the size — the probes are skipped and the
+// full cell count is used. Runs off-lock: it does store I/O.
+func (s *Service) jobSize(norm spec.Spec, total int) float64 {
+	wsize := norm.WorkloadJobs()
+	if wsize < 1 {
+		wsize = 1
+	}
+	uncached := total
+	if s.cfg.QueuePolicy == tenant.PolicySRPT && s.cellCacheEnabled() {
+		if hasher, err := norm.CellHasher(); err == nil {
+			runs := norm.Runs
+			if runs < 1 {
+				runs = 1
+			}
+			uncached = 0
+			for si := range norm.Schedulers {
+				for pi := range norm.Points {
+					for run := 0; run < runs; run++ {
+						hash, herr := hasher.Hash(si, pi, run)
+						if herr != nil || !s.storeHandle.HasCell(hash) {
+							uncached++
+						}
+					}
+				}
+			}
+		}
+	}
+	return float64(uncached) * float64(wsize)
 }
 
 // parseJobSeq extracts the numeric sequence of a job ID ("m%06d").
@@ -492,9 +671,7 @@ func (s *Service) nextFlight() (*flight, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for {
-		if len(s.pending) > 0 {
-			fl := s.pending[0]
-			s.pending = s.pending[1:]
+		if fl, ok := s.queue.Pop(); ok {
 			return fl, true
 		}
 		if s.closed {
@@ -504,13 +681,53 @@ func (s *Service) nextFlight() (*flight, bool) {
 	}
 }
 
-// Submit registers a job for the spec and returns its initial status. The
-// spec is validated and content-hashed; a cache hit — from memory or, in
-// persistent mode, from the disk store — completes the job immediately, an
-// equal in-flight spec shares its computation, and otherwise the job is
-// queued (failing fast with ErrQueueFull when the queue is at capacity).
-// Only accepted submissions count toward the submissions metric.
+// Submit registers an anonymous job for the spec and returns its initial
+// status. With a tenant registry configured, use SubmitToken instead —
+// Submit bypasses authentication and is intended for in-process callers
+// and anonymous single-tenant deployments.
 func (s *Service) Submit(sp spec.Spec) (JobStatus, error) {
+	return s.submit("", sp)
+}
+
+// SubmitToken authenticates an API token against the configured tenant
+// registry, charges the tenant's submission rate limit, and submits the
+// spec on the tenant's behalf. Without a registry the token is ignored and
+// the submission is anonymous. Errors: tenant.ErrNoToken /
+// tenant.ErrUnknownToken / tenant.ErrDisabled for authentication failures,
+// tenant.ErrRateLimited (a *tenant.RateLimitError carrying the retry
+// delay) for rate rejections, ErrTenantQuota and ErrQueueFull for
+// admission rejections.
+func (s *Service) SubmitToken(token string, sp spec.Spec) (JobStatus, error) {
+	reg := s.cfg.Tenants
+	if reg == nil {
+		return s.submit("", sp)
+	}
+	t, err := reg.Admit(token, time.Now())
+	if err != nil {
+		s.mu.Lock()
+		var rl *tenant.RateLimitError
+		if errors.As(err, &rl) {
+			s.acct(rl.Tenant).rejected++
+		} else {
+			s.unauthorized++
+		}
+		s.mu.Unlock()
+		return JobStatus{}, err
+	}
+	return s.submit(t.Name, sp)
+}
+
+// submit registers a job for the spec on behalf of tenant tn ("" =
+// anonymous) and returns its initial status. The spec is validated and
+// content-hashed; a cache hit — from memory or, in persistent mode, from
+// the disk store — completes the job immediately, an equal in-flight spec
+// shares its computation, and otherwise the job is queued (failing fast
+// with ErrQueueFull when the queue is at capacity, or ErrTenantQuota when
+// the tenant is over its own limits). With the cell cache on, a matrix
+// whose every cell is already persisted is assembled from cells right here
+// — completing without ever occupying a worker slot. Only accepted
+// submissions count toward the submissions metric.
+func (s *Service) submit(tn string, sp spec.Spec) (JobStatus, error) {
 	hash, err := sp.Hash()
 	if err != nil {
 		return JobStatus{}, err
@@ -525,9 +742,9 @@ func (s *Service) Submit(sp spec.Spec) (JobStatus, error) {
 		s.mu.Unlock()
 		return JobStatus{}, ErrClosed
 	}
-	if st, ok := s.fastPath(hash); ok {
+	if st, ok, ferr := s.fastPath(tn, hash); ok || ferr != nil {
 		s.mu.Unlock()
-		return st, nil
+		return st, ferr
 	}
 	if s.storeHandle != nil {
 		// Probe the disk store outside the lock (it reads whole artifact
@@ -540,18 +757,18 @@ func (s *Service) Submit(sp spec.Spec) (JobStatus, error) {
 			s.mu.Unlock()
 			return JobStatus{}, ErrClosed
 		}
-		if st, ok := s.fastPath(hash); ok {
+		if st, ok, ferr := s.fastPath(tn, hash); ok || ferr != nil {
 			s.mu.Unlock()
-			return st, nil
+			return st, ferr
 		}
 		expired := derr == nil && s.cfg.CacheTTL > 0 && time.Since(art.CreatedAt) > s.cfg.CacheTTL
 		switch {
 		case derr == nil && !expired:
 			res := resultFromArtifacts(art)
 			s.cache.add(res)
-			s.submissions++
+			s.countSubmission(tn)
 			s.diskHits++
-			j := s.newJob(hash)
+			j := s.newJob(hash, tn)
 			j.state = StateDone
 			j.cached = true
 			j.result = res
@@ -573,9 +790,17 @@ func (s *Service) Submit(sp spec.Spec) (JobStatus, error) {
 		// Expired entries also fall through: the recompute overwrites the
 		// stale entry with a fresh CreatedAt (byte-identical artifacts).
 	}
-	if len(s.pending)+s.reserved >= s.cfg.QueueDepth {
+	if s.queue.Len()+s.reserved >= s.cfg.QueueDepth {
+		if tn != "" {
+			s.acct(tn).rejected++
+		}
 		s.mu.Unlock()
 		return JobStatus{}, fmt.Errorf("%w (depth %d)", ErrQueueFull, s.cfg.QueueDepth)
+	}
+	if qerr := s.checkQuota(tn, StateQueued, total); qerr != nil {
+		s.acct(tn).rejected++
+		s.mu.Unlock()
+		return JobStatus{}, qerr
 	}
 	// Reserve the queue slot and register the flight in the single-flight
 	// table before expanding the workload (trace generation of a large job
@@ -591,18 +816,26 @@ func (s *Service) Submit(sp spec.Spec) (JobStatus, error) {
 		cancel: fcancel,
 		state:  StateQueued,
 		total:  total,
+		tenant: tn,
 	}
 	s.reserved++
 	s.inflight[hash] = fl
-	s.submissions++
-	s.flightsRun++
-	j := s.newJob(hash)
+	s.countSubmission(tn)
+	j := s.newJob(hash, tn)
 	j.total = total
 	j.flight = fl
 	fl.jobs = append(fl.jobs, j)
+	s.tenantAcctAdmit(j)
 	j.emit(Event{Type: EventQueued, Total: total})
 	s.persistJob(j)
 	s.mu.Unlock()
+
+	// A matrix whose every cell is already persisted needs no worker at
+	// all: stitch the artifact together from the cell tier and complete
+	// the job without ever occupying a queue slot.
+	if st, ok := s.tryAssemble(fl, j); ok {
+		return st, nil
+	}
 
 	rspec, rerr := norm.Runner()
 
@@ -616,6 +849,9 @@ func (s *Service) Submit(sp spec.Spec) (JobStatus, error) {
 		if canon, cerr := norm.Canonical(); cerr == nil {
 			specPutFailed = s.storeHandle.PutSpec(hash, canon) != nil
 		}
+	}
+	if rerr == nil {
+		fl.size = s.jobSize(norm, total)
 	}
 
 	s.mu.Lock()
@@ -642,6 +878,7 @@ func (s *Service) Submit(sp spec.Spec) (JobStatus, error) {
 		jobs := fl.jobs
 		fl.jobs = nil
 		for _, jb := range jobs {
+			s.tenantAcctTerminal(jb, StateQueued)
 			jb.state = StateFailed
 			jb.errMsg = rerr.Error()
 			jb.flight = nil
@@ -653,19 +890,21 @@ func (s *Service) Submit(sp spec.Spec) (JobStatus, error) {
 		return JobStatus{}, rerr
 	}
 	fl.rspec = rspec
-	s.pending = append(s.pending, fl)
+	s.queue.Push(fl.tenant, fl.size, fl)
+	s.flightsRun++
 	s.cond.Signal()
 	return j.status(), nil
 }
 
 // fastPath serves a submission from the in-memory result cache or attaches
 // it to an in-flight computation, counting it as accepted. Caller holds mu;
-// the bool reports success.
-func (s *Service) fastPath(hash string) (JobStatus, bool) {
+// the bool reports success. A non-nil error means the submission was
+// positively rejected (tenant quota) rather than missed.
+func (s *Service) fastPath(tn, hash string) (JobStatus, bool, error) {
 	if res, ok := s.cache.get(hash); ok {
-		s.submissions++
+		s.countSubmission(tn)
 		s.cacheHits++
-		j := s.newJob(hash)
+		j := s.newJob(hash, tn)
 		j.state = StateDone
 		j.cached = true
 		j.result = res
@@ -675,17 +914,25 @@ func (s *Service) fastPath(hash string) (JobStatus, bool) {
 		j.emit(Event{Type: EventQueued, Total: j.total})
 		j.emit(Event{Type: EventDone, Done: j.done, Total: j.total, Cached: true})
 		s.persistJob(j)
-		return j.status(), true
+		return j.status(), true, nil
 	}
 	if fl, ok := s.inflight[hash]; ok && !fl.cancelled {
-		s.submissions++
+		// Attaching still charges the tenant's gauges (the job occupies
+		// their queued/cell budget even though the work is shared), so the
+		// quota check applies here too.
+		if qerr := s.checkQuota(tn, fl.state, fl.total); qerr != nil {
+			s.acct(tn).rejected++
+			return JobStatus{}, false, qerr
+		}
+		s.countSubmission(tn)
 		s.dedupHits++
-		j := s.newJob(hash)
+		j := s.newJob(hash, tn)
 		j.state = fl.state
 		j.done, j.total = fl.done, fl.total
 		j.cachedCells = fl.cached
 		j.flight = fl
 		fl.jobs = append(fl.jobs, j)
+		s.tenantAcctAdmit(j)
 		j.emit(Event{Type: EventQueued, Total: j.total})
 		if fl.state == StateRunning {
 			j.emit(Event{Type: EventRunning, Done: j.done, Total: j.total})
@@ -696,18 +943,28 @@ func (s *Service) fastPath(hash string) (JobStatus, bool) {
 			}
 		}
 		s.persistJob(j)
-		return j.status(), true
+		return j.status(), true, nil
 	}
-	return JobStatus{}, false
+	return JobStatus{}, false, nil
+}
+
+// countSubmission counts one accepted submission, attributed to the tenant
+// when named. Caller holds mu.
+func (s *Service) countSubmission(tn string) {
+	s.submissions++
+	if tn != "" {
+		s.acct(tn).submitted++
+	}
 }
 
 // newJob allocates a job record. Caller holds mu.
-func (s *Service) newJob(hash string) *jobState {
+func (s *Service) newJob(hash, tn string) *jobState {
 	s.seq++
 	j := &jobState{
-		id:    fmt.Sprintf("m%06d", s.seq),
-		hash:  hash,
-		state: StateQueued,
+		id:     fmt.Sprintf("m%06d", s.seq),
+		hash:   hash,
+		state:  StateQueued,
+		tenant: tn,
 	}
 	s.jobs[j.id] = j
 	return j
@@ -731,6 +988,7 @@ func (s *Service) persistJob(j *jobState) {
 		Done:        j.done,
 		Total:       j.total,
 		Error:       j.errMsg,
+		Tenant:      j.tenant,
 		UpdatedAtMs: time.Now().UnixMilli(),
 	}, j.state.Terminal())
 	if err != nil {
@@ -746,7 +1004,9 @@ func (s *Service) runFlight(fl *flight) {
 		return
 	}
 	fl.state = StateRunning
+	fl.startedAt = time.Now()
 	for _, j := range fl.jobs {
+		s.tenantAcctRun(j)
 		j.state = StateRunning
 		j.emit(Event{Type: EventRunning, Total: j.total})
 		s.persistJob(j)
@@ -797,8 +1057,14 @@ func (s *Service) runFlight(fl *flight) {
 	}
 	jobs := fl.jobs
 	fl.jobs = nil
+	if fl.tenant != "" && !fl.startedAt.IsZero() {
+		// Wall-clock worker time, charged whether or not the matrix landed:
+		// the slot was occupied either way.
+		s.acct(fl.tenant).cellSeconds += time.Since(fl.startedAt).Seconds()
+	}
 	if err != nil {
 		for _, j := range jobs {
+			s.tenantAcctTerminal(j, StateRunning)
 			j.state = StateFailed
 			j.errMsg = err.Error()
 			j.flight = nil
@@ -811,6 +1077,7 @@ func (s *Service) runFlight(fl *flight) {
 	}
 	s.cache.add(cached)
 	for _, j := range jobs {
+		s.tenantAcctTerminal(j, StateRunning)
 		j.state = StateDone
 		j.result = cached
 		j.done = j.total
@@ -992,6 +1259,7 @@ func (s *Service) Cancel(id string) (bool, error) {
 	}
 	fl := j.flight
 	j.flight = nil
+	s.tenantAcctTerminal(j, j.state)
 	j.state = StateCancelled
 	j.terminalAt = time.Now()
 	s.jobsCancelled++
@@ -1013,12 +1281,7 @@ func (s *Service) Cancel(id string) (bool, error) {
 			// A fully-cancelled queued flight frees its queue slot right
 			// away instead of riding along as a tombstone until a worker
 			// would have skipped it.
-			for i, queued := range s.pending {
-				if queued == fl {
-					s.pending = append(s.pending[:i], s.pending[i+1:]...)
-					break
-				}
-			}
+			s.queue.Remove(fl)
 		}
 	}
 	return true, nil
@@ -1225,7 +1488,7 @@ func (s *Service) Health() Health {
 	return Health{
 		Status:        status,
 		UptimeSeconds: time.Since(s.start).Seconds(),
-		QueueDepth:    len(s.pending) + s.reserved,
+		QueueDepth:    s.queue.Len() + s.reserved,
 		QueueCapacity: s.cfg.QueueDepth,
 		JobsTracked:   len(s.jobs),
 		Persistent:    s.storeHandle != nil,
@@ -1257,8 +1520,25 @@ type Metrics struct {
 	CellMisses     int64   `json:"cell_misses"`
 	CellBytes      int64   `json:"cell_bytes"`
 	CellsGCed      int64   `json:"cells_gced"`
+	Assembled      int64   `json:"assembled"`
+	Unauthorized   int64   `json:"unauthorized"`
 	UptimeSeconds  float64 `json:"uptime_seconds"`
 	CellsPerSecond float64 `json:"cells_per_second"`
+
+	// Tenants holds per-tenant counters, keyed by tenant name. Only named
+	// tenants appear: anonymous traffic stays in the global counters alone,
+	// keeping single-tenant output identical to prior releases. Every field
+	// is additive across shards so a gateway can sum them.
+	Tenants map[string]TenantMetrics `json:"tenants,omitempty"`
+}
+
+// TenantMetrics is one tenant's slice of the service counters.
+type TenantMetrics struct {
+	Submitted   int64   `json:"submitted"`
+	Rejected    int64   `json:"rejected"`
+	Queued      int64   `json:"queued"`
+	Running     int64   `json:"running"`
+	CellSeconds float64 `json:"cell_seconds"`
 }
 
 // Metrics returns current counters: submissions split into memory cache
@@ -1282,7 +1562,7 @@ func (s *Service) Metrics() Metrics {
 		ArtifactsGCed: s.artifactsGCed,
 		Quarantined:   s.quarantined,
 		StoreErrors:   s.storeErrors,
-		QueueDepth:    len(s.pending) + s.reserved,
+		QueueDepth:    s.queue.Len() + s.reserved,
 		QueueCapacity: s.cfg.QueueDepth,
 		CacheEntries:  s.cache.len(),
 		CacheBytes:    s.cache.sizeBytes(),
@@ -1293,6 +1573,20 @@ func (s *Service) Metrics() Metrics {
 		CellMisses:    s.cellMisses,
 		CellBytes:     s.cellBytes,
 		CellsGCed:     s.cellsGCed,
+		Assembled:     s.assembled,
+		Unauthorized:  s.unauthorized,
+	}
+	if len(s.tenantAccts) > 0 {
+		m.Tenants = make(map[string]TenantMetrics, len(s.tenantAccts))
+		for name, ta := range s.tenantAccts {
+			m.Tenants[name] = TenantMetrics{
+				Submitted:   ta.submitted,
+				Rejected:    ta.rejected,
+				Queued:      ta.queued,
+				Running:     ta.running,
+				CellSeconds: ta.cellSeconds,
+			}
+		}
 	}
 	m.UptimeSeconds = time.Since(s.start).Seconds()
 	if m.UptimeSeconds > 0 {

@@ -315,20 +315,18 @@ func (s Spec) jobSpecs() ([]job.Spec, error) {
 	return specs, nil
 }
 
-// Runner expands the spec into the runner.Spec it describes. The expansion
-// is deterministic: equal canonical specs yield matrices with byte-identical
-// artifacts (see internal/runner).
-func (s Spec) Runner() (runner.Spec, error) {
+// Axes expands everything about the spec except its workload: the
+// scheduler axis, sweep axis, and seeding scheme of the runner.Spec, with
+// Specs left nil. The result is enough to enumerate cell coordinates (for
+// runner.Assemble and cell-count estimates) without paying for trace
+// generation and per-job distribution construction; callers that will
+// actually simulate use Runner, which fills the workload in.
+func (s Spec) Axes() (runner.Spec, error) {
 	s = s.Normalize()
 	if err := s.Validate(); err != nil {
 		return runner.Spec{}, err
 	}
-	jobs, err := s.jobSpecs()
-	if err != nil {
-		return runner.Spec{}, err
-	}
 	rs := runner.Spec{
-		Specs:      jobs,
 		Schedulers: make([]runner.SchedulerSpec, len(s.Schedulers)),
 		Points:     make([]runner.Point, len(s.Points)),
 		Runs:       s.Runs,
@@ -347,6 +345,38 @@ func (s Spec) Runner() (runner.Spec, error) {
 		}
 		rs.Points[i] = pt
 	}
+	return rs, nil
+}
+
+// WorkloadJobs returns the number of jobs every cell of the matrix
+// simulates, without expanding the workload: the row count for explicit
+// workloads, the (possibly truncated) generator job count for trace
+// workloads. Together with the uncached cell count it estimates a job's
+// remaining work for the SRPT dequeue policy.
+func (s Spec) WorkloadJobs() int {
+	if s.Workload.Trace == nil {
+		return len(s.Workload.Rows)
+	}
+	n := s.Workload.Trace.Jobs
+	if s.Workload.Jobs > 0 && s.Workload.Jobs < n {
+		n = s.Workload.Jobs
+	}
+	return n
+}
+
+// Runner expands the spec into the runner.Spec it describes. The expansion
+// is deterministic: equal canonical specs yield matrices with byte-identical
+// artifacts (see internal/runner).
+func (s Spec) Runner() (runner.Spec, error) {
+	rs, err := s.Axes()
+	if err != nil {
+		return runner.Spec{}, err
+	}
+	jobs, err := s.Normalize().jobSpecs()
+	if err != nil {
+		return runner.Spec{}, err
+	}
+	rs.Specs = jobs
 	if err := rs.Validate(); err != nil {
 		return runner.Spec{}, err
 	}

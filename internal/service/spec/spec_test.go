@@ -348,3 +348,49 @@ func mustJSON(t *testing.T, v any) string {
 	}
 	return string(b)
 }
+
+func TestAxesMatchesRunnerSansWorkload(t *testing.T) {
+	s := tinySpec()
+	axes, err := s.Axes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if axes.Specs != nil {
+		t.Fatal("Axes expanded the workload")
+	}
+	full, err := s.Runner()
+	if err != nil {
+		t.Fatal(err)
+	}
+	full.Specs = nil
+	if got, want := mustJSON(t, axes), mustJSON(t, full); got != want {
+		t.Fatalf("Axes = %s\nwant Runner sans workload = %s", got, want)
+	}
+	if axes.Total() != full.Total() {
+		t.Fatalf("Total mismatch: %d vs %d", axes.Total(), full.Total())
+	}
+	bad := s
+	bad.Schedulers = nil
+	if _, err := bad.Axes(); err == nil {
+		t.Fatal("Axes accepted a spec with no schedulers")
+	}
+}
+
+func TestWorkloadJobs(t *testing.T) {
+	s := tinySpec() // trace workload, 12 jobs
+	if got := s.WorkloadJobs(); got != 12 {
+		t.Fatalf("trace WorkloadJobs = %d, want 12", got)
+	}
+	s.Workload.Jobs = 5 // truncation wins when smaller
+	if got := s.WorkloadJobs(); got != 5 {
+		t.Fatalf("truncated WorkloadJobs = %d, want 5", got)
+	}
+	s.Workload.Jobs = 50 // larger than the trace: no effect
+	if got := s.WorkloadJobs(); got != 12 {
+		t.Fatalf("over-truncated WorkloadJobs = %d, want 12", got)
+	}
+	rows := Spec{Workload: Workload{Rows: make([]trace.JobRow, 7)}}
+	if got := rows.WorkloadJobs(); got != 7 {
+		t.Fatalf("rows WorkloadJobs = %d, want 7", got)
+	}
+}

@@ -128,6 +128,19 @@ func (s *Store) GetCell(hash string) (Cell, error) {
 	}, nil
 }
 
+// HasCell reports whether a cell record exists under hash without reading
+// or verifying it. It is the cheap existence probe behind SRPT job sizing
+// (counting uncached cells); a record that later fails verification still
+// degrades to recomputation at lookup time, so a false positive here only
+// perturbs a scheduling estimate, never a result.
+func (s *Store) HasCell(hash string) bool {
+	if validHash(hash) != nil || s.isClosed() {
+		return false
+	}
+	st, err := os.Stat(s.cellPath(hash))
+	return err == nil && st.Mode().IsRegular()
+}
+
 // DeleteCell removes the cell stored under hash; deleting a missing cell is
 // not an error.
 func (s *Store) DeleteCell(hash string) error {

@@ -256,3 +256,35 @@ func TestWalkTierSkipsJunk(t *testing.T) {
 		t.Fatalf("listing surfaced junk: %+v", infos)
 	}
 }
+
+func TestHasCell(t *testing.T) {
+	s := openStore(t)
+	c := testCell(3)
+	if s.HasCell(c.Hash) {
+		t.Fatal("HasCell true before Put")
+	}
+	if err := s.PutCell(c); err != nil {
+		t.Fatal(err)
+	}
+	if !s.HasCell(c.Hash) {
+		t.Fatal("HasCell false after Put")
+	}
+	if s.HasCell(testHash(9)) {
+		t.Fatal("HasCell true for a missing hash")
+	}
+	if s.HasCell("../evil") {
+		t.Fatal("HasCell true for an invalid hash")
+	}
+	if err := s.DeleteCell(c.Hash); err != nil {
+		t.Fatal(err)
+	}
+	if s.HasCell(c.Hash) {
+		t.Fatal("HasCell true after Delete")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if s.HasCell(c.Hash) {
+		t.Fatal("HasCell true on a closed store")
+	}
+}

@@ -19,6 +19,7 @@ type JobRecord struct {
 	Done        int    `json:"done,omitempty"`
 	Total       int    `json:"total,omitempty"`
 	Error       string `json:"error,omitempty"`
+	Tenant      string `json:"tenant,omitempty"`
 	UpdatedAtMs int64  `json:"updated_at_ms"`
 }
 

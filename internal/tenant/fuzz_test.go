@@ -1,0 +1,42 @@
+package tenant
+
+import "testing"
+
+// FuzzParseTenants asserts the tenants-config parser never panics and that
+// every accepted config round-trips into a registry whose invariants hold:
+// positive weights, non-negative quotas, unique resolvable tokens.
+func FuzzParseTenants(f *testing.F) {
+	f.Add([]byte(`{"tenants": [{"name": "a", "token": "t"}]}`))
+	f.Add([]byte(`{"tenants": [{"name": "a", "token": "t", "weight": 3, "max_queued": 4, "max_cells": 100, "rate": 1.5, "burst": 2, "disabled": true}]}`))
+	f.Add([]byte(`{"tenants": []}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"tenants": [{"name": "a", "token": "t"}, {"name": "b", "token": "t"}]}`))
+	f.Add([]byte(`not json`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := Parse(data)
+		if err != nil {
+			return
+		}
+		if r.Len() < 1 {
+			t.Fatal("accepted registry with no tenants")
+		}
+		for _, name := range r.Names() {
+			tn, ok := r.Lookup(name)
+			if !ok {
+				t.Fatalf("listed tenant %q not resolvable", name)
+			}
+			if !(tn.Weight > 0) {
+				t.Fatalf("tenant %q: weight %v", name, tn.Weight)
+			}
+			if tn.MaxQueued < 0 || tn.MaxCells < 0 || tn.Rate < 0 || tn.Burst < 1 {
+				t.Fatalf("tenant %q: bad limits %+v", name, tn)
+			}
+			if !tn.Disabled {
+				got, err := r.Authenticate(tn.Token)
+				if err != nil || got.Name != name {
+					t.Fatalf("token for %q does not authenticate: %+v, %v", name, got, err)
+				}
+			}
+		}
+	})
+}

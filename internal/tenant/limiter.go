@@ -1,0 +1,42 @@
+package tenant
+
+import (
+	"math"
+	"time"
+)
+
+// bucket is a classic token bucket: capacity `burst` tokens, refilled at
+// `rate` tokens per second, one token consumed per admitted submission.
+// rate 0 disables limiting entirely. Not safe for concurrent use; the
+// Registry serializes access.
+type bucket struct {
+	rate   float64 // tokens per second; 0 = unlimited
+	burst  float64
+	tokens float64
+	last   time.Time // last refill; zero until the first take
+}
+
+func newBucket(rate float64, burst int) bucket {
+	return bucket{rate: rate, burst: float64(burst), tokens: float64(burst)}
+}
+
+// take consumes one token if available. When the bucket is empty it leaves
+// state untouched and reports how long until a whole token accrues.
+func (b *bucket) take(now time.Time) (ok bool, retryAfter time.Duration) {
+	if b.rate <= 0 {
+		return true, 0
+	}
+	if !b.last.IsZero() {
+		elapsed := now.Sub(b.last).Seconds()
+		if elapsed > 0 {
+			b.tokens = math.Min(b.burst, b.tokens+elapsed*b.rate)
+		}
+	}
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	need := (1 - b.tokens) / b.rate
+	return false, time.Duration(math.Ceil(need * float64(time.Second)))
+}

@@ -1,0 +1,310 @@
+// Package tenant implements multi-tenant admission control for the
+// simulation service: static API-token authentication mapping requests to
+// named tenants with weights and quotas, per-tenant token-bucket submission
+// rate limiting, and a pluggable multi-tenant dequeue policy (Queue) that
+// replaces the service's single FIFO.
+//
+// The dequeue policies deliberately dogfood the scheduling ideas this
+// repository simulates: PolicyFair is the weighted-fair share of
+// internal/sched/fair lifted from machines-per-job to worker-slots-per-
+// tenant (a weighted lottery over per-tenant FIFOs), and PolicySRPT is the
+// shortest-remaining-processing-time principle behind internal/sched/srptms
+// applied to whole matrices, with each job's size estimated as its uncached
+// cell count × workload size. The scheduler library schedules the scheduler
+// simulator.
+//
+// A Registry is immutable after construction apart from its rate-limiter
+// state and is safe for concurrent use. A Queue is NOT safe for concurrent
+// use; callers (internal/service) guard it with their own lock.
+package tenant
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Errors reported by authentication and admission.
+var (
+	// ErrNoToken reports a request without an API token while tenants are
+	// configured (HTTP 401).
+	ErrNoToken = errors.New("tenant: missing API token")
+	// ErrUnknownToken reports a token that maps to no tenant (HTTP 401).
+	ErrUnknownToken = errors.New("tenant: unknown API token")
+	// ErrDisabled reports a valid token whose tenant is disabled (HTTP 403).
+	ErrDisabled = errors.New("tenant: tenant is disabled")
+	// ErrRateLimited is the errors.Is target of *RateLimitError (HTTP 429).
+	ErrRateLimited = errors.New("tenant: submission rate limit exceeded")
+)
+
+// RateLimitError reports a submission rejected by a tenant's token bucket.
+// It matches ErrRateLimited under errors.Is and carries the earliest time a
+// retry can succeed.
+type RateLimitError struct {
+	// Tenant is the rate-limited tenant's name.
+	Tenant string
+	// RetryAfter is how long until the bucket holds a whole token again.
+	RetryAfter time.Duration
+}
+
+func (e *RateLimitError) Error() string {
+	return fmt.Sprintf("tenant %s: submission rate limit exceeded (retry in %s)",
+		e.Tenant, e.RetryAfter.Round(time.Millisecond))
+}
+
+// Is makes errors.Is(err, ErrRateLimited) match.
+func (e *RateLimitError) Is(target error) bool { return target == ErrRateLimited }
+
+// Tenant is one entry of the tenants config file: a named principal with an
+// API token, a fair-share weight, and admission quotas. The zero quota and
+// rate fields mean "unlimited"; Weight 0 means the default weight 1.
+type Tenant struct {
+	// Name identifies the tenant in job records, metrics labels, and logs.
+	// Required; letters, digits, '.', '_', '-' only (it becomes a Prometheus
+	// label value and a job-log field).
+	Name string `json:"name"`
+	// Token is the static API token presented as "Authorization: Bearer
+	// <token>". Required, unique across the file, no whitespace or control
+	// characters.
+	Token string `json:"token"`
+	// Weight is the tenant's share under the fair dequeue policy (0 = 1).
+	Weight float64 `json:"weight,omitempty"`
+	// MaxQueued caps the tenant's jobs waiting in the queue (0 = unlimited).
+	MaxQueued int `json:"max_queued,omitempty"`
+	// MaxCells caps the total matrix cells across the tenant's live
+	// (queued + running) jobs (0 = unlimited).
+	MaxCells int64 `json:"max_cells,omitempty"`
+	// Rate is the sustained submission rate in requests per second
+	// (0 = unlimited).
+	Rate float64 `json:"rate,omitempty"`
+	// Burst is the token-bucket size: how many submissions may arrive
+	// back-to-back before Rate applies (0 = max(1, ceil(Rate))).
+	Burst int `json:"burst,omitempty"`
+	// Disabled rejects the tenant's requests with ErrDisabled while keeping
+	// its row in the file (revoke without re-keying everyone else).
+	Disabled bool `json:"disabled,omitempty"`
+}
+
+// normalize fills Tenant defaults.
+func (t Tenant) normalize() Tenant {
+	if t.Weight == 0 {
+		t.Weight = 1
+	}
+	if t.Burst == 0 {
+		t.Burst = int(math.Ceil(t.Rate))
+		if t.Burst < 1 {
+			t.Burst = 1
+		}
+	}
+	return t
+}
+
+// validName reports whether a tenant name is safe to embed in metric
+// labels, job logs, and flag output.
+func validName(name string) bool {
+	if name == "" || len(name) > 64 {
+		return false
+	}
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '.', r == '_', r == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// validToken rejects tokens that cannot survive an Authorization header.
+func validToken(token string) bool {
+	if token == "" || len(token) > 256 {
+		return false
+	}
+	for _, r := range token {
+		if r <= ' ' || r == 0x7f {
+			return false
+		}
+	}
+	return true
+}
+
+// validate checks one normalized tenant row.
+func (t Tenant) validate() error {
+	switch {
+	case !validName(t.Name):
+		return fmt.Errorf("tenant: invalid name %q (need 1-64 chars of [A-Za-z0-9._-])", t.Name)
+	case !validToken(t.Token):
+		return fmt.Errorf("tenant %s: invalid token (need 1-256 printable non-space chars)", t.Name)
+	case !(t.Weight > 0) || math.IsInf(t.Weight, 0):
+		return fmt.Errorf("tenant %s: weight %v (need finite > 0)", t.Name, t.Weight)
+	case t.MaxQueued < 0:
+		return fmt.Errorf("tenant %s: max_queued %d", t.Name, t.MaxQueued)
+	case t.MaxCells < 0:
+		return fmt.Errorf("tenant %s: max_cells %d", t.Name, t.MaxCells)
+	case t.Rate < 0 || math.IsInf(t.Rate, 0) || math.IsNaN(t.Rate):
+		return fmt.Errorf("tenant %s: rate %v (need finite >= 0)", t.Name, t.Rate)
+	case t.Burst < 0:
+		return fmt.Errorf("tenant %s: burst %d", t.Name, t.Burst)
+	}
+	return nil
+}
+
+// fileSchema is the tenants config file: {"tenants": [...]}.
+type fileSchema struct {
+	Tenants []Tenant `json:"tenants"`
+}
+
+// entry couples a tenant with its mutable rate-limiter state.
+type entry struct {
+	t      Tenant
+	bucket bucket
+}
+
+// Registry is an authenticated tenant set: token → tenant resolution plus
+// per-tenant token-bucket rate limiting. Build one with Parse, Load, or
+// NewRegistry; nil means anonymous single-tenant mode to the layers above.
+type Registry struct {
+	mu      sync.Mutex // guards bucket state only; the maps are immutable
+	byToken map[string]*entry
+	byName  map[string]*entry
+	names   []string // sorted, for deterministic iteration
+}
+
+// NewRegistry validates and indexes a tenant list. Names and tokens must be
+// unique; at least one tenant is required.
+func NewRegistry(tenants []Tenant) (*Registry, error) {
+	if len(tenants) == 0 {
+		return nil, errors.New("tenant: need at least one tenant")
+	}
+	r := &Registry{
+		byToken: make(map[string]*entry, len(tenants)),
+		byName:  make(map[string]*entry, len(tenants)),
+	}
+	for i, t := range tenants {
+		t = t.normalize()
+		if err := t.validate(); err != nil {
+			return nil, fmt.Errorf("tenant: entry %d: %w", i, err)
+		}
+		if _, dup := r.byName[t.Name]; dup {
+			return nil, fmt.Errorf("tenant: duplicate name %q", t.Name)
+		}
+		if _, dup := r.byToken[t.Token]; dup {
+			return nil, fmt.Errorf("tenant %s: token already used by another tenant", t.Name)
+		}
+		e := &entry{t: t, bucket: newBucket(t.Rate, t.Burst)}
+		r.byName[t.Name] = e
+		r.byToken[t.Token] = e
+		r.names = append(r.names, t.Name)
+	}
+	sort.Strings(r.names)
+	return r, nil
+}
+
+// Parse decodes a tenants config file strictly: unknown fields and trailing
+// data are rejected, then the tenant list is validated and indexed.
+func Parse(data []byte) (*Registry, error) {
+	var f fileSchema
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&f); err != nil {
+		return nil, fmt.Errorf("tenant: decode config: %w", err)
+	}
+	if err := dec.Decode(&json.RawMessage{}); !errors.Is(err, io.EOF) {
+		return nil, errors.New("tenant: trailing data after config object")
+	}
+	return NewRegistry(f.Tenants)
+}
+
+// Load reads and parses a tenants config file from disk.
+func Load(path string) (*Registry, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("tenant: %w", err)
+	}
+	return Parse(data)
+}
+
+// Len returns the number of configured tenants.
+func (r *Registry) Len() int { return len(r.names) }
+
+// Names returns the tenant names in sorted order.
+func (r *Registry) Names() []string { return append([]string(nil), r.names...) }
+
+// Lookup returns a tenant by name.
+func (r *Registry) Lookup(name string) (Tenant, bool) {
+	e, ok := r.byName[name]
+	if !ok {
+		return Tenant{}, false
+	}
+	return e.t, true
+}
+
+// Weight returns the fair-share weight of a tenant, or 1 for names the
+// registry does not know (including the anonymous tenant "").
+func (r *Registry) Weight(name string) float64 {
+	if e, ok := r.byName[name]; ok {
+		return e.t.Weight
+	}
+	return 1
+}
+
+// Authenticate resolves a token to its tenant without consuming rate-limit
+// budget: use it for read routes. Errors: ErrNoToken for an empty token,
+// ErrUnknownToken for an unrecognized one, ErrDisabled for a disabled
+// tenant.
+func (r *Registry) Authenticate(token string) (Tenant, error) {
+	if token == "" {
+		return Tenant{}, ErrNoToken
+	}
+	e, ok := r.byToken[token]
+	if !ok {
+		return Tenant{}, ErrUnknownToken
+	}
+	if e.t.Disabled {
+		return Tenant{}, fmt.Errorf("%w: %s", ErrDisabled, e.t.Name)
+	}
+	return e.t, nil
+}
+
+// Admit authenticates a token and consumes one submission from the tenant's
+// token bucket, returning *RateLimitError (errors.Is ErrRateLimited) when
+// the bucket is empty. Use it exactly once per submission attempt.
+func (r *Registry) Admit(token string, now time.Time) (Tenant, error) {
+	t, err := r.Authenticate(token)
+	if err != nil {
+		return Tenant{}, err
+	}
+	e := r.byToken[token]
+	r.mu.Lock()
+	ok, retry := e.bucket.take(now)
+	r.mu.Unlock()
+	if !ok {
+		return Tenant{}, &RateLimitError{Tenant: t.Name, RetryAfter: retry}
+	}
+	return t, nil
+}
+
+// BearerToken extracts the API token from a request's Authorization header
+// ("Bearer <token>", scheme case-insensitive); empty when absent or not a
+// bearer credential.
+func BearerToken(r *http.Request) string {
+	auth := r.Header.Get("Authorization")
+	if auth == "" {
+		return ""
+	}
+	const scheme = "bearer "
+	if len(auth) <= len(scheme) || !strings.EqualFold(auth[:len(scheme)], scheme) {
+		return ""
+	}
+	return strings.TrimSpace(auth[len(scheme):])
+}

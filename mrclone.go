@@ -15,6 +15,7 @@ import (
 	"mrclone/internal/service"
 	svcspec "mrclone/internal/service/spec"
 	"mrclone/internal/store"
+	"mrclone/internal/tenant"
 	"mrclone/internal/trace"
 )
 
@@ -90,6 +91,18 @@ type (
 	ServicePoint = svcspec.Point
 	// TraceRow is the serializable description of one trace job.
 	TraceRow = trace.JobRow
+	// Tenant is one row of a multi-tenant registry: a named principal with
+	// an API token, a fair-share weight, and admission quotas.
+	Tenant = tenant.Tenant
+	// TenantRegistry authenticates API tokens and enforces per-tenant
+	// submission rates; set it as ServiceConfig.Tenants and submit with
+	// Service.SubmitToken.
+	TenantRegistry = tenant.Registry
+	// QueuePolicy selects how a Service dequeues queued matrices
+	// (ServiceConfig.QueuePolicy).
+	QueuePolicy = tenant.Policy
+	// ServiceTenantMetrics is one tenant's slice of ServiceMetrics.
+	ServiceTenantMetrics = service.TenantMetrics
 )
 
 // Phases of a MapReduce job.
@@ -97,6 +110,29 @@ const (
 	PhaseMap    = job.PhaseMap
 	PhaseReduce = job.PhaseReduce
 )
+
+// Queue policies for ServiceConfig.QueuePolicy: arrival order, a
+// weighted-fair lottery across tenant backlogs, or
+// shortest-remaining-work-first sized by uncached cells — the paper's
+// scheduling disciplines applied to the service's own job queue.
+const (
+	QueuePolicyFIFO = tenant.PolicyFIFO
+	QueuePolicyFair = tenant.PolicyFair
+	QueuePolicySRPT = tenant.PolicySRPT
+)
+
+// ParseTenants decodes and validates a multi-tenant registry from its JSON
+// config-file form (strict: unknown fields and duplicate names or tokens
+// are rejected). See docs/OPERATIONS.md, "Multi-tenant deployment", for
+// the format.
+func ParseTenants(data []byte) (*TenantRegistry, error) { return tenant.Parse(data) }
+
+// LoadTenants reads and parses a tenants config file from disk.
+func LoadTenants(path string) (*TenantRegistry, error) { return tenant.Load(path) }
+
+// ParseQueuePolicy validates a queue-policy name ("fifo", "fair", "srpt");
+// the empty string means QueuePolicyFIFO.
+func ParseQueuePolicy(s string) (QueuePolicy, error) { return tenant.ParsePolicy(s) }
 
 // GoogleTraceParams returns generator parameters calibrated to the Google
 // cluster trace statistics of the paper's Table II.
