@@ -11,6 +11,7 @@
 //	mrgated [-addr :8081] -shard URL [-shard URL ...]
 //	        [-vnodes 128] [-replicas 0] [-tenants FILE]
 //	        [-probe-timeout 2s] [-drain-timeout 10s]
+//	        [-log-format text|json] [-log-level info] [-debug-addr ADDR]
 //
 // Each -shard is an mrserved base URL, optionally named ("name=URL"); unnamed
 // shards are called s0, s1, … in flag order. Shard names are embedded in the
@@ -23,6 +24,12 @@
 // the edge (same JSON registry file the shards take), rejecting a flooding
 // tenant before it touches a shard; bearer tokens are always forwarded
 // upstream either way.
+//
+// Every request logs one structured line carrying the request ID, W3C
+// trace ID, matched route, status, duration, and serving shard; the same
+// trace ID is forwarded to the shard (traceparent header, fresh span), so
+// one grep follows a request across tiers. -debug-addr opens a second
+// listener serving /debug/pprof and /debug/vars. See docs/OBSERVABILITY.md.
 package main
 
 import (
@@ -41,6 +48,7 @@ import (
 	"time"
 
 	"mrclone/internal/gateway"
+	"mrclone/internal/obs"
 	"mrclone/internal/tenant"
 )
 
@@ -99,9 +107,23 @@ func run(ctx context.Context, args []string, logw io.Writer) error {
 		"per-shard /healthz and /metrics probe timeout")
 	drainTimeout := fs.Duration("drain-timeout", 10*time.Second,
 		"how long shutdown waits for in-flight proxied requests")
+	logFormat := fs.String("log-format", "text",
+		"structured log format: text (logfmt-style) or json (one object per line)")
+	logLevel := fs.String("log-level", "info",
+		"minimum log level: debug, info, warn, or error")
+	debugAddr := fs.String("debug-addr", "",
+		"optional second listener serving /debug/pprof and /debug/vars (empty = disabled)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if _, err := obs.ParseLevel(*logLevel); err != nil {
+		return fmt.Errorf("-log-level: %w", err)
+	}
+	logger, err := obs.NewLogger(logw, *logFormat, *logLevel)
+	if err != nil {
+		return fmt.Errorf("-log-format: %w", err)
+	}
+	jsonLog := strings.EqualFold(strings.TrimSpace(*logFormat), "json")
 	if len(shardFlags) == 0 {
 		return errors.New("-shard: need at least one mrserved shard URL")
 	}
@@ -131,9 +153,25 @@ func run(ctx context.Context, args []string, logw io.Writer) error {
 		Replicas:     *replicas,
 		ProbeTimeout: *probeTimeout,
 		Tenants:      registry,
+		Logger:       logger,
 	})
 	if err != nil {
 		return err
+	}
+
+	if *debugAddr != "" {
+		dln, derr := net.Listen("tcp", *debugAddr)
+		if derr != nil {
+			return fmt.Errorf("-debug-addr: %w", derr)
+		}
+		debugSrv := &http.Server{Handler: obs.DebugHandler()}
+		go func() { _ = debugSrv.Serve(dln) }()
+		defer debugSrv.Close()
+		if jsonLog {
+			logger.Info("debug server listening", "addr", dln.Addr().String())
+		} else {
+			fmt.Fprintf(logw, "mrgated: debug server on %s\n", dln.Addr())
+		}
 	}
 
 	ln, err := net.Listen("tcp", *addr)
@@ -143,8 +181,13 @@ func run(ctx context.Context, args []string, logw io.Writer) error {
 	srv := &http.Server{Handler: gw.Handler()}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(ln) }()
-	fmt.Fprintf(logw, "mrgated: listening on %s (%s, replicas=%d)\n",
-		ln.Addr(), gw.Ring(), *replicas)
+	if jsonLog {
+		logger.Info("listening", "addr", ln.Addr().String(),
+			"ring", fmt.Sprint(gw.Ring()), "replicas", *replicas)
+	} else {
+		fmt.Fprintf(logw, "mrgated: listening on %s (%s, replicas=%d)\n",
+			ln.Addr(), gw.Ring(), *replicas)
+	}
 
 	select {
 	case err := <-serveErr:
@@ -152,7 +195,11 @@ func run(ctx context.Context, args []string, logw io.Writer) error {
 	case <-ctx.Done():
 	}
 
-	fmt.Fprintf(logw, "mrgated: signal received, draining (timeout %s)\n", *drainTimeout)
+	if jsonLog {
+		logger.Info("draining", "timeout", drainTimeout.String())
+	} else {
+		fmt.Fprintf(logw, "mrgated: signal received, draining (timeout %s)\n", *drainTimeout)
+	}
 	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	if err := srv.Shutdown(drainCtx); err != nil {
@@ -161,9 +208,17 @@ func run(ctx context.Context, args []string, logw io.Writer) error {
 		}
 		// Distinguishable from a clean drain: in-flight requests (long SSE
 		// streams, typically) were cut at the deadline.
-		fmt.Fprintln(logw, "mrgated: drain timeout exceeded, aborted in-flight requests")
+		if jsonLog {
+			logger.Warn("drain timeout exceeded, aborted in-flight requests")
+		} else {
+			fmt.Fprintln(logw, "mrgated: drain timeout exceeded, aborted in-flight requests")
+		}
 		return nil
 	}
-	fmt.Fprintln(logw, "mrgated: drained")
+	if jsonLog {
+		logger.Info("drained")
+	} else {
+		fmt.Fprintln(logw, "mrgated: drained")
+	}
 	return nil
 }

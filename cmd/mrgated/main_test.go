@@ -28,6 +28,8 @@ func TestFlagValidation(t *testing.T) {
 		{[]string{"-shard", "://bad"}, "-shard"},
 		{[]string{"-shard", "relative/path"}, "http(s)"},
 		{[]string{"-shard", "a=http://h:1", "-shard", "a=http://h:2"}, "duplicate"},
+		{[]string{"-shard", "http://h:1", "-log-format", "xml"}, "-log-format"},
+		{[]string{"-shard", "http://h:1", "-log-level", "loud"}, "-log-level"},
 	}
 	for _, tc := range cases {
 		err := run(context.Background(), tc.args, &bytes.Buffer{})

@@ -11,6 +11,8 @@
 //	         [-cell-cache] [-cell-cache-bytes 0]
 //	         [-tenants FILE] [-queue-policy fifo|fair|srpt]
 //	         [-job-retention 24h] [-gc-interval 1m]
+//	         [-log-format text|json] [-log-level info]
+//	         [-debug-addr ADDR] [-shard-name NAME]
 //
 // By default the service is in-memory: results and job history vanish with
 // the process. With -data-dir it becomes durable — completed artifacts and
@@ -33,6 +35,14 @@
 // shrinks as the cell cache fills, dogfooding the SRPT scheduler the
 // service exists to simulate.
 //
+// Every request logs one structured line (log/slog) carrying the request
+// ID, W3C trace ID (minted, or continued from an inbound traceparent
+// header), matched route, status, and duration; -log-format json makes the
+// stream machine-parseable and -shard-name stamps every line for fleets
+// behind mrgated. -debug-addr opens a second listener serving
+// /debug/pprof and /debug/vars for live profiling. See
+// docs/OBSERVABILITY.md.
+//
 // The daemon drains gracefully on SIGINT/SIGTERM: the listener closes,
 // queued and running matrices finish, then the process exits. A second
 // signal (or the -drain-timeout deadline) cancels the remaining work.
@@ -54,6 +64,7 @@ import (
 	"syscall"
 	"time"
 
+	"mrclone/internal/obs"
 	"mrclone/internal/service"
 	"mrclone/internal/store"
 	"mrclone/internal/tenant"
@@ -95,9 +106,25 @@ func run(ctx context.Context, args []string, logw io.Writer) error {
 		"how often the retention/TTL garbage collector sweeps")
 	drainTimeout := fs.Duration("drain-timeout", time.Minute,
 		"how long shutdown waits for queued and running matrices before cancelling them")
+	logFormat := fs.String("log-format", "text",
+		"structured log format: text (logfmt-style) or json (one object per line)")
+	logLevel := fs.String("log-level", "info",
+		"minimum log level: debug, info, warn, or error")
+	debugAddr := fs.String("debug-addr", "",
+		"optional second listener serving /debug/pprof and /debug/vars (empty = disabled)")
+	shardName := fs.String("shard-name", "",
+		"shard name stamped on every log line, for fleets behind mrgated (empty = none)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if _, err := obs.ParseLevel(*logLevel); err != nil {
+		return fmt.Errorf("-log-level: %w", err)
+	}
+	logger, err := obs.NewLogger(logw, *logFormat, *logLevel)
+	if err != nil {
+		return fmt.Errorf("-log-format: %w", err)
+	}
+	jsonLog := strings.EqualFold(strings.TrimSpace(*logFormat), "json")
 	cacheBudget, err := parseBytes(*cacheBytes)
 	if err != nil {
 		return fmt.Errorf("-cache-bytes %q: %w", *cacheBytes, err)
@@ -148,6 +175,8 @@ func run(ctx context.Context, args []string, logw io.Writer) error {
 		GCInterval:       *gcInterval,
 		Tenants:          registry,
 		QueuePolicy:      policy,
+		Logger:           logger,
+		ShardName:        *shardName,
 	}
 	if cacheBudget == 0 {
 		cfg.CacheBytes = -1 // Config treats 0 as "default"; negative disables.
@@ -166,6 +195,24 @@ func run(ctx context.Context, args []string, logw io.Writer) error {
 	}
 	svc := service.New(cfg)
 
+	if *debugAddr != "" {
+		dln, derr := net.Listen("tcp", *debugAddr)
+		if derr != nil {
+			drainCtx, cancel := context.WithTimeout(context.Background(), time.Second)
+			defer cancel()
+			_ = svc.Close(drainCtx)
+			return fmt.Errorf("-debug-addr: %w", derr)
+		}
+		debugSrv := &http.Server{Handler: obs.DebugHandler()}
+		go func() { _ = debugSrv.Serve(dln) }()
+		defer debugSrv.Close()
+		if jsonLog {
+			logger.Info("debug server listening", "addr", dln.Addr().String())
+		} else {
+			fmt.Fprintf(logw, "mrserved: debug server on %s\n", dln.Addr())
+		}
+	}
+
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		drainCtx, cancel := context.WithTimeout(context.Background(), time.Second)
@@ -180,8 +227,14 @@ func run(ctx context.Context, args []string, logw io.Writer) error {
 	if registry != nil {
 		auth = fmt.Sprintf("%d tenants", registry.Len())
 	}
-	fmt.Fprintf(logw, "mrserved: listening on %s (workers=%d parallel=%d queue=%d policy=%s %s cache=%s ttl=%s %s)\n",
-		ln.Addr(), *workers, *parallel, *queue, policy, auth, *cacheBytes, *cacheTTL, mode)
+	if jsonLog {
+		logger.Info("listening", "addr", ln.Addr().String(), "workers", *workers,
+			"parallel", *parallel, "queue", *queue, "policy", fmt.Sprint(policy),
+			"auth", auth, "cache", *cacheBytes, "ttl", cacheTTL.String(), "mode", mode)
+	} else {
+		fmt.Fprintf(logw, "mrserved: listening on %s (workers=%d parallel=%d queue=%d policy=%s %s cache=%s ttl=%s %s)\n",
+			ln.Addr(), *workers, *parallel, *queue, policy, auth, *cacheBytes, *cacheTTL, mode)
+	}
 
 	select {
 	case err := <-serveErr:
@@ -189,7 +242,11 @@ func run(ctx context.Context, args []string, logw io.Writer) error {
 	case <-ctx.Done():
 	}
 
-	fmt.Fprintf(logw, "mrserved: signal received, draining (timeout %s)\n", *drainTimeout)
+	if jsonLog {
+		logger.Info("draining", "timeout", drainTimeout.String())
+	} else {
+		fmt.Fprintf(logw, "mrserved: signal received, draining (timeout %s)\n", *drainTimeout)
+	}
 	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	// A second signal cuts the drain short and cancels the remaining work.
@@ -197,12 +254,20 @@ func run(ctx context.Context, args []string, logw io.Writer) error {
 	defer stopDrain()
 	// Stop the listener first so no new jobs arrive, then drain the queue.
 	if err := srv.Shutdown(drainCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
-		fmt.Fprintf(logw, "mrserved: http shutdown: %v\n", err)
+		if jsonLog {
+			logger.Warn("http shutdown", "error", err.Error())
+		} else {
+			fmt.Fprintf(logw, "mrserved: http shutdown: %v\n", err)
+		}
 	}
 	if err := svc.Close(drainCtx); err != nil && !errors.Is(err, service.ErrClosed) {
 		return fmt.Errorf("drain: %w", err)
 	}
-	fmt.Fprintln(logw, "mrserved: drained")
+	if jsonLog {
+		logger.Info("drained")
+	} else {
+		fmt.Fprintln(logw, "mrserved: drained")
+	}
 	return nil
 }
 

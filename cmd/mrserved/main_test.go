@@ -24,6 +24,8 @@ func TestFlagValidation(t *testing.T) {
 		{[]string{"-cache-ttl", "-1s"}, "-cache-ttl"},
 		{[]string{"-job-retention", "-1s"}, "-job-retention"},
 		{[]string{"-gc-interval", "0s"}, "-gc-interval"},
+		{[]string{"-log-format", "xml"}, "-log-format"},
+		{[]string{"-log-level", "loud"}, "-log-level"},
 	}
 	for _, tc := range cases {
 		err := run(context.Background(), tc.args, &bytes.Buffer{})
@@ -82,6 +84,72 @@ func (b *syncBuffer) String() string {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	return b.buf.String()
+}
+
+// TestServeJSONLogsAndDebug boots the daemon with -log-format json and a
+// -debug-addr, finds both listen addresses in the structured log, hits
+// /healthz, the pprof index, and /debug/vars, then drains cleanly.
+func TestServeJSONLogsAndDebug(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	logw := &syncBuffer{first: make(chan struct{})}
+
+	errCh := make(chan error, 1)
+	go func() {
+		errCh <- run(ctx, []string{"-addr", "127.0.0.1:0", "-workers", "1", "-drain-timeout", "10s",
+			"-log-format", "json", "-log-level", "debug",
+			"-debug-addr", "127.0.0.1:0", "-shard-name", "obs0"}, logw)
+	}()
+
+	// Both listeners log their address; the debug listener comes up first.
+	addrRE := regexp.MustCompile(`"addr":"([0-9.:]+)"`)
+	var addrs []string
+	deadline := time.After(10 * time.Second)
+	for len(addrs) < 2 {
+		select {
+		case err := <-errCh:
+			t.Fatalf("run exited early: %v (log %q)", err, logw.String())
+		case <-deadline:
+			t.Fatalf("daemon never logged both listen addresses: %q", logw.String())
+		case <-time.After(10 * time.Millisecond):
+		}
+		addrs = nil
+		for _, m := range addrRE.FindAllStringSubmatch(logw.String(), -1) {
+			addrs = append(addrs, m[1])
+		}
+	}
+	debugBase, apiBase := "http://"+addrs[0], "http://"+addrs[1]
+
+	for _, u := range []string{apiBase + "/healthz", debugBase + "/debug/pprof/", debugBase + "/debug/vars"} {
+		resp, err := http.Get(u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: HTTP %d", u, resp.StatusCode)
+		}
+	}
+
+	cancel()
+	select {
+	case err := <-errCh:
+		if err != nil {
+			t.Fatalf("drain: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("daemon did not drain")
+	}
+	log := logw.String()
+	for _, want := range []string{`"msg":"drained"`, `"shard":"obs0"`, `"msg":"http request"`, `"trace_id":`} {
+		if !strings.Contains(log, want) {
+			t.Errorf("JSON log missing %s:\n%s", want, log)
+		}
+	}
+	// Structured mode replaces, not duplicates, the plain lifecycle lines.
+	if strings.Contains(log, "mrserved: listening on") {
+		t.Error("json mode still emits the plain-text lifecycle line")
+	}
 }
 
 // TestServeAndDrain boots the daemon on an ephemeral port, hits /healthz,

@@ -1,18 +1,16 @@
 package gateway
 
 import (
-	"bufio"
 	"context"
 	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
-	"sort"
-	"strconv"
 	"strings"
 	"sync"
 	"time"
 
+	"mrclone/internal/obs"
 	"mrclone/internal/service"
 )
 
@@ -109,12 +107,11 @@ func (g *Gateway) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 // scrapeMetrics fetches and parses one shard's Prometheus-style /metrics
-// into series → value, where a series key is the metric name plus its
-// verbatim label set ("mrclone_tenant_queued{tenant=\"acme\"}"). Comment
-// lines are skipped. Labeled series are kept whole: per-tenant counters are
-// additive across shards exactly like the unlabeled ones, and keying by the
-// full series string makes the pool sum land on the right tenant.
-func (g *Gateway) scrapeMetrics(parent context.Context, sh Shard) (map[string]float64, error) {
+// into metric families (obs.ParseExposition): HELP/TYPE metadata plus every
+// sample with its label set. Keeping families whole — instead of flattening
+// to series strings — is what lets the aggregate merge histograms
+// bucket-wise and re-emit valid exposition metadata for the pool.
+func (g *Gateway) scrapeMetrics(parent context.Context, sh Shard) ([]*obs.Family, error) {
 	ctx, cancel := context.WithTimeout(parent, g.probeTimeout)
 	defer cancel()
 	u := *sh.URL
@@ -131,24 +128,11 @@ func (g *Gateway) scrapeMetrics(parent context.Context, sh Shard) (map[string]fl
 	if resp.StatusCode != http.StatusOK {
 		return nil, fmt.Errorf("HTTP %d", resp.StatusCode)
 	}
-	vals := make(map[string]float64)
-	sc := bufio.NewScanner(io.LimitReader(resp.Body, 1<<20))
-	for sc.Scan() {
-		line := strings.TrimSpace(sc.Text())
-		if line == "" || strings.HasPrefix(line, "#") {
-			continue
-		}
-		fields := strings.Fields(line)
-		if len(fields) != 2 {
-			continue
-		}
-		v, err := strconv.ParseFloat(fields[1], 64)
-		if err != nil {
-			continue
-		}
-		vals[fields[0]] += v
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return nil, err
 	}
-	return vals, sc.Err()
+	return obs.ParseExposition(string(body))
 }
 
 // nonAdditive lists shard series whose sum across the pool would mislead —
@@ -163,11 +147,22 @@ var nonAdditive = map[string]bool{
 	"mrclone_persistent":       true, // an identity flag, not a quantity
 }
 
-// handleMetrics sums every additive mrclone_* series across the pool and
-// appends the gateway's own counters plus a per-shard up gauge. A shard
-// that fails its scrape contributes nothing to the sums and reports up 0.
+// additiveFamily reports whether a shard family belongs in the pool
+// aggregate. Besides the explicit nonAdditive set, the shards' go_* runtime
+// stats are process-local (summed heap sizes or goroutine counts describe
+// no real process) and are dropped; the gateway appends its own.
+func additiveFamily(name string) bool {
+	return !nonAdditive[name] && !strings.HasPrefix(name, "go_")
+}
+
+// handleMetrics merges every additive mrclone_* family across the pool —
+// counters and gauges sum per label set, histograms sum bucket-wise (all
+// shards share the obs.LatencyBuckets layout, so equal `le` buckets add
+// exactly) — and appends the gateway's own counters, its edge request
+// histogram, a per-shard up gauge, and its runtime stats. A shard that
+// fails its scrape contributes nothing to the sums and reports up 0.
 func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	sums := make(map[string]float64)
+	merge := obs.NewMerge()
 	up := make([]bool, len(g.order))
 	var mu sync.Mutex
 	var wg sync.WaitGroup
@@ -175,61 +170,63 @@ func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			vals, err := g.scrapeMetrics(r.Context(), sh)
+			fams, err := g.scrapeMetrics(r.Context(), sh)
 			if err != nil {
 				return
+			}
+			keep := make([]*obs.Family, 0, len(fams))
+			for _, f := range fams {
+				if additiveFamily(f.Name) {
+					keep = append(keep, f)
+				}
 			}
 			mu.Lock()
 			defer mu.Unlock()
 			up[i] = true
-			for series, v := range vals {
-				name, _, _ := strings.Cut(series, "{")
-				if !nonAdditive[name] {
-					sums[series] += v
-				}
-			}
+			merge.Add(keep)
 		}()
 	}
 	wg.Wait()
 
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	names := make([]string, 0, len(sums))
-	for name := range sums {
-		names = append(names, name)
-	}
-	sort.Strings(names)
 	upCount := 0
 	for _, ok := range up {
 		if ok {
 			upCount++
 		}
 	}
-	fmt.Fprintf(w, "# Pool aggregate: %d/%d shards answered their scrape.\n", upCount, len(g.order))
-	for _, name := range names {
-		fmt.Fprintf(w, "%s %g\n", name, sums[name])
-	}
+	w.Header().Set("Content-Type", obs.ExpoContentType)
+	e := obs.NewExpoWriter(w)
+	e.Comment(fmt.Sprintf("Pool aggregate: %d/%d shards answered their scrape.", upCount, len(g.order)))
+	merge.WriteTo(e)
 	for _, row := range []struct {
 		name  string
 		help  string
+		typ   string
 		value float64
 	}{
-		{"mrclone_gateway_shards", "Configured pool size.", float64(len(g.order))},
-		{"mrclone_gateway_shards_up", "Shards that answered the last scrape.", float64(upCount)},
-		{"mrclone_gateway_requests_total", "Requests handled by this gateway.", float64(g.requests.Load())},
-		{"mrclone_gateway_submissions_total", "Submissions routed by content hash.", float64(g.submissions.Load())},
-		{"mrclone_gateway_failovers_total", "Submissions served by a non-owner replica.", float64(g.failovers.Load())},
-		{"mrclone_gateway_shard_errors_total", "Upstream attempts that failed (transport or draining).", float64(g.shardErrors.Load())},
-		{"mrclone_gateway_unauthorized_total", "Submissions rejected at the edge for missing or invalid credentials.", float64(g.unauthorized.Load())},
-		{"mrclone_gateway_rate_limited_total", "Submissions rejected at the edge by a tenant's rate limit.", float64(g.rateLimited.Load())},
-		{"mrclone_gateway_uptime_seconds", "Gateway uptime.", time.Since(g.start).Seconds()},
+		{"mrclone_gateway_shards", "Configured pool size.", "gauge", float64(len(g.order))},
+		{"mrclone_gateway_shards_up", "Shards that answered the last scrape.", "gauge", float64(upCount)},
+		{"mrclone_gateway_requests_total", "Requests handled by this gateway.", "counter", float64(g.requests.Load())},
+		{"mrclone_gateway_submissions_total", "Submissions routed by content hash.", "counter", float64(g.submissions.Load())},
+		{"mrclone_gateway_failovers_total", "Submissions served by a non-owner replica.", "counter", float64(g.failovers.Load())},
+		{"mrclone_gateway_shard_errors_total", "Upstream attempts that failed (transport or draining).", "counter", float64(g.shardErrors.Load())},
+		{"mrclone_gateway_unauthorized_total", "Submissions rejected at the edge for missing or invalid credentials.", "counter", float64(g.unauthorized.Load())},
+		{"mrclone_gateway_rate_limited_total", "Submissions rejected at the edge by a tenant's rate limit.", "counter", float64(g.rateLimited.Load())},
+		{"mrclone_gateway_uptime_seconds", "Gateway uptime.", "gauge", time.Since(g.start).Seconds()},
 	} {
-		fmt.Fprintf(w, "# HELP %s %s\n%s %g\n", row.name, row.help, row.name, row.value)
+		e.Header(row.name, row.help, row.typ)
+		e.Sample(row.name, nil, row.value)
 	}
+	e.HistogramSeries("mrclone_gateway_http_request_seconds",
+		"Gateway HTTP request duration by route and status (includes the shard hop).",
+		g.obsv.httpHist.Snapshots())
+	e.Header("mrclone_gateway_shard_up", "Whether the shard answered the last scrape (1 = up).", "gauge")
 	for i, sh := range g.order {
-		v := 0
+		v := 0.0
 		if up[i] {
 			v = 1
 		}
-		fmt.Fprintf(w, "mrclone_gateway_shard_up{shard=%q} %d\n", sh.Name, v)
+		e.Sample("mrclone_gateway_shard_up", []obs.Label{{Name: "shard", Value: sh.Name}}, v)
 	}
+	obs.WriteRuntimeMetrics(e)
 }

@@ -36,6 +36,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"math"
 	"net"
 	"net/http"
@@ -45,6 +46,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"mrclone/internal/obs"
 	"mrclone/internal/ring"
 	"mrclone/internal/service"
 	"mrclone/internal/service/spec"
@@ -107,6 +109,11 @@ type Config struct {
 	// file) and apply queue/cell quotas, which only they can see. Nil means
 	// the gateway forwards credentials without inspecting them.
 	Tenants *tenant.Registry
+	// Logger receives one structured line per request, stamped with the
+	// request ID, trace and span IDs, matched route, status, duration, and
+	// (when a shard served the request) the shard name. Nil discards —
+	// output stays exactly as before observability existed.
+	Logger *slog.Logger
 }
 
 // Gateway routes requests across the shard pool. Create with New, serve
@@ -122,6 +129,7 @@ type Gateway struct {
 	probeTimeout time.Duration
 	tenants      *tenant.Registry
 	start        time.Time
+	obsv         gatewayObs
 
 	requests     atomic.Int64
 	submissions  atomic.Int64
@@ -182,6 +190,7 @@ func New(cfg Config) (*Gateway, error) {
 		probeTimeout: probe,
 		tenants:      cfg.Tenants,
 		start:        time.Now(),
+		obsv:         newGatewayObs(cfg.Logger),
 	}, nil
 }
 
@@ -199,10 +208,7 @@ func (g *Gateway) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/matrices/{id}/events", g.handleEvents)
 	mux.HandleFunc("GET /healthz", g.handleHealthz)
 	mux.HandleFunc("GET /metrics", g.handleMetrics)
-	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		g.requests.Add(1)
-		mux.ServeHTTP(w, r)
-	})
+	return g.instrument(mux)
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -249,6 +255,12 @@ func (g *Gateway) forward(r *http.Request, sh Shard, method, path, rawQuery stri
 	// authenticate the original caller, not the gateway.
 	if auth := r.Header.Get("Authorization"); auth != "" {
 		req.Header.Set("Authorization", auth)
+	}
+	// Propagate the request's trace to the shard under a fresh span ID, so
+	// the shard's log lines and the gateway's share one trace ID while each
+	// hop remains distinguishable.
+	if tc, ok := obs.TraceFrom(r.Context()); ok {
+		req.Header.Set(obs.TraceparentHeader, tc.WithNewSpan().String())
 	}
 	return g.client.Do(req)
 }

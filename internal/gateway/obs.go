@@ -1,0 +1,77 @@
+package gateway
+
+import (
+	"log/slog"
+	"net/http"
+	"strconv"
+	"time"
+
+	"mrclone/internal/obs"
+)
+
+// gatewayObs bundles the gateway's observability state: the structured
+// logger (never nil — a discard logger when Config.Logger is unset) and the
+// edge-side request-duration histogram exported on /metrics.
+type gatewayObs struct {
+	log *slog.Logger
+	// httpHist is gateway-side HTTP request duration by matched route and
+	// status — the client-observed latency, including the upstream hop.
+	httpHist *obs.HistogramVec
+}
+
+func newGatewayObs(log *slog.Logger) gatewayObs {
+	if log == nil {
+		log = obs.Nop()
+	}
+	return gatewayObs{
+		log:      log,
+		httpHist: obs.NewHistogramVec(obs.LatencyBuckets, "route", "status"),
+	}
+}
+
+// instrument wraps the gateway mux with the observability middleware: it
+// resolves the request's trace context (minting one, or continuing an
+// inbound traceparent under a fresh span), mints a request ID, echoes the
+// traceparent on the response, records the request into the edge duration
+// histogram by matched route and status, and logs one line per request —
+// carrying the serving shard when the route set X-Mrclone-Shard, which is
+// what ties a gateway log line to the shard log line sharing its trace ID.
+// Health and metrics scrapes log at debug so a monitoring cadence does not
+// drown real traffic at the default level.
+func (g *Gateway) instrument(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		g.requests.Add(1)
+		tc, r := obs.EnsureTrace(r)
+		reqID := obs.NewRequestID()
+		r = r.WithContext(obs.ContextWithRequestID(r.Context(), reqID))
+		w.Header().Set(obs.TraceparentHeader, tc.String())
+		rec := obs.NewStatusRecorder(w)
+		next.ServeHTTP(rec, r)
+
+		route := r.Pattern
+		if route == "" {
+			route = "unmatched"
+		}
+		status := rec.Status()
+		dur := time.Since(start)
+		g.obsv.httpHist.Observe(dur.Seconds(), route, strconv.Itoa(status))
+
+		lvl := slog.LevelInfo
+		if route == "GET /healthz" || route == "GET /metrics" {
+			lvl = slog.LevelDebug
+		}
+		attrs := []slog.Attr{
+			slog.String(obs.KeyRequestID, reqID),
+			slog.String(obs.KeyTraceID, tc.TraceID),
+			slog.String(obs.KeySpanID, tc.SpanID),
+			slog.String(obs.KeyRoute, route),
+			slog.Int(obs.KeyStatus, status),
+			slog.Float64(obs.KeyDurationMs, float64(dur)/float64(time.Millisecond)),
+		}
+		if shard := rec.Header().Get(HeaderShard); shard != "" {
+			attrs = append(attrs, slog.String(obs.KeyShard, shard))
+		}
+		g.obsv.log.LogAttrs(r.Context(), lvl, "http request", attrs...)
+	})
+}

@@ -1,0 +1,307 @@
+package gateway
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"mrclone/internal/obs"
+	"mrclone/internal/obs/obstest"
+	"mrclone/internal/service"
+)
+
+// logSink is a goroutine-safe buffer for structured log output.
+type logSink struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (s *logSink) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.buf.Write(p)
+}
+
+func (s *logSink) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.buf.String()
+}
+
+// logEntries decodes every JSON log line the sink captured.
+func logEntries(t *testing.T, sink *logSink) []map[string]any {
+	t.Helper()
+	var out []map[string]any
+	for _, line := range strings.Split(strings.TrimSpace(sink.String()), "\n") {
+		if line == "" {
+			continue
+		}
+		var m map[string]any
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			t.Fatalf("unparseable JSON log line %q: %v", line, err)
+		}
+		out = append(out, m)
+	}
+	return out
+}
+
+// newObsCluster builds a two-shard, one-gateway cluster where every tier
+// logs JSON at debug level into its own sink.
+func newObsCluster(t *testing.T) (c *testCluster, gwLog *logSink, shardLogs []*logSink) {
+	t.Helper()
+	c = &testCluster{}
+	for i := 0; i < 2; i++ {
+		sink := &logSink{}
+		logger, err := obs.NewLogger(sink, "json", "debug")
+		if err != nil {
+			t.Fatal(err)
+		}
+		name := fmt.Sprintf("s%d", i)
+		svc := service.New(service.Config{
+			Workers: 1, CellParallelism: 2, Logger: logger, ShardName: name,
+		})
+		ts := httptest.NewServer(svc.Handler())
+		u, err := url.Parse(ts.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.shards = append(c.shards, svc)
+		c.shardSrvs = append(c.shardSrvs, ts)
+		c.pool = append(c.pool, Shard{Name: name, URL: u})
+		shardLogs = append(shardLogs, sink)
+	}
+	gwLog = &logSink{}
+	gwLogger, err := obs.NewLogger(gwLog, "json", "debug")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gw, err := New(Config{Shards: c.pool, Logger: gwLogger})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.gateways = append(c.gateways, gw)
+	c.gwSrvs = append(c.gwSrvs, httptest.NewServer(gw.Handler()))
+	t.Cleanup(func() {
+		for _, ts := range c.gwSrvs {
+			ts.Close()
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer cancel()
+		for _, svc := range c.shards {
+			_ = svc.Close(ctx)
+		}
+		for _, ts := range c.shardSrvs {
+			ts.Close()
+		}
+	})
+	return c, gwLog, shardLogs
+}
+
+// TestObservabilityTracePropagation: one traced submission through the
+// gateway leaves JSON log lines on both tiers sharing the client's trace
+// ID, with the gateway line naming the serving shard.
+func TestObservabilityTracePropagation(t *testing.T) {
+	c, gwLog, shardLogs := newObsCluster(t)
+	base := c.gwURL(0)
+	canon, hash := canonHash(t, testSpec(23))
+	owner := c.gateways[0].Ring().Lookup(hash)
+
+	const traceID = "0af7651916cd43dd8448eb211c80319c"
+	const clientSpan = "b7ad6b7169203331"
+	req, err := http.NewRequest(http.MethodPost, base+"/v1/matrices", bytes.NewReader(canon))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(obs.TraceparentHeader, "00-"+traceID+"-"+clientSpan+"-01")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st service.JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	// The gateway echoes the continued trace under its own span.
+	tc, err := obs.ParseTraceparent(resp.Header.Get(obs.TraceparentHeader))
+	if err != nil {
+		t.Fatalf("gateway response traceparent: %v", err)
+	}
+	if tc.TraceID != traceID {
+		t.Errorf("gateway response trace ID %s, want the inbound %s", tc.TraceID, traceID)
+	}
+	if tc.SpanID == clientSpan {
+		t.Error("gateway span ID not refreshed for this hop")
+	}
+	waitDone(t, base, st.ID)
+
+	var gwLine map[string]any
+	for _, e := range logEntries(t, gwLog) {
+		if e["msg"] == "http request" && e[obs.KeyRoute] == "POST /v1/matrices" {
+			gwLine = e
+		}
+	}
+	if gwLine == nil {
+		t.Fatalf("no gateway request log line in\n%s", gwLog.String())
+	}
+	if gwLine[obs.KeyTraceID] != traceID {
+		t.Errorf("gateway log trace_id %v, want %s", gwLine[obs.KeyTraceID], traceID)
+	}
+	if gwLine[obs.KeyShard] != owner {
+		t.Errorf("gateway log shard %v, want serving shard %s", gwLine[obs.KeyShard], owner)
+	}
+
+	var ownerIdx int
+	for i, sh := range c.pool {
+		if sh.Name == owner {
+			ownerIdx = i
+		}
+	}
+	var shardLine map[string]any
+	for _, e := range logEntries(t, shardLogs[ownerIdx]) {
+		if e["msg"] == "http request" && e[obs.KeyRoute] == "POST /v1/matrices" {
+			shardLine = e
+		}
+	}
+	if shardLine == nil {
+		t.Fatalf("no shard request log line in\n%s", shardLogs[ownerIdx].String())
+	}
+	// The headline property: one trace ID across both processes' logs.
+	if shardLine[obs.KeyTraceID] != traceID {
+		t.Errorf("shard log trace_id %v, want %s shared with the gateway", shardLine[obs.KeyTraceID], traceID)
+	}
+	if shardLine[obs.KeySpanID] == gwLine[obs.KeySpanID] {
+		t.Error("shard and gateway spans are identical, want a fresh span per hop")
+	}
+	if shardLine[obs.KeyShard] != owner {
+		t.Errorf("shard log shard %v, want %s", shardLine[obs.KeyShard], owner)
+	}
+}
+
+// scrape fetches a /metrics endpoint and returns the body.
+func scrape(t *testing.T, base string) string {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics: HTTP %d", resp.StatusCode)
+	}
+	return string(b)
+}
+
+// histSeries extracts one histogram family's samples for a fixed route
+// label, keyed by suffix|status|le, summing duplicates.
+func histSeries(t *testing.T, body, family, route string) map[string]float64 {
+	t.Helper()
+	fams, err := obs.ParseExposition(body)
+	if err != nil {
+		t.Fatalf("unparseable exposition: %v", err)
+	}
+	out := map[string]float64{}
+	for _, f := range fams {
+		if f.Name != family {
+			continue
+		}
+		for _, s := range f.Samples {
+			if s.Label("route") != route {
+				continue
+			}
+			key := s.Suffix + "|" + s.Label("status") + "|" + s.Label("le")
+			out[key] += s.Value
+		}
+	}
+	return out
+}
+
+// TestObservabilityMetricsMerge: shard scrapes and the gateway aggregate
+// are valid exposition, and the gateway's histogram series are the exact
+// bucket-wise sum of the shards' — same bucket layout, summed counts.
+func TestObservabilityMetricsMerge(t *testing.T) {
+	c, _, _ := newObsCluster(t)
+	base := c.gwURL(0)
+
+	// Several distinct specs so that, with high probability, both shards
+	// serve at least one submission (placement is content-hashed).
+	const subs = 6
+	for seed := int64(31); seed < 31+subs; seed++ {
+		canon, _ := canonHash(t, testSpec(seed))
+		_, st := postSpec(t, base, canon)
+		waitDone(t, base, st.ID)
+	}
+
+	gwBody := scrape(t, base)
+	obstest.MustValidate(t, gwBody)
+	shardBodies := make([]string, len(c.shardSrvs))
+	for i, ts := range c.shardSrvs {
+		shardBodies[i] = scrape(t, ts.URL)
+		obstest.MustValidate(t, shardBodies[i])
+	}
+
+	// The submission route's histogram is stable (no POSTs happen during
+	// the scrapes), so the merged series must equal the per-shard sum for
+	// every bucket, the _sum, and the _count.
+	const family = "mrclone_http_request_seconds"
+	const route = "POST /v1/matrices"
+	merged := histSeries(t, gwBody, family, route)
+	want := map[string]float64{}
+	total := 0.0
+	for _, body := range shardBodies {
+		for k, v := range histSeries(t, body, family, route) {
+			want[k] += v
+			if strings.HasPrefix(k, "_count|") {
+				total += v
+			}
+		}
+	}
+	if total != subs {
+		t.Errorf("shards recorded %v submissions on %q, want %d", total, route, subs)
+	}
+	if len(merged) == 0 {
+		t.Fatalf("gateway aggregate has no %s series for route %q:\n%s", family, route, gwBody)
+	}
+	if len(merged) != len(want) {
+		t.Errorf("merged series has %d samples, shards sum to %d", len(merged), len(want))
+	}
+	for k, v := range want {
+		if merged[k] != v {
+			t.Errorf("merged %s{%s} = %v, want bucket-wise sum %v", family, k, merged[k], v)
+		}
+	}
+
+	// The gateway's own edge histogram and runtime stats ride along, while
+	// non-additive shard families stay out of the aggregate.
+	for _, wantLine := range []string{
+		"# TYPE mrclone_gateway_http_request_seconds histogram",
+		"# TYPE mrclone_gateway_requests_total counter",
+		"# TYPE mrclone_gateway_shard_up gauge",
+		"# TYPE mrclone_flights_total counter",
+		"# TYPE go_goroutines gauge",
+	} {
+		if !strings.Contains(gwBody, wantLine) {
+			t.Errorf("gateway aggregate missing %q", wantLine)
+		}
+	}
+	for _, absent := range []string{"mrclone_uptime_seconds", "mrclone_cells_per_second", "mrclone_persistent"} {
+		if strings.Contains(gwBody, absent+" ") {
+			t.Errorf("gateway aggregate contains non-additive %q", absent)
+		}
+	}
+}

@@ -1,0 +1,23 @@
+package obs
+
+import (
+	"expvar"
+	"net/http"
+	"net/http/pprof"
+)
+
+// DebugHandler serves the debug surface behind the daemons' -debug-addr
+// flag: net/http/pprof profiles (CPU, heap, goroutine, block, mutex,
+// execution trace) and expvar under /debug/vars. It is a separate handler
+// — never mounted on the service listener — so profiling stays reachable
+// when the serving mux is saturated and is trivially firewalled off.
+func DebugHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	return mux
+}

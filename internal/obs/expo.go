@@ -1,0 +1,176 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// ExpoContentType is the Content-Type of the Prometheus text exposition
+// format this package reads and writes.
+const ExpoContentType = "text/plain; version=0.0.4"
+
+// Label is one name/value pair on a metric series.
+type Label struct {
+	Name  string
+	Value string
+}
+
+// escapeLabelValue applies the exposition format's label-value escaping:
+// backslash, double quote, and newline.
+func escapeLabelValue(v string) string {
+	var b strings.Builder
+	for i := 0; i < len(v); i++ {
+		switch v[i] {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(v[i])
+		}
+	}
+	return b.String()
+}
+
+// escapeHelp applies HELP-text escaping: backslash and newline (quotes are
+// legal in help text).
+func escapeHelp(v string) string {
+	var b strings.Builder
+	for i := 0; i < len(v); i++ {
+		switch v[i] {
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(v[i])
+		}
+	}
+	return b.String()
+}
+
+// formatLabels renders {a="x",b="y"}, or "" for an empty set.
+func formatLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Name)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// formatValue renders a sample value the way Prometheus expects.
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, +1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// ExpoWriter renders the Prometheus text exposition format, pairing every
+// family with both its # HELP and # TYPE line (the satellite fix — the
+// pre-obs /metrics wrote HELP only, which strict scrapers flag).
+type ExpoWriter struct {
+	w   io.Writer
+	err error
+}
+
+// NewExpoWriter wraps w. Write errors stick; check Err once at the end.
+func NewExpoWriter(w io.Writer) *ExpoWriter { return &ExpoWriter{w: w} }
+
+// Err returns the first write error, if any.
+func (e *ExpoWriter) Err() error { return e.err }
+
+func (e *ExpoWriter) printf(format string, args ...any) {
+	if e.err != nil {
+		return
+	}
+	_, e.err = fmt.Fprintf(e.w, format, args...)
+}
+
+// Comment writes a free-form comment line (not HELP/TYPE metadata).
+func (e *ExpoWriter) Comment(text string) {
+	e.printf("# %s\n", text)
+}
+
+// Header opens a metric family: its HELP and TYPE lines. typ is one of
+// counter, gauge, histogram, summary, or untyped. Call Sample (or the
+// histogram helpers) for the family's series afterwards.
+func (e *ExpoWriter) Header(name, help, typ string) {
+	e.printf("# HELP %s %s\n", name, escapeHelp(help))
+	e.printf("# TYPE %s %s\n", name, typ)
+}
+
+// Sample writes one series sample under the current family.
+func (e *ExpoWriter) Sample(name string, labels []Label, v float64) {
+	e.printf("%s%s %s\n", name, formatLabels(labels), formatValue(v))
+}
+
+// Counter writes a complete single-series counter family.
+func (e *ExpoWriter) Counter(name, help string, v float64) {
+	e.Header(name, help, "counter")
+	e.Sample(name, nil, v)
+}
+
+// Gauge writes a complete single-series gauge family.
+func (e *ExpoWriter) Gauge(name, help string, v float64) {
+	e.Header(name, help, "gauge")
+	e.Sample(name, nil, v)
+}
+
+// histogramSeries writes one label-set's cumulative buckets, sum, and
+// count under an already-opened histogram family.
+func (e *ExpoWriter) histogramSeries(name string, base []Label, s HistogramSnapshot) {
+	cum := uint64(0)
+	for i, bound := range s.Bounds {
+		cum += s.Counts[i]
+		labels := append(append([]Label(nil), base...),
+			Label{Name: "le", Value: formatValue(bound)})
+		e.Sample(name+"_bucket", labels, float64(cum))
+	}
+	if len(s.Counts) == len(s.Bounds)+1 {
+		cum += s.Counts[len(s.Bounds)]
+	}
+	infLabels := append(append([]Label(nil), base...), Label{Name: "le", Value: "+Inf"})
+	e.Sample(name+"_bucket", infLabels, float64(cum))
+	e.Sample(name+"_sum", base, s.Sum)
+	e.Sample(name+"_count", base, float64(s.Count))
+}
+
+// Histogram writes a complete unlabeled histogram family.
+func (e *ExpoWriter) Histogram(name, help string, s HistogramSnapshot) {
+	e.Header(name, help, "histogram")
+	e.histogramSeries(name, nil, s)
+}
+
+// HistogramSeries writes a complete labeled histogram family — one bucket
+// group per label set (as produced by HistogramVec.Snapshots).
+func (e *ExpoWriter) HistogramSeries(name, help string, series []LabeledHistogram) {
+	if len(series) == 0 {
+		return // a family with no series is omitted entirely
+	}
+	e.Header(name, help, "histogram")
+	for _, lh := range series {
+		e.histogramSeries(name, lh.Labels, lh.Snap)
+	}
+}

@@ -1,0 +1,182 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestExpoWriterRoundTrip(t *testing.T) {
+	h := NewHistogram([]float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+
+	var sb strings.Builder
+	e := NewExpoWriter(&sb)
+	e.Comment("a free-form comment")
+	e.Counter("demo_requests_total", "Requests served.", 42)
+	e.Gauge("demo_depth", "Queue depth.", 3)
+	e.Header("demo_tenant_total", "Per-tenant counter.", "counter")
+	e.Sample("demo_tenant_total", []Label{{"tenant", `we"ird\te
+nant`}}, 7)
+	e.Histogram("demo_seconds", "Latency.", h.Snapshot())
+	if err := e.Err(); err != nil {
+		t.Fatalf("writer error: %v", err)
+	}
+	out := sb.String()
+
+	for _, want := range []string{
+		"# TYPE demo_requests_total counter",
+		"# TYPE demo_depth gauge",
+		"# TYPE demo_seconds histogram",
+		`demo_seconds_bucket{le="0.1"} 1`,
+		`demo_seconds_bucket{le="1"} 2`,
+		`demo_seconds_bucket{le="+Inf"} 3`,
+		"demo_seconds_count 3",
+		`demo_tenant_total{tenant="we\"ird\\te\nnant"} 7`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+
+	fams, err := ParseExposition(out)
+	if err != nil {
+		t.Fatalf("ParseExposition of own output: %v", err)
+	}
+	byName := map[string]*Family{}
+	for _, f := range fams {
+		byName[f.Name] = f
+	}
+	if f := byName["demo_requests_total"]; f == nil || f.Type != "counter" || f.Samples[0].Value != 42 {
+		t.Fatalf("counter family mangled: %+v", f)
+	}
+	if f := byName["demo_tenant_total"]; f == nil || f.Samples[0].Label("tenant") != "we\"ird\\te\nnant" {
+		t.Fatalf("label escaping not reversible: %+v", f)
+	}
+	hf := byName["demo_seconds"]
+	if hf == nil || hf.Type != "histogram" {
+		t.Fatalf("histogram family missing: %+v", hf)
+	}
+	var suffixes []string
+	for _, s := range hf.Samples {
+		suffixes = append(suffixes, s.Suffix)
+	}
+	if len(hf.Samples) != 5 { // 3 buckets + sum + count
+		t.Fatalf("histogram samples = %v", suffixes)
+	}
+}
+
+func TestParseExpositionErrors(t *testing.T) {
+	for name, in := range map[string]string{
+		"bad value":        "demo 12x\n",
+		"bad label":        `demo{l="unterminated} 1` + "\n",
+		"bad type":         "# TYPE demo sideways\n",
+		"type after data":  "demo 1\n# TYPE demo counter\n",
+		"bad metric name":  "1demo 5\n",
+		"unquoted label":   "demo{l=5} 1\n",
+		"dangling escape":  "demo{l=\"a\\\"} 1\n",
+		"unknown escape":   `demo{l="a\t"} 1` + "\n",
+		"missing value":    "demo{l=\"a\"}\n",
+		"too many fields":  "demo 1 2 3\n",
+		"bad timestamp":    "demo 1 soon\n",
+		"bad label name":   "demo{0l=\"a\"} 1\n",
+		"label without eq": "demo{la} 1\n",
+	} {
+		t.Run(name, func(t *testing.T) {
+			if _, err := ParseExposition(in); err == nil {
+				t.Fatalf("ParseExposition(%q) should fail", in)
+			}
+		})
+	}
+}
+
+func TestParseExpositionTimestampsAndInf(t *testing.T) {
+	fams, err := ParseExposition("# TYPE demo gauge\ndemo 1.5 1700000000000\nup +Inf\ndown -Inf\n")
+	if err != nil {
+		t.Fatalf("ParseExposition: %v", err)
+	}
+	byName := map[string]*Family{}
+	for _, f := range fams {
+		byName[f.Name] = f
+	}
+	if v := byName["demo"].Samples[0].Value; v != 1.5 {
+		t.Fatalf("timestamped sample = %g", v)
+	}
+	if v := byName["up"].Samples[0].Value; !math.IsInf(v, 1) {
+		t.Fatalf("+Inf sample = %g", v)
+	}
+	if v := byName["down"].Samples[0].Value; !math.IsInf(v, -1) {
+		t.Fatalf("-Inf sample = %g", v)
+	}
+	if byName["up"].Type != "untyped" || byName["up"].TypeSet {
+		t.Fatalf("implicit family should be untyped: %+v", byName["up"])
+	}
+}
+
+func TestMergeHistograms(t *testing.T) {
+	render := func(observe func(*Histogram)) string {
+		h := NewHistogram([]float64{0.1, 1})
+		observe(h)
+		var sb strings.Builder
+		e := NewExpoWriter(&sb)
+		e.Histogram("demo_seconds", "Latency.", h.Snapshot())
+		e.Counter("demo_total", "Count.", 2)
+		return sb.String()
+	}
+	shardA := render(func(h *Histogram) { h.Observe(0.05); h.Observe(0.5) })
+	shardB := render(func(h *Histogram) { h.Observe(0.5); h.Observe(5) })
+
+	m := NewMerge()
+	for _, scrape := range []string{shardA, shardB} {
+		fams, err := ParseExposition(scrape)
+		if err != nil {
+			t.Fatalf("parse: %v", err)
+		}
+		m.Add(fams)
+	}
+	var sb strings.Builder
+	e := NewExpoWriter(&sb)
+	m.WriteTo(e)
+	out := sb.String()
+
+	for _, want := range []string{
+		"# TYPE demo_seconds histogram",
+		`demo_seconds_bucket{le="0.1"} 1`,
+		`demo_seconds_bucket{le="1"} 3`,
+		`demo_seconds_bucket{le="+Inf"} 4`,
+		"demo_seconds_count 4",
+		"demo_total 4",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("merged output missing %q:\n%s", want, out)
+		}
+	}
+	// Buckets must come out in ascending numeric le order, not lexical.
+	i01 := strings.Index(out, `le="0.1"`)
+	i1 := strings.Index(out, `le="1"`)
+	iInf := strings.Index(out, `le="+Inf"`)
+	if !(i01 < i1 && i1 < iInf) {
+		t.Fatalf("bucket order wrong (le=0.1 at %d, le=1 at %d, +Inf at %d):\n%s", i01, i1, iInf, out)
+	}
+}
+
+func TestWriteRuntimeMetrics(t *testing.T) {
+	var sb strings.Builder
+	e := NewExpoWriter(&sb)
+	WriteRuntimeMetrics(e)
+	if err := e.Err(); err != nil {
+		t.Fatalf("writer error: %v", err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE go_goroutines gauge",
+		"# TYPE go_gc_pause_seconds_total counter",
+		"go_heap_alloc_bytes",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("runtime metrics missing %q:\n%s", want, out)
+		}
+	}
+}

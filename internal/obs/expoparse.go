@@ -1,0 +1,329 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Family is one parsed metric family: the base name, HELP/TYPE metadata,
+// and every sample that belongs to it. For TYPE histogram the base name
+// owns its _bucket/_sum/_count samples, recorded via Sample.Suffix.
+type Family struct {
+	Name    string
+	Help    string
+	Type    string // counter, gauge, histogram, summary, untyped
+	Samples []Sample
+	// HelpSet/TypeSet record whether the metadata lines actually appeared
+	// (Type defaults to "untyped" for implicit families; the exposition
+	// validator needs to tell the two apart).
+	HelpSet bool
+	TypeSet bool
+}
+
+// Sample is one series sample within a family. Suffix is "" for plain
+// samples and "_bucket"/"_sum"/"_count" for histogram components.
+type Sample struct {
+	Suffix string
+	Labels []Label
+	Value  float64
+}
+
+// Label returns the value of the named label ("" if absent).
+func (s Sample) Label(name string) string {
+	for _, l := range s.Labels {
+		if l.Name == name {
+			return l.Value
+		}
+	}
+	return ""
+}
+
+// BaseLabels returns the sample's labels minus "le", sorted by name —
+// the identity of a histogram bucket group.
+func (s Sample) BaseLabels() []Label {
+	out := make([]Label, 0, len(s.Labels))
+	for _, l := range s.Labels {
+		if l.Name != "le" {
+			out = append(out, l)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// LabelKey renders a label set as a canonical string for grouping.
+func LabelKey(labels []Label) string {
+	var b strings.Builder
+	for _, l := range labels {
+		fmt.Fprintf(&b, "%s=%q;", l.Name, l.Value)
+	}
+	return b.String()
+}
+
+// validMetricStart and metric-name character rules per the exposition
+// format: [a-zA-Z_:][a-zA-Z0-9_:]*.
+func isMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		letter := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+		if !letter && (i == 0 || c < '0' || c > '9') {
+			return false
+		}
+	}
+	return true
+}
+
+func isLabelName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		letter := c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+		if !letter && (i == 0 || c < '0' || c > '9') {
+			return false
+		}
+	}
+	return true
+}
+
+// histogramSuffix splits a sample name against a histogram family's base
+// name, returning the component suffix ("_bucket", "_sum", "_count") or
+// false when the name is not part of that family.
+func histogramSuffix(base, name string) (string, bool) {
+	if !strings.HasPrefix(name, base) {
+		return "", false
+	}
+	switch suffix := name[len(base):]; suffix {
+	case "_bucket", "_sum", "_count":
+		return suffix, true
+	}
+	return "", false
+}
+
+// ParseExposition parses the Prometheus text exposition format (v0.0.4)
+// into metric families, in order of appearance. It is strict: malformed
+// metadata, label syntax, or values are errors, matching what the
+// exposition validator test and the gateway's cross-shard merge need.
+// Optional sample timestamps are accepted and dropped.
+func ParseExposition(data string) ([]*Family, error) {
+	var (
+		fams  []*Family
+		index = map[string]*Family{}
+	)
+	family := func(name string) *Family {
+		if f, ok := index[name]; ok {
+			return f
+		}
+		f := &Family{Name: name, Type: "untyped"}
+		index[name] = f
+		fams = append(fams, f)
+		return f
+	}
+	// sampleFamily resolves which family a sample line belongs to,
+	// attaching histogram components to their declared base family.
+	sampleFamily := func(name string) (*Family, string) {
+		if f, ok := index[name]; ok {
+			return f, ""
+		}
+		for base, f := range index {
+			if f.Type != "histogram" && f.Type != "summary" {
+				continue
+			}
+			if suffix, ok := histogramSuffix(base, name); ok {
+				return f, suffix
+			}
+		}
+		return family(name), ""
+	}
+
+	for lineNo, line := range strings.Split(data, "\n") {
+		errf := func(format string, args ...any) ([]*Family, error) {
+			return nil, fmt.Errorf("obs: exposition line %d: %s",
+				lineNo+1, fmt.Sprintf(format, args...))
+		}
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			rest := strings.TrimPrefix(strings.TrimPrefix(line, "#"), " ")
+			switch {
+			case strings.HasPrefix(rest, "HELP "):
+				parts := strings.SplitN(rest[len("HELP "):], " ", 2)
+				if !isMetricName(parts[0]) {
+					return errf("HELP for invalid metric name %q", parts[0])
+				}
+				f := family(parts[0])
+				f.HelpSet = true
+				if len(parts) == 2 {
+					f.Help = unescapeHelp(parts[1])
+				}
+			case strings.HasPrefix(rest, "TYPE "):
+				parts := strings.Fields(rest[len("TYPE "):])
+				if len(parts) != 2 || !isMetricName(parts[0]) {
+					return errf("malformed TYPE line %q", line)
+				}
+				switch parts[1] {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return errf("unknown metric type %q", parts[1])
+				}
+				f := family(parts[0])
+				if len(f.Samples) > 0 {
+					return errf("TYPE for %s after its samples", parts[0])
+				}
+				f.Type = parts[1]
+				f.TypeSet = true
+			}
+			continue // other comments are free-form
+		}
+
+		name, labels, value, err := parseSampleLine(line)
+		if err != nil {
+			return errf("%v", err)
+		}
+		f, suffix := sampleFamily(name)
+		f.Samples = append(f.Samples, Sample{Suffix: suffix, Labels: labels, Value: value})
+	}
+	return fams, nil
+}
+
+// parseSampleLine splits `name{labels} value [timestamp]`.
+func parseSampleLine(line string) (string, []Label, float64, error) {
+	i := strings.IndexAny(line, "{ ")
+	if i < 0 {
+		return "", nil, 0, fmt.Errorf("sample %q has no value", line)
+	}
+	name := line[:i]
+	if !isMetricName(name) {
+		return "", nil, 0, fmt.Errorf("invalid metric name %q", name)
+	}
+	var labels []Label
+	rest := line[i:]
+	if rest[0] == '{' {
+		var err error
+		labels, rest, err = parseLabels(rest[1:])
+		if err != nil {
+			return "", nil, 0, err
+		}
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return "", nil, 0, fmt.Errorf("sample %q: want value (and optional timestamp) after name", line)
+	}
+	value, err := parseValue(fields[0])
+	if err != nil {
+		return "", nil, 0, fmt.Errorf("sample %q: bad value: %v", line, err)
+	}
+	if len(fields) == 2 {
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			return "", nil, 0, fmt.Errorf("sample %q: bad timestamp: %v", line, err)
+		}
+	}
+	return name, labels, value, nil
+}
+
+// parseLabels consumes `name="value",...}` (after the opening brace) and
+// returns the labels plus the unconsumed remainder of the line.
+func parseLabels(s string) ([]Label, string, error) {
+	var labels []Label
+	for {
+		s = strings.TrimLeft(s, " ")
+		if strings.HasPrefix(s, "}") {
+			return labels, s[1:], nil
+		}
+		eq := strings.IndexByte(s, '=')
+		if eq < 0 {
+			return nil, "", fmt.Errorf("label without '=' near %q", s)
+		}
+		name := strings.TrimSpace(s[:eq])
+		if !isLabelName(name) {
+			return nil, "", fmt.Errorf("invalid label name %q", name)
+		}
+		s = s[eq+1:]
+		if !strings.HasPrefix(s, `"`) {
+			return nil, "", fmt.Errorf("label %s value is not quoted", name)
+		}
+		value, rest, err := parseQuoted(s[1:])
+		if err != nil {
+			return nil, "", fmt.Errorf("label %s: %v", name, err)
+		}
+		labels = append(labels, Label{Name: name, Value: value})
+		s = rest
+		switch {
+		case strings.HasPrefix(s, ","):
+			s = s[1:]
+		case strings.HasPrefix(s, "}"):
+			return labels, s[1:], nil
+		default:
+			return nil, "", fmt.Errorf("expected ',' or '}' after label %s", name)
+		}
+	}
+}
+
+// parseQuoted consumes an escaped label value up to its closing quote.
+func parseQuoted(s string) (string, string, error) {
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			return b.String(), s[i+1:], nil
+		case '\\':
+			i++
+			if i >= len(s) {
+				return "", "", fmt.Errorf("dangling escape")
+			}
+			switch s[i] {
+			case '\\':
+				b.WriteByte('\\')
+			case '"':
+				b.WriteByte('"')
+			case 'n':
+				b.WriteByte('\n')
+			default:
+				return "", "", fmt.Errorf("unknown escape \\%c", s[i])
+			}
+		default:
+			b.WriteByte(s[i])
+		}
+	}
+	return "", "", fmt.Errorf("unterminated label value")
+}
+
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf", "Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+func unescapeHelp(s string) string {
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\\' && i+1 < len(s) {
+			i++
+			switch s[i] {
+			case '\\':
+				b.WriteByte('\\')
+			case 'n':
+				b.WriteByte('\n')
+			default:
+				b.WriteByte('\\')
+				b.WriteByte(s[i])
+			}
+			continue
+		}
+		b.WriteByte(s[i])
+	}
+	return b.String()
+}

@@ -1,0 +1,37 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseTraceparent asserts the parser's safety contract: no panics on
+// arbitrary input, and anything accepted is a valid context that renders
+// back to a header the parser accepts again (version normalized to 00).
+func FuzzParseTraceparent(f *testing.F) {
+	f.Add("00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01")
+	f.Add("00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-00")
+	f.Add("cc-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01-state")
+	f.Add("ff-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01")
+	f.Add("")
+	f.Add("garbage")
+	f.Add(strings.Repeat("-", 60))
+	f.Add("00-00000000000000000000000000000000-0000000000000000-00")
+
+	f.Fuzz(func(t *testing.T, s string) {
+		tc, err := ParseTraceparent(s)
+		if err != nil {
+			return
+		}
+		if !tc.Valid() {
+			t.Fatalf("accepted invalid context from %q: %+v", s, tc)
+		}
+		rt, err := ParseTraceparent(tc.String())
+		if err != nil {
+			t.Fatalf("re-parse of rendered %q failed: %v", tc.String(), err)
+		}
+		if rt != tc {
+			t.Fatalf("render/parse not stable: %+v != %+v", rt, tc)
+		}
+	})
+}

@@ -1,0 +1,167 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// LatencyBuckets is the shared fixed bucket layout (upper bounds in
+// seconds) of every latency histogram the serving tiers export. One layout
+// everywhere is what makes the gateway's cross-shard merge bucket-wise
+// exact: equal `le` labels sum without resampling. The range spans a
+// sub-millisecond cache hit to a two-minute matrix run; +Inf is implicit.
+var LatencyBuckets = []float64{
+	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+	0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60, 120,
+}
+
+// Histogram is a fixed-bucket histogram safe for concurrent observation.
+// Buckets are defined by their finite upper bounds (ascending); values
+// above the last bound land in the implicit +Inf bucket.
+type Histogram struct {
+	mu     sync.Mutex
+	bounds []float64
+	counts []uint64 // len(bounds)+1; last = overflow (+Inf)
+	sum    float64
+	count  uint64
+}
+
+// NewHistogram builds a histogram over the given finite, strictly
+// ascending upper bounds. The slice is copied.
+func NewHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		panic("obs: histogram needs at least one bucket bound")
+	}
+	for i, b := range bounds {
+		if math.IsNaN(b) || math.IsInf(b, 0) {
+			panic("obs: histogram bounds must be finite (+Inf is implicit)")
+		}
+		if i > 0 && bounds[i-1] >= b {
+			panic("obs: histogram bounds must be strictly ascending")
+		}
+	}
+	return &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]uint64, len(bounds)+1),
+	}
+}
+
+// Observe records one value. NaN observations are dropped (they would
+// poison the sum and land in no bucket).
+func (h *Histogram) Observe(v float64) {
+	if math.IsNaN(v) {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.mu.Lock()
+	h.counts[i]++
+	h.sum += v
+	h.count++
+	h.mu.Unlock()
+}
+
+// Snapshot returns a consistent copy of the histogram state.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return HistogramSnapshot{
+		Bounds: h.bounds, // immutable after construction
+		Counts: append([]uint64(nil), h.counts...),
+		Sum:    h.sum,
+		Count:  h.count,
+	}
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram: per-bucket
+// (non-cumulative) counts aligned with Bounds plus the overflow bucket,
+// and the running sum and count. The exposition writer renders it as the
+// cumulative `_bucket`/`_sum`/`_count` series Prometheus expects.
+type HistogramSnapshot struct {
+	Bounds []float64
+	Counts []uint64 // len(Bounds)+1
+	Sum    float64
+	Count  uint64
+}
+
+// LabeledHistogram pairs a label set with a histogram snapshot — one
+// series group of a labeled histogram family.
+type LabeledHistogram struct {
+	Labels []Label
+	Snap   HistogramSnapshot
+}
+
+// vecSep joins label values into map keys; label values containing it
+// would collide, but every label this repo emits (routes, status codes)
+// cannot carry 0xff bytes.
+const vecSep = "\xff"
+
+// HistogramVec is a histogram family partitioned by a fixed set of label
+// names (for example route and status code). Series are created lazily on
+// first observation.
+type HistogramVec struct {
+	mu     sync.Mutex
+	bounds []float64
+	names  []string
+	hists  map[string]*Histogram
+}
+
+// NewHistogramVec builds a labeled histogram family; labelNames must be
+// non-empty (use Histogram for the unlabeled case).
+func NewHistogramVec(bounds []float64, labelNames ...string) *HistogramVec {
+	if len(labelNames) == 0 {
+		panic("obs: HistogramVec needs at least one label name")
+	}
+	return &HistogramVec{
+		bounds: append([]float64(nil), bounds...),
+		names:  append([]string(nil), labelNames...),
+		hists:  make(map[string]*Histogram),
+	}
+}
+
+// Observe records one value in the series identified by labelValues,
+// which must match the constructor's label names positionally.
+func (v *HistogramVec) Observe(val float64, labelValues ...string) {
+	if len(labelValues) != len(v.names) {
+		panic(fmt.Sprintf("obs: HistogramVec got %d label values, want %d",
+			len(labelValues), len(v.names)))
+	}
+	key := strings.Join(labelValues, vecSep)
+	v.mu.Lock()
+	h, ok := v.hists[key]
+	if !ok {
+		h = NewHistogram(v.bounds)
+		v.hists[key] = h
+	}
+	v.mu.Unlock()
+	h.Observe(val)
+}
+
+// Snapshots returns every series' labels and snapshot, sorted by label
+// values for deterministic exposition output.
+func (v *HistogramVec) Snapshots() []LabeledHistogram {
+	v.mu.Lock()
+	keys := make([]string, 0, len(v.hists))
+	for k := range v.hists {
+		keys = append(keys, k)
+	}
+	hists := make([]*Histogram, 0, len(keys))
+	sort.Strings(keys)
+	for _, k := range keys {
+		hists = append(hists, v.hists[k])
+	}
+	v.mu.Unlock()
+
+	out := make([]LabeledHistogram, len(keys))
+	for i, k := range keys {
+		vals := strings.Split(k, vecSep)
+		labels := make([]Label, len(v.names))
+		for j, name := range v.names {
+			labels[j] = Label{Name: name, Value: vals[j]}
+		}
+		out[i] = LabeledHistogram{Labels: labels, Snap: hists[i].Snapshot()}
+	}
+	return out
+}

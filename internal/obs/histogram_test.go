@@ -1,0 +1,81 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestHistogramObserve(t *testing.T) {
+	h := NewHistogram([]float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.1, 0.5, 5, 50, math.NaN()} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 5 {
+		t.Fatalf("count = %d, want 5 (NaN dropped)", s.Count)
+	}
+	want := []uint64{2, 1, 1, 1} // <=0.1: {0.05, 0.1}; <=1: {0.5}; <=10: {5}; +Inf: {50}
+	for i, w := range want {
+		if s.Counts[i] != w {
+			t.Fatalf("bucket %d = %d, want %d (all: %v)", i, s.Counts[i], w, s.Counts)
+		}
+	}
+	if got := 0.05 + 0.1 + 0.5 + 5 + 50; s.Sum != got {
+		t.Fatalf("sum = %g, want %g", s.Sum, got)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram(LatencyBuckets)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(0.01)
+			}
+		}()
+	}
+	wg.Wait()
+	if s := h.Snapshot(); s.Count != 8000 {
+		t.Fatalf("count = %d, want 8000", s.Count)
+	}
+}
+
+func TestHistogramVec(t *testing.T) {
+	v := NewHistogramVec([]float64{1}, "route", "status")
+	v.Observe(0.5, "GET /a", "200")
+	v.Observe(2, "GET /a", "200")
+	v.Observe(0.5, "GET /b", "500")
+	snaps := v.Snapshots()
+	if len(snaps) != 2 {
+		t.Fatalf("series = %d, want 2", len(snaps))
+	}
+	first := snaps[0]
+	if first.Labels[0] != (Label{"route", "GET /a"}) || first.Labels[1] != (Label{"status", "200"}) {
+		t.Fatalf("labels = %+v", first.Labels)
+	}
+	if first.Snap.Count != 2 || first.Snap.Counts[0] != 1 || first.Snap.Counts[1] != 1 {
+		t.Fatalf("snapshot = %+v", first.Snap)
+	}
+}
+
+func TestHistogramBadBounds(t *testing.T) {
+	for name, bounds := range map[string][]float64{
+		"empty":      {},
+		"descending": {1, 0.5},
+		"duplicate":  {1, 1},
+		"inf":        {1, math.Inf(1)},
+	} {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("NewHistogram(%v) should panic", bounds)
+				}
+			}()
+			NewHistogram(bounds)
+		})
+	}
+}

@@ -1,0 +1,78 @@
+package obs
+
+import (
+	"net/http"
+	"strconv"
+	"sync/atomic"
+)
+
+// reqPrefix distinguishes request IDs minted by different processes; the
+// counter distinguishes requests within one.
+var (
+	reqPrefix = randHex(3)
+	reqSeq    atomic.Uint64
+)
+
+// NewRequestID mints a process-unique request ID: a random per-process
+// prefix plus a sequence number, cheap enough for every request.
+func NewRequestID() string {
+	return reqPrefix + "-" + strconv.FormatUint(reqSeq.Add(1), 10)
+}
+
+// EnsureTrace resolves the request's trace context: a well-formed inbound
+// traceparent header continues that trace under a fresh span ID (this
+// tier's own hop), anything else starts a new trace. The returned request
+// carries the context (TraceFrom) for handlers and onward propagation.
+func EnsureTrace(r *http.Request) (TraceContext, *http.Request) {
+	tc, err := ParseTraceparent(r.Header.Get(TraceparentHeader))
+	if err != nil {
+		tc = NewTrace()
+	} else {
+		tc = tc.WithNewSpan()
+	}
+	return tc, r.WithContext(ContextWithTrace(r.Context(), tc))
+}
+
+// StatusRecorder wraps a ResponseWriter to capture the response status for
+// request logs and latency histograms. It passes Flush through so SSE
+// streaming keeps working behind it.
+type StatusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+// NewStatusRecorder wraps w.
+func NewStatusRecorder(w http.ResponseWriter) *StatusRecorder {
+	return &StatusRecorder{ResponseWriter: w}
+}
+
+// WriteHeader records the first status code written.
+func (r *StatusRecorder) WriteHeader(code int) {
+	if r.code == 0 {
+		r.code = code
+	}
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// Write implies 200 when the handler never called WriteHeader.
+func (r *StatusRecorder) Write(b []byte) (int, error) {
+	if r.code == 0 {
+		r.code = http.StatusOK
+	}
+	return r.ResponseWriter.Write(b)
+}
+
+// Flush forwards to the underlying writer when it supports flushing.
+func (r *StatusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// Status returns the recorded status code (200 when nothing was written).
+func (r *StatusRecorder) Status() int {
+	if r.code == 0 {
+		return http.StatusOK
+	}
+	return r.code
+}

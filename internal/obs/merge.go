@@ -1,0 +1,134 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Merge accumulates metric families from several scrapes (one per shard)
+// and renders their bucket-wise sum. Because every shard uses the same
+// fixed bucket layout (LatencyBuckets), histogram series with equal labels
+// sum exactly: each `le` bucket of the merged histogram is the sum of that
+// bucket across shards, and _sum/_count add likewise. Counters and gauges
+// sum per identical label set. Callers filter out families that do not add
+// meaningfully (uptimes, rates, process-local runtime stats) before Add.
+type Merge struct {
+	fams  map[string]*mergedFamily
+	order []string
+}
+
+type mergedFamily struct {
+	help    string
+	typ     string
+	samples map[string]*mergedSample
+	order   []string
+}
+
+type mergedSample struct {
+	suffix string
+	labels []Label
+	value  float64
+}
+
+// NewMerge returns an empty merge.
+func NewMerge() *Merge {
+	return &Merge{fams: map[string]*mergedFamily{}}
+}
+
+// Add folds one scrape's families into the merge. The first scrape to
+// mention a family fixes its HELP and TYPE.
+func (m *Merge) Add(fams []*Family) {
+	for _, f := range fams {
+		mf, ok := m.fams[f.Name]
+		if !ok {
+			mf = &mergedFamily{help: f.Help, typ: f.Type, samples: map[string]*mergedSample{}}
+			m.fams[f.Name] = mf
+			m.order = append(m.order, f.Name)
+		}
+		for _, s := range f.Samples {
+			labels := append([]Label(nil), s.Labels...)
+			sort.Slice(labels, func(i, j int) bool { return labels[i].Name < labels[j].Name })
+			key := s.Suffix + "\xff" + LabelKey(labels)
+			ms, ok := mf.samples[key]
+			if !ok {
+				ms = &mergedSample{suffix: s.Suffix, labels: labels}
+				mf.samples[key] = ms
+				mf.order = append(mf.order, key)
+			}
+			ms.value += s.Value
+		}
+	}
+}
+
+// suffixRank orders histogram components within one bucket group.
+func suffixRank(suffix string) int {
+	switch suffix {
+	case "_bucket":
+		return 0
+	case "_sum":
+		return 1
+	case "_count":
+		return 2
+	}
+	return 0
+}
+
+// leValue parses a sample's le label for numeric bucket ordering; +Inf
+// sorts last.
+func leValue(s *mergedSample) float64 {
+	for _, l := range s.labels {
+		if l.Name != "le" {
+			continue
+		}
+		if l.Value == "+Inf" {
+			return math.Inf(1)
+		}
+		v, err := strconv.ParseFloat(l.Value, 64)
+		if err == nil {
+			return v
+		}
+	}
+	return 0
+}
+
+// baseKey identifies a sample's bucket group (labels minus le).
+func baseKey(s *mergedSample) string {
+	var b strings.Builder
+	for _, l := range s.labels {
+		if l.Name != "le" {
+			b.WriteString(LabelKey([]Label{l}))
+		}
+	}
+	return b.String()
+}
+
+// WriteTo renders the merged families through e: families sorted by name;
+// within a histogram family, samples grouped by base labels with buckets
+// in ascending numeric le order followed by _sum and _count.
+func (m *Merge) WriteTo(e *ExpoWriter) {
+	names := append([]string(nil), m.order...)
+	sort.Strings(names)
+	for _, name := range names {
+		mf := m.fams[name]
+		samples := make([]*mergedSample, 0, len(mf.order))
+		for _, key := range mf.order {
+			samples = append(samples, mf.samples[key])
+		}
+		sort.SliceStable(samples, func(i, j int) bool {
+			a, b := samples[i], samples[j]
+			if ka, kb := baseKey(a), baseKey(b); ka != kb {
+				return ka < kb
+			}
+			if ra, rb := suffixRank(a.suffix), suffixRank(b.suffix); ra != rb {
+				return ra < rb
+			}
+			return leValue(a) < leValue(b)
+		})
+		e.Header(name, mf.help, mf.typ)
+		for _, s := range samples {
+			e.Sample(name+s.suffix, s.labels, s.value)
+		}
+	}
+}

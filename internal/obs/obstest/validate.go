@@ -1,0 +1,167 @@
+// Package obstest validates Prometheus text exposition output in tests:
+// it parses a scrape strictly and checks the structural invariants a real
+// scraper relies on — HELP/TYPE pairing, no duplicate series, and
+// histogram consistency (monotone cumulative buckets, a +Inf bucket that
+// equals _count, exactly one _sum/_count per bucket group).
+package obstest
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"mrclone/internal/obs"
+)
+
+// Validate parses data as Prometheus text exposition and returns every
+// structural problem found (nil when the scrape is clean).
+func Validate(data string) []string {
+	fams, err := obs.ParseExposition(data)
+	if err != nil {
+		return []string{err.Error()}
+	}
+	var problems []string
+	addf := func(format string, args ...any) {
+		problems = append(problems, fmt.Sprintf(format, args...))
+	}
+
+	for _, f := range fams {
+		if len(f.Samples) == 0 {
+			continue // metadata-only family: legal, nothing to check
+		}
+		if !f.HelpSet {
+			addf("family %s has samples but no # HELP line", f.Name)
+		}
+		if !f.TypeSet {
+			addf("family %s has samples but no # TYPE line", f.Name)
+		}
+
+		seen := map[string]bool{}
+		for _, s := range f.Samples {
+			labels := append([]obs.Label(nil), s.Labels...)
+			sort.Slice(labels, func(i, j int) bool { return labels[i].Name < labels[j].Name })
+			key := s.Suffix + "\xff" + obs.LabelKey(labels)
+			if seen[key] {
+				addf("family %s: duplicate series %s%s%s",
+					f.Name, f.Name, s.Suffix, obs.LabelKey(labels))
+			}
+			seen[key] = true
+		}
+
+		if f.Type == "histogram" {
+			validateHistogram(f, addf)
+		}
+	}
+	return problems
+}
+
+// validateHistogram checks one histogram family's bucket groups.
+func validateHistogram(f *obs.Family, addf func(string, ...any)) {
+	type group struct {
+		buckets []obs.Sample
+		sums    int
+		counts  int
+		count   float64
+	}
+	groups := map[string]*group{}
+	order := []string{}
+	get := func(s obs.Sample) *group {
+		key := obs.LabelKey(s.BaseLabels())
+		g, ok := groups[key]
+		if !ok {
+			g = &group{}
+			groups[key] = g
+			order = append(order, key)
+		}
+		return g
+	}
+	for _, s := range f.Samples {
+		g := get(s)
+		switch s.Suffix {
+		case "_bucket":
+			g.buckets = append(g.buckets, s)
+		case "_sum":
+			g.sums++
+		case "_count":
+			g.counts++
+			g.count = s.Value
+		default:
+			addf("histogram %s has plain sample %s%s", f.Name, f.Name, obs.LabelKey(s.Labels))
+		}
+	}
+
+	for _, key := range order {
+		g := groups[key]
+		where := fmt.Sprintf("histogram %s{%s}", f.Name, key)
+		if g.sums != 1 {
+			addf("%s: want exactly one _sum, got %d", where, g.sums)
+		}
+		if g.counts != 1 {
+			addf("%s: want exactly one _count, got %d", where, g.counts)
+		}
+		if len(g.buckets) == 0 {
+			addf("%s: no _bucket samples", where)
+			continue
+		}
+
+		type bucket struct {
+			le    float64
+			count float64
+		}
+		buckets := make([]bucket, 0, len(g.buckets))
+		sawInf := false
+		for _, s := range g.buckets {
+			leStr := s.Label("le")
+			if leStr == "" {
+				addf("%s: _bucket sample without le label", where)
+				continue
+			}
+			var le float64
+			if leStr == "+Inf" {
+				le = math.Inf(1)
+				sawInf = true
+			} else {
+				v, err := strconv.ParseFloat(leStr, 64)
+				if err != nil {
+					addf("%s: unparseable le=%q", where, leStr)
+					continue
+				}
+				le = v
+			}
+			buckets = append(buckets, bucket{le: le, count: s.Value})
+		}
+		if !sawInf {
+			addf("%s: missing le=\"+Inf\" bucket", where)
+		}
+		sort.Slice(buckets, func(i, j int) bool { return buckets[i].le < buckets[j].le })
+		for i := 1; i < len(buckets); i++ {
+			if buckets[i-1].le == buckets[i].le {
+				addf("%s: duplicate le=%g bucket", where, buckets[i].le)
+			}
+			if buckets[i].count < buckets[i-1].count {
+				addf("%s: cumulative bucket counts decrease at le=%g (%g < %g)",
+					where, buckets[i].le, buckets[i].count, buckets[i-1].count)
+			}
+		}
+		if sawInf && g.counts == 1 {
+			inf := buckets[len(buckets)-1]
+			if inf.count != g.count {
+				addf("%s: le=\"+Inf\" bucket (%g) != _count (%g)", where, inf.count, g.count)
+			}
+		}
+	}
+}
+
+// MustValidate fails the given test-like sink when Validate finds
+// problems. It takes an interface so both *testing.T and *testing.F work.
+func MustValidate(t interface {
+	Helper()
+	Fatalf(string, ...any)
+}, data string) {
+	t.Helper()
+	if problems := Validate(data); len(problems) > 0 {
+		t.Fatalf("invalid exposition:\n  %s", strings.Join(problems, "\n  "))
+	}
+}

@@ -1,0 +1,23 @@
+package obs
+
+import "runtime"
+
+// WriteRuntimeMetrics folds Go runtime health into an exposition stream:
+// goroutine count, heap occupancy, and GC activity — the signals that
+// explain a process-level tail (GC pause pile-up, goroutine leak, heap
+// growth) when the request-level histograms point at this process. The
+// go_ prefix marks them process-local; the gateway's cross-shard merge
+// excludes them so aggregates never mix shard and gateway runtimes.
+func WriteRuntimeMetrics(e *ExpoWriter) {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+
+	e.Gauge("go_goroutines", "Number of live goroutines.", float64(runtime.NumGoroutine()))
+	e.Gauge("go_heap_alloc_bytes", "Bytes of allocated heap objects.", float64(ms.HeapAlloc))
+	e.Gauge("go_heap_objects", "Number of allocated heap objects.", float64(ms.HeapObjects))
+	e.Gauge("go_heap_sys_bytes", "Bytes of heap memory obtained from the OS.", float64(ms.HeapSys))
+	e.Gauge("go_next_gc_bytes", "Heap size target of the next GC cycle.", float64(ms.NextGC))
+	e.Counter("go_alloc_bytes_total", "Cumulative bytes allocated for heap objects.", float64(ms.TotalAlloc))
+	e.Counter("go_gc_cycles_total", "Completed GC cycles.", float64(ms.NumGC))
+	e.Counter("go_gc_pause_seconds_total", "Cumulative stop-the-world GC pause time.", float64(ms.PauseTotalNs)/1e9)
+}

@@ -26,6 +26,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"time"
 
 	"mrclone/internal/cluster"
 	"mrclone/internal/job"
@@ -153,6 +154,12 @@ type Options struct {
 	// matrix size. Calls are serialized and monotone in done; keep the
 	// callback cheap.
 	CellProgress func(done, cached, total int)
+	// CellTime, when non-nil, is called after each cell lands with the
+	// wall-clock duration the cell took to resolve and whether it came from
+	// CellCache. Calls are serialized with Progress/CellProgress; keep the
+	// callback cheap. Durations are observational only — they depend on the
+	// machine and on cache state, never on matrix content.
+	CellTime func(d time.Duration, fromCache bool)
 	// CellCache, when non-nil, is consulted before each cell executes and
 	// receives each freshly computed cell. A Lookup hit skips the
 	// simulation entirely: the payload is restamped with this matrix's
@@ -299,7 +306,7 @@ func Run(ctx context.Context, spec Spec, opts Options) (*Result, error) {
 		}
 		mu.Unlock()
 	}
-	land := func(idx int, cell *CellResult, fromCache bool) {
+	land := func(idx int, cell *CellResult, fromCache bool, dur time.Duration) {
 		mu.Lock()
 		res.Cells[idx] = *cell
 		done++
@@ -312,6 +319,9 @@ func Run(ctx context.Context, spec Spec, opts Options) (*Result, error) {
 		if opts.CellProgress != nil {
 			opts.CellProgress(done, cached, total)
 		}
+		if opts.CellTime != nil {
+			opts.CellTime(dur, fromCache)
+		}
 		mu.Unlock()
 	}
 	idxCh := make(chan int)
@@ -320,8 +330,9 @@ func Run(ctx context.Context, spec Spec, opts Options) (*Result, error) {
 		go func() {
 			defer wg.Done()
 			for idx := range idxCh {
+				start := time.Now()
 				if cell, ok := spec.cachedCell(idx, opts); ok {
-					land(idx, cell, true)
+					land(idx, cell, true, time.Since(start))
 					continue
 				}
 				cell, err := spec.runCell(idx, opts.KeepRaw)
@@ -333,7 +344,7 @@ func Run(ctx context.Context, spec Spec, opts Options) (*Result, error) {
 					si, pi, run := spec.cellCoords(idx)
 					opts.CellCache.Publish(si, pi, run, cell.CellPayload)
 				}
-				land(idx, cell, false)
+				land(idx, cell, false, time.Since(start))
 			}
 		}()
 	}

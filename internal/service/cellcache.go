@@ -234,6 +234,7 @@ func (s *Service) tryAssemble(fl *flight, j *jobState) (JobStatus, bool) {
 		jb.emit(Event{Type: EventCells, Done: jb.total, CachedCells: jb.total, Total: jb.total})
 		jb.emit(Event{Type: EventDone, Done: jb.done, Total: jb.total, Cached: true})
 		s.persistJob(jb)
+		s.obsv.log.Info("job done", append(jobAttrs(jb), "cached", true, "source", "cells")...)
 	}
 	return j.status(), true
 }

@@ -39,6 +39,14 @@ type Event struct {
 	// Tenant names the tenant that owns the job; empty for anonymous
 	// submissions, keeping single-tenant streams byte-identical.
 	Tenant string `json:"tenant,omitempty"`
+	// Lifecycle timestamps (RFC 3339, millisecond precision, UTC), stamped
+	// on terminal frames so an SSE consumer learns the job's full timing —
+	// queue wait and run duration fall out of the three — without a second
+	// status fetch. Empty on non-terminal frames and for phases never
+	// reached (e.g. StartedAt on a cache hit).
+	SubmittedAt string `json:"submitted_at,omitempty"`
+	StartedAt   string `json:"started_at,omitempty"`
+	FinishedAt  string `json:"finished_at,omitempty"`
 }
 
 // Terminal reports whether the event ends the stream.

@@ -10,6 +10,7 @@ import (
 	"sort"
 	"strconv"
 
+	"mrclone/internal/obs"
 	"mrclone/internal/service/spec"
 	"mrclone/internal/tenant"
 )
@@ -37,7 +38,7 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/matrices/{id}/events", s.handleEvents)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
-	return mux
+	return s.instrument(mux)
 }
 
 // writeJSON renders v with a status code; encoding failures are ignored
@@ -122,7 +123,7 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	st, err := s.SubmitToken(tenant.BearerToken(r), sp)
+	st, err := s.SubmitTokenContext(r.Context(), tenant.BearerToken(r), sp)
 	switch {
 	case errors.Is(err, tenant.ErrRateLimited), errors.Is(err, tenant.ErrDisabled),
 		errors.Is(err, tenant.ErrNoToken), errors.Is(err, tenant.ErrUnknownToken):
@@ -263,42 +264,47 @@ func (s *Service) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 
 func (s *Service) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	m := s.Metrics()
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	w.Header().Set("Content-Type", obs.ExpoContentType)
+	e := obs.NewExpoWriter(w)
 	for _, row := range []struct {
 		name  string
 		help  string
+		typ   string
 		value float64
 	}{
-		{"mrclone_submissions_total", "Matrix submissions accepted.", float64(m.Submissions)},
-		{"mrclone_cache_hits_total", "Submissions served from the in-memory result cache.", float64(m.CacheHits)},
-		{"mrclone_disk_hits_total", "Artifact reads served from the disk store.", float64(m.DiskHits)},
-		{"mrclone_dedup_hits_total", "Submissions attached to an in-flight computation.", float64(m.DedupHits)},
-		{"mrclone_flights_total", "Distinct matrix computations registered.", float64(m.Flights)},
-		{"mrclone_jobs_done_total", "Jobs finished successfully.", float64(m.JobsDone)},
-		{"mrclone_jobs_failed_total", "Jobs finished in failure.", float64(m.JobsFailed)},
-		{"mrclone_jobs_cancelled_total", "Jobs cancelled by clients or shutdown.", float64(m.JobsCancelled)},
-		{"mrclone_gc_jobs_total", "Terminal jobs aged out of the job table.", float64(m.JobsGCed)},
-		{"mrclone_gc_artifacts_total", "TTL-expired artifacts deleted from the disk store.", float64(m.ArtifactsGCed)},
-		{"mrclone_quarantined_total", "Corrupt disk entries moved to quarantine.", float64(m.Quarantined)},
-		{"mrclone_store_errors_total", "Disk store operations that failed.", float64(m.StoreErrors)},
-		{"mrclone_queue_depth", "Matrices waiting for a worker.", float64(m.QueueDepth)},
-		{"mrclone_queue_capacity", "Bounded queue capacity.", float64(m.QueueCapacity)},
-		{"mrclone_cache_entries", "Matrices held in the in-memory result cache.", float64(m.CacheEntries)},
-		{"mrclone_cache_bytes", "Artifact bytes held in the in-memory result cache.", float64(m.CacheBytes)},
-		{"mrclone_jobs_tracked", "Job records currently in the job table.", float64(m.JobsTracked)},
-		{"mrclone_persistent", "1 when a disk store is configured.", boolGauge(m.Persistent)},
-		{"mrclone_cells_done_total", "Matrix cells landed (simulated or resolved from the cell cache).", float64(m.CellsDone)},
-		{"mrclone_cell_hits_total", "Cells resolved from the content-addressed cell cache.", float64(m.CellHits)},
-		{"mrclone_cell_misses_total", "Cell lookups that missed the cell cache.", float64(m.CellMisses)},
-		{"mrclone_cell_bytes_total", "Cell payload bytes written to the cell store.", float64(m.CellBytes)},
-		{"mrclone_gc_cells_total", "Expired or evicted cell records deleted from the disk store.", float64(m.CellsGCed)},
-		{"mrclone_assembled_total", "Matrices assembled entirely from cached cells without a worker slot.", float64(m.Assembled)},
-		{"mrclone_unauthorized_total", "Requests rejected for missing or invalid credentials.", float64(m.Unauthorized)},
-		{"mrclone_uptime_seconds", "Service uptime.", m.UptimeSeconds},
-		{"mrclone_cells_per_second", "Lifetime mean simulation throughput.", m.CellsPerSecond},
+		{"mrclone_submissions_total", "Matrix submissions accepted.", "counter", float64(m.Submissions)},
+		{"mrclone_cache_hits_total", "Submissions served from the in-memory result cache.", "counter", float64(m.CacheHits)},
+		{"mrclone_disk_hits_total", "Artifact reads served from the disk store.", "counter", float64(m.DiskHits)},
+		{"mrclone_dedup_hits_total", "Submissions attached to an in-flight computation.", "counter", float64(m.DedupHits)},
+		{"mrclone_flights_total", "Distinct matrix computations registered.", "counter", float64(m.Flights)},
+		{"mrclone_jobs_done_total", "Jobs finished successfully.", "counter", float64(m.JobsDone)},
+		{"mrclone_jobs_failed_total", "Jobs finished in failure.", "counter", float64(m.JobsFailed)},
+		{"mrclone_jobs_cancelled_total", "Jobs cancelled by clients or shutdown.", "counter", float64(m.JobsCancelled)},
+		{"mrclone_gc_jobs_total", "Terminal jobs aged out of the job table.", "counter", float64(m.JobsGCed)},
+		{"mrclone_gc_artifacts_total", "TTL-expired artifacts deleted from the disk store.", "counter", float64(m.ArtifactsGCed)},
+		{"mrclone_quarantined_total", "Corrupt disk entries moved to quarantine.", "counter", float64(m.Quarantined)},
+		{"mrclone_store_errors_total", "Disk store operations that failed.", "counter", float64(m.StoreErrors)},
+		{"mrclone_queue_depth", "Matrices waiting for a worker.", "gauge", float64(m.QueueDepth)},
+		{"mrclone_queue_capacity", "Bounded queue capacity.", "gauge", float64(m.QueueCapacity)},
+		{"mrclone_cache_entries", "Matrices held in the in-memory result cache.", "gauge", float64(m.CacheEntries)},
+		{"mrclone_cache_bytes", "Artifact bytes held in the in-memory result cache.", "gauge", float64(m.CacheBytes)},
+		{"mrclone_jobs_tracked", "Job records currently in the job table.", "gauge", float64(m.JobsTracked)},
+		{"mrclone_persistent", "1 when a disk store is configured.", "gauge", boolGauge(m.Persistent)},
+		{"mrclone_cells_done_total", "Matrix cells landed (simulated or resolved from the cell cache).", "counter", float64(m.CellsDone)},
+		{"mrclone_cell_hits_total", "Cells resolved from the content-addressed cell cache.", "counter", float64(m.CellHits)},
+		{"mrclone_cell_misses_total", "Cell lookups that missed the cell cache.", "counter", float64(m.CellMisses)},
+		{"mrclone_cell_bytes_total", "Cell payload bytes written to the cell store.", "counter", float64(m.CellBytes)},
+		{"mrclone_gc_cells_total", "Expired or evicted cell records deleted from the disk store.", "counter", float64(m.CellsGCed)},
+		{"mrclone_assembled_total", "Matrices assembled entirely from cached cells without a worker slot.", "counter", float64(m.Assembled)},
+		{"mrclone_unauthorized_total", "Requests rejected for missing or invalid credentials.", "counter", float64(m.Unauthorized)},
+		{"mrclone_uptime_seconds", "Service uptime.", "gauge", m.UptimeSeconds},
+		{"mrclone_cells_per_second", "Lifetime mean simulation throughput.", "gauge", m.CellsPerSecond},
 	} {
-		fmt.Fprintf(w, "# HELP %s %s\n%s %g\n", row.name, row.help, row.name, row.value)
+		e.Header(row.name, row.help, row.typ)
+		e.Sample(row.name, nil, row.value)
 	}
+	s.obsv.writeHistograms(e)
+	obs.WriteRuntimeMetrics(e)
 	if len(m.Tenants) == 0 {
 		return
 	}
@@ -310,17 +316,18 @@ func (s *Service) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	for _, row := range []struct {
 		name string
 		help string
+		typ  string
 		get  func(TenantMetrics) float64
 	}{
-		{"mrclone_tenant_submitted_total", "Submissions accepted, by tenant.", func(t TenantMetrics) float64 { return float64(t.Submitted) }},
-		{"mrclone_tenant_rejected_total", "Submissions rejected by quota or rate limit, by tenant.", func(t TenantMetrics) float64 { return float64(t.Rejected) }},
-		{"mrclone_tenant_queued", "Jobs waiting for a worker, by tenant.", func(t TenantMetrics) float64 { return float64(t.Queued) }},
-		{"mrclone_tenant_running", "Jobs occupying a worker, by tenant.", func(t TenantMetrics) float64 { return float64(t.Running) }},
-		{"mrclone_tenant_cell_seconds_total", "Worker wall-clock seconds consumed, by tenant.", func(t TenantMetrics) float64 { return t.CellSeconds }},
+		{"mrclone_tenant_submitted_total", "Submissions accepted, by tenant.", "counter", func(t TenantMetrics) float64 { return float64(t.Submitted) }},
+		{"mrclone_tenant_rejected_total", "Submissions rejected by quota or rate limit, by tenant.", "counter", func(t TenantMetrics) float64 { return float64(t.Rejected) }},
+		{"mrclone_tenant_queued", "Jobs waiting for a worker, by tenant.", "gauge", func(t TenantMetrics) float64 { return float64(t.Queued) }},
+		{"mrclone_tenant_running", "Jobs occupying a worker, by tenant.", "gauge", func(t TenantMetrics) float64 { return float64(t.Running) }},
+		{"mrclone_tenant_cell_seconds_total", "Worker wall-clock seconds consumed, by tenant.", "counter", func(t TenantMetrics) float64 { return t.CellSeconds }},
 	} {
-		fmt.Fprintf(w, "# HELP %s %s\n", row.name, row.help)
+		e.Header(row.name, row.help, row.typ)
 		for _, name := range names {
-			fmt.Fprintf(w, "%s{tenant=%q} %g\n", row.name, name, row.get(m.Tenants[name]))
+			e.Sample(row.name, []obs.Label{{Name: "tenant", Value: name}}, row.get(m.Tenants[name]))
 		}
 	}
 }

@@ -1,0 +1,333 @@
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"mrclone/internal/obs"
+	"mrclone/internal/obs/obstest"
+	"mrclone/internal/store"
+)
+
+// logSink is a goroutine-safe buffer for structured log output.
+type logSink struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (s *logSink) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.buf.Write(p)
+}
+
+func (s *logSink) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.buf.String()
+}
+
+// jsonLogger builds a debug-level JSON logger writing into a fresh sink.
+func jsonLogger(t *testing.T) (*logSink, *Service) {
+	t.Helper()
+	sink := &logSink{}
+	logger, err := obs.NewLogger(sink, "json", "debug")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(Config{Workers: 1, CellParallelism: 2, Logger: logger, ShardName: "obs0"})
+	return sink, s
+}
+
+// logEntries decodes every JSON line the sink captured.
+func logEntries(t *testing.T, sink *logSink) []map[string]any {
+	t.Helper()
+	var out []map[string]any
+	for _, line := range strings.Split(strings.TrimSpace(sink.String()), "\n") {
+		if line == "" {
+			continue
+		}
+		var m map[string]any
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			t.Fatalf("unparseable JSON log line %q: %v", line, err)
+		}
+		out = append(out, m)
+	}
+	return out
+}
+
+// parseRFC3339 asserts a lifecycle timestamp is present and well-formed.
+func parseRFC3339(t *testing.T, field, v string) time.Time {
+	t.Helper()
+	if v == "" {
+		t.Fatalf("%s is empty, want an RFC 3339 timestamp", field)
+	}
+	ts, err := time.Parse(time.RFC3339Nano, v)
+	if err != nil {
+		t.Fatalf("%s = %q: %v", field, v, err)
+	}
+	return ts
+}
+
+// TestJobTimestamps: a run-to-done job reports submitted/started/finished
+// in order, and the terminal SSE frame carries the same three.
+func TestJobTimestamps(t *testing.T) {
+	s := New(Config{Workers: 1, CellParallelism: 2})
+	defer closeService(t, s)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	st, err := s.Submit(testSpec(61))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.SubmittedAt == "" {
+		t.Error("fresh submission missing submitted_at")
+	}
+	done := waitState(t, s, st.ID, StateDone)
+	sub := parseRFC3339(t, "submitted_at", done.SubmittedAt)
+	start := parseRFC3339(t, "started_at", done.StartedAt)
+	fin := parseRFC3339(t, "finished_at", done.FinishedAt)
+	if start.Before(sub) || fin.Before(start) {
+		t.Errorf("timestamps out of order: submitted %s, started %s, finished %s",
+			done.SubmittedAt, done.StartedAt, done.FinishedAt)
+	}
+
+	// The SSE stream's terminal frame carries the same timestamps.
+	resp, err := http.Get(ts.URL + "/v1/matrices/" + st.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var terminal *Event
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		data, ok := strings.CutPrefix(sc.Text(), "data: ")
+		if !ok {
+			continue
+		}
+		var e Event
+		if err := json.Unmarshal([]byte(data), &e); err != nil {
+			t.Fatalf("undecodable event %q: %v", data, err)
+		}
+		if e.Terminal() {
+			terminal = &e
+			break
+		}
+	}
+	if terminal == nil {
+		t.Fatal("no terminal SSE frame")
+	}
+	if terminal.SubmittedAt != done.SubmittedAt || terminal.StartedAt != done.StartedAt ||
+		terminal.FinishedAt != done.FinishedAt {
+		t.Errorf("terminal frame timestamps %q/%q/%q differ from status %q/%q/%q",
+			terminal.SubmittedAt, terminal.StartedAt, terminal.FinishedAt,
+			done.SubmittedAt, done.StartedAt, done.FinishedAt)
+	}
+
+	// A memory cache hit never ran: started_at stays empty, the rest stick.
+	hit, err := s.Submit(testSpec(61))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit.Cached || hit.State != StateDone {
+		t.Fatalf("resubmission = %+v, want a cache hit", hit)
+	}
+	parseRFC3339(t, "submitted_at", hit.SubmittedAt)
+	parseRFC3339(t, "finished_at", hit.FinishedAt)
+	if hit.StartedAt != "" {
+		t.Errorf("cache hit reports started_at %q, want empty (it never ran)", hit.StartedAt)
+	}
+}
+
+// TestTimestampsSurviveRestart: the job log persists the lifecycle
+// timestamps and recovery restores them on the recovered terminal job.
+func TestTimestampsSurviveRestart(t *testing.T) {
+	dir := t.TempDir()
+	st1, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1 := New(Config{Workers: 1, CellParallelism: 2, Store: st1})
+	st, err := s1.Submit(testSpec(62))
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := waitState(t, s1, st.ID, StateDone)
+	closeService(t, s1)
+
+	st2, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2 := New(Config{Workers: 1, CellParallelism: 2, Store: st2})
+	defer closeService(t, s2)
+	got, err := s2.Get(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.SubmittedAt != done.SubmittedAt {
+		t.Errorf("recovered submitted_at %q, want %q", got.SubmittedAt, done.SubmittedAt)
+	}
+	if got.StartedAt != done.StartedAt {
+		t.Errorf("recovered started_at %q, want %q", got.StartedAt, done.StartedAt)
+	}
+	if got.FinishedAt == "" {
+		t.Error("recovered terminal job missing finished_at")
+	}
+}
+
+// TestRequestLoggingAndTrace: one HTTP submission through the instrumented
+// handler produces a JSON request log line whose trace ID continues the
+// client's traceparent, and the job lifecycle lines carry the same trace.
+func TestRequestLoggingAndTrace(t *testing.T) {
+	sink, s := jsonLogger(t)
+	defer closeService(t, s)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	const traceID = "4bf92f3577b34da6a3ce929d0e0e4736"
+	canon, err := testSpec(63).Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/matrices", bytes.NewReader(canon))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(obs.TraceparentHeader, "00-"+traceID+"-00f067aa0ba902b7-01")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	// The response echoes the continued trace under a fresh span.
+	tc, err := obs.ParseTraceparent(resp.Header.Get(obs.TraceparentHeader))
+	if err != nil {
+		t.Fatalf("response traceparent: %v", err)
+	}
+	if tc.TraceID != traceID {
+		t.Errorf("response trace ID %s, want the inbound %s", tc.TraceID, traceID)
+	}
+	if tc.SpanID == "00f067aa0ba902b7" {
+		t.Error("response span ID not refreshed for this hop")
+	}
+
+	waitState(t, s, st.ID, StateDone)
+
+	var sawRequest, sawQueued, sawDone bool
+	for _, e := range logEntries(t, sink) {
+		if e[obs.KeyShard] != "obs0" {
+			t.Errorf("log line missing shard attr: %v", e)
+		}
+		switch e["msg"] {
+		case "http request":
+			if e[obs.KeyRoute] == "POST /v1/matrices" {
+				sawRequest = true
+				if e[obs.KeyTraceID] != traceID {
+					t.Errorf("request line trace_id %v, want %s", e[obs.KeyTraceID], traceID)
+				}
+				if rid, _ := e[obs.KeyRequestID].(string); rid == "" {
+					t.Error("request line missing req_id")
+				}
+			}
+		case "job queued":
+			sawQueued = true
+			if e[obs.KeyTraceID] != traceID {
+				t.Errorf("job queued trace_id %v, want %s", e[obs.KeyTraceID], traceID)
+			}
+			if e[obs.KeyJob] != st.ID {
+				t.Errorf("job queued names %v, want %s", e[obs.KeyJob], st.ID)
+			}
+		case "flight done":
+			sawDone = true
+			if e[obs.KeySpec] != obs.SpecPrefix(st.Hash) {
+				t.Errorf("flight done spec %v, want %s", e[obs.KeySpec], obs.SpecPrefix(st.Hash))
+			}
+		}
+	}
+	if !sawRequest || !sawQueued || !sawDone {
+		t.Errorf("log stream missing lines: request=%v queued=%v done=%v in\n%s",
+			sawRequest, sawQueued, sawDone, sink.String())
+	}
+}
+
+// TestMetricsExpositionValid runs the in-test exposition parser over a
+// live shard scrape: HELP/TYPE pairing for every family, histogram bucket
+// monotonicity, and _sum/_count consistency.
+func TestMetricsExpositionValid(t *testing.T) {
+	s := New(Config{Workers: 1, CellParallelism: 2})
+	defer closeService(t, s)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	st, err := s.Submit(testSpec(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, s, st.ID, StateDone)
+	// One HTTP request so the request histogram has a series.
+	resp, err := http.Get(ts.URL + "/v1/matrices/" + st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != obs.ExpoContentType {
+		t.Errorf("content type %q, want %q", ct, obs.ExpoContentType)
+	}
+	obstest.MustValidate(t, string(body))
+
+	for _, want := range []string{
+		"# TYPE mrclone_http_request_seconds histogram",
+		"# TYPE mrclone_queue_wait_seconds histogram",
+		"# TYPE mrclone_run_seconds histogram",
+		"# TYPE mrclone_cell_seconds histogram",
+		"# TYPE mrclone_jobs_done_total counter",
+		"# TYPE mrclone_queue_depth gauge",
+		"# TYPE go_goroutines gauge",
+		"mrclone_run_seconds_count 1",
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+
+	fams, err := obs.ParseExposition(string(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range fams {
+		if f.Name != "mrclone_queue_wait_seconds" {
+			continue
+		}
+		for _, smp := range f.Samples {
+			if smp.Suffix == "_count" && smp.Value < 1 {
+				t.Errorf("queue wait count %v, want >= 1 (one job ran)", smp.Value)
+			}
+		}
+	}
+}

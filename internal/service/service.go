@@ -41,6 +41,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"runtime"
 	"sort"
 	"strconv"
@@ -48,6 +49,7 @@ import (
 	"sync"
 	"time"
 
+	"mrclone/internal/obs"
 	"mrclone/internal/runner"
 	"mrclone/internal/service/spec"
 	"mrclone/internal/store"
@@ -140,6 +142,15 @@ type Config struct {
 	// QueueSeed fixes the fair-policy lottery for reproducible tests
 	// (0 = derived from the clock at startup).
 	QueueSeed int64
+	// Logger receives structured log lines (job lifecycle, flight
+	// execution, HTTP requests) with the internal/obs attribute vocabulary.
+	// Nil (the default) discards them, keeping library and daemon behavior
+	// identical to pre-observability releases.
+	Logger *slog.Logger
+	// ShardName, when set, is stamped as the "shard" attribute on every log
+	// line — the mrgated pool name that lets one grep follow a trace ID
+	// across a gateway and the shard it routed to.
+	ShardName string
 }
 
 func (c Config) normalize() Config {
@@ -186,6 +197,15 @@ type JobStatus struct {
 	// than simulated.
 	CachedCells int    `json:"cached_cells,omitempty"`
 	Error       string `json:"error,omitempty"`
+	// Lifecycle timestamps (RFC 3339, millisecond precision, UTC).
+	// SubmittedAt is when the submission was accepted; StartedAt when the
+	// job began running (empty for cache hits, which never run); FinishedAt
+	// when it reached a terminal state. Queue wait and run duration fall
+	// out of the three. omitempty keeps pre-timestamp responses identical
+	// for phases never reached.
+	SubmittedAt string `json:"submitted_at,omitempty"`
+	StartedAt   string `json:"started_at,omitempty"`
+	FinishedAt  string `json:"finished_at,omitempty"`
 }
 
 // jobState is one submission's server-side state. Guarded by Service.mu.
@@ -199,7 +219,10 @@ type jobState struct {
 	done        int
 	cachedCells int
 	total       int
+	submittedAt time.Time // when the submission was accepted
+	startedAt   time.Time // when the job began running (zero for cache hits)
 	terminalAt  time.Time // when the job reached a terminal state (GC anchor)
+	traceID     string    // trace of the submitting request; "" if untraced
 	result      *CachedResult
 	flight      *flight // nil once terminal
 	subs        []*Subscription
@@ -207,10 +230,15 @@ type jobState struct {
 }
 
 func (j *jobState) status() JobStatus {
-	return JobStatus{
+	st := JobStatus{
 		ID: j.id, Hash: j.hash, State: j.state, Tenant: j.tenant, Cached: j.cached,
 		Done: j.done, Total: j.total, CachedCells: j.cachedCells, Error: j.errMsg,
+		SubmittedAt: rfc3339(j.submittedAt), StartedAt: rfc3339(j.startedAt),
 	}
+	if j.state.Terminal() {
+		st.FinishedAt = rfc3339(j.terminalAt)
+	}
+	return st
 }
 
 // historyFrameCap bounds a job's replayable event buffer in frames. State
@@ -231,6 +259,11 @@ const historyFrameCap = 64
 func (j *jobState) emit(e Event) {
 	e.Job = j.id
 	e.Tenant = j.tenant
+	if e.Terminal() {
+		e.SubmittedAt = rfc3339(j.submittedAt)
+		e.StartedAt = rfc3339(j.startedAt)
+		e.FinishedAt = rfc3339(j.terminalAt)
+	}
 	switch {
 	case e.Type == EventProgress:
 		// live-only
@@ -254,7 +287,12 @@ func (j *jobState) emit(e Event) {
 // terminalEvent synthesizes the event matching the job's terminal state,
 // used to rebuild replay history for jobs recovered from the job log.
 func (j *jobState) terminalEvent() Event {
-	e := Event{Job: j.id, Done: j.done, Total: j.total}
+	e := Event{
+		Job: j.id, Done: j.done, Total: j.total,
+		SubmittedAt: rfc3339(j.submittedAt),
+		StartedAt:   rfc3339(j.startedAt),
+		FinishedAt:  rfc3339(j.terminalAt),
+	}
 	switch j.state {
 	case StateDone:
 		e.Type = EventDone
@@ -282,6 +320,7 @@ type flight struct {
 	cancelled bool
 	state     State
 	startedAt time.Time // when a worker picked the flight up
+	traceID   string    // trace of the first submission; "" if untraced
 	done      int
 	cached    int // landed cells resolved from the cell cache
 	lastDone  int // cells already counted into Service.cellsDone
@@ -293,6 +332,7 @@ type flight struct {
 type Service struct {
 	cfg   Config
 	start time.Time
+	obsv  serviceObs
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
@@ -382,6 +422,7 @@ func New(cfg Config) *Service {
 		storeHandle: cfg.Store,
 		runMatrix:   runner.Run,
 		tenantAccts: make(map[string]*tenantAcct),
+		obsv:        newServiceObs(cfg.Logger, cfg.ShardName),
 	}
 	var weight func(string) float64
 	if cfg.Tenants != nil {
@@ -430,18 +471,27 @@ func (s *Service) recoverJobs() {
 	var interrupted []*jobState
 	for _, r := range recs {
 		j := &jobState{
-			id:         r.ID,
-			hash:       r.Hash,
-			tenant:     r.Tenant,
-			state:      State(r.State),
-			cached:     r.Cached,
-			errMsg:     r.Error,
-			done:       r.Done,
-			total:      r.Total,
-			terminalAt: time.UnixMilli(r.UpdatedAtMs),
+			id:          r.ID,
+			hash:        r.Hash,
+			tenant:      r.Tenant,
+			state:       State(r.State),
+			cached:      r.Cached,
+			errMsg:      r.Error,
+			done:        r.Done,
+			total:       r.Total,
+			submittedAt: timeFromMs(r.SubmittedAtMs),
+			startedAt:   timeFromMs(r.StartedAtMs),
+			terminalAt:  time.UnixMilli(r.UpdatedAtMs),
+		}
+		if r.FinishedAtMs != 0 {
+			j.terminalAt = time.UnixMilli(r.FinishedAtMs)
 		}
 		if !j.state.Terminal() {
 			if s.requeueRecovered(j) {
+				// The previous process's run never finished, so its start
+				// time is meaningless for the rerun; this process stamps a
+				// fresh one when a worker picks the flight up.
+				j.startedAt = time.Time{}
 				j.history = []Event{{Type: EventQueued, Job: j.id, Total: j.total}}
 				interrupted = append(interrupted, j)
 				s.jobs[j.id] = j
@@ -466,8 +516,16 @@ func (s *Service) recoverJobs() {
 	}
 	// Record the recovery verdicts — failed-by-restart or back-to-queued —
 	// so the next restart replays them instead of re-deciding.
+	requeued := 0
 	for _, j := range interrupted {
+		if !j.state.Terminal() {
+			requeued++
+		}
 		s.persistJob(j)
+	}
+	if len(recs) > 0 {
+		s.obsv.log.Info("job log recovered",
+			"jobs", len(recs), "interrupted", len(interrupted), "requeued", requeued)
 	}
 }
 
@@ -686,7 +744,16 @@ func (s *Service) nextFlight() (*flight, bool) {
 // Submit bypasses authentication and is intended for in-process callers
 // and anonymous single-tenant deployments.
 func (s *Service) Submit(sp spec.Spec) (JobStatus, error) {
-	return s.submit("", sp)
+	return s.submit(context.Background(), "", sp)
+}
+
+// SubmitContext is Submit with a caller context: a trace context installed
+// by obs.ContextWithTrace is stamped on the job and carried through its
+// log lines, so one trace ID follows the submission from the HTTP edge
+// into the queue and the runner. The context is read for observability
+// only — it does not cancel the job (use Cancel).
+func (s *Service) SubmitContext(ctx context.Context, sp spec.Spec) (JobStatus, error) {
+	return s.submit(ctx, "", sp)
 }
 
 // SubmitToken authenticates an API token against the configured tenant
@@ -698,9 +765,15 @@ func (s *Service) Submit(sp spec.Spec) (JobStatus, error) {
 // delay) for rate rejections, ErrTenantQuota and ErrQueueFull for
 // admission rejections.
 func (s *Service) SubmitToken(token string, sp spec.Spec) (JobStatus, error) {
+	return s.SubmitTokenContext(context.Background(), token, sp)
+}
+
+// SubmitTokenContext is SubmitToken with a caller context; see
+// SubmitContext for what the context carries.
+func (s *Service) SubmitTokenContext(ctx context.Context, token string, sp spec.Spec) (JobStatus, error) {
 	reg := s.cfg.Tenants
 	if reg == nil {
-		return s.submit("", sp)
+		return s.submit(ctx, "", sp)
 	}
 	t, err := reg.Admit(token, time.Now())
 	if err != nil {
@@ -712,9 +785,20 @@ func (s *Service) SubmitToken(token string, sp spec.Spec) (JobStatus, error) {
 			s.unauthorized++
 		}
 		s.mu.Unlock()
+		s.obsv.log.Warn("submission rejected", "error", err.Error(),
+			obs.KeyTraceID, traceIDFrom(ctx))
 		return JobStatus{}, err
 	}
-	return s.submit(t.Name, sp)
+	return s.submit(ctx, t.Name, sp)
+}
+
+// traceIDFrom extracts the trace ID installed by obs.ContextWithTrace, or
+// "" when the caller is untraced (in-process Submit).
+func traceIDFrom(ctx context.Context) string {
+	if tc, ok := obs.TraceFrom(ctx); ok {
+		return tc.TraceID
+	}
+	return ""
 }
 
 // submit registers a job for the spec on behalf of tenant tn ("" =
@@ -727,7 +811,8 @@ func (s *Service) SubmitToken(token string, sp spec.Spec) (JobStatus, error) {
 // whose every cell is already persisted is assembled from cells right here
 // — completing without ever occupying a worker slot. Only accepted
 // submissions count toward the submissions metric.
-func (s *Service) submit(tn string, sp spec.Spec) (JobStatus, error) {
+func (s *Service) submit(ctx context.Context, tn string, sp spec.Spec) (JobStatus, error) {
+	trace := traceIDFrom(ctx)
 	hash, err := sp.Hash()
 	if err != nil {
 		return JobStatus{}, err
@@ -742,7 +827,7 @@ func (s *Service) submit(tn string, sp spec.Spec) (JobStatus, error) {
 		s.mu.Unlock()
 		return JobStatus{}, ErrClosed
 	}
-	if st, ok, ferr := s.fastPath(tn, hash); ok || ferr != nil {
+	if st, ok, ferr := s.fastPath(tn, hash, trace); ok || ferr != nil {
 		s.mu.Unlock()
 		return st, ferr
 	}
@@ -757,7 +842,7 @@ func (s *Service) submit(tn string, sp spec.Spec) (JobStatus, error) {
 			s.mu.Unlock()
 			return JobStatus{}, ErrClosed
 		}
-		if st, ok, ferr := s.fastPath(tn, hash); ok || ferr != nil {
+		if st, ok, ferr := s.fastPath(tn, hash, trace); ok || ferr != nil {
 			s.mu.Unlock()
 			return st, ferr
 		}
@@ -768,7 +853,7 @@ func (s *Service) submit(tn string, sp spec.Spec) (JobStatus, error) {
 			s.cache.add(res)
 			s.countSubmission(tn)
 			s.diskHits++
-			j := s.newJob(hash, tn)
+			j := s.newJob(hash, tn, trace)
 			j.state = StateDone
 			j.cached = true
 			j.result = res
@@ -780,6 +865,7 @@ func (s *Service) submit(tn string, sp spec.Spec) (JobStatus, error) {
 			s.persistJob(j)
 			st := j.status()
 			s.mu.Unlock()
+			s.obsv.log.Info("job done", append(jobAttrs(j), "cached", true, "source", "disk")...)
 			return st, nil
 		case errors.Is(derr, store.ErrCorrupt):
 			// The entry was quarantined; recompute below repopulates it.
@@ -795,11 +881,15 @@ func (s *Service) submit(tn string, sp spec.Spec) (JobStatus, error) {
 			s.acct(tn).rejected++
 		}
 		s.mu.Unlock()
+		s.obsv.log.Warn("submission rejected", "error", "queue full",
+			obs.KeySpec, obs.SpecPrefix(hash), obs.KeyTraceID, trace)
 		return JobStatus{}, fmt.Errorf("%w (depth %d)", ErrQueueFull, s.cfg.QueueDepth)
 	}
 	if qerr := s.checkQuota(tn, StateQueued, total); qerr != nil {
 		s.acct(tn).rejected++
 		s.mu.Unlock()
+		s.obsv.log.Warn("submission rejected", "error", qerr.Error(),
+			obs.KeySpec, obs.SpecPrefix(hash), obs.KeyTenant, tn, obs.KeyTraceID, trace)
 		return JobStatus{}, qerr
 	}
 	// Reserve the queue slot and register the flight in the single-flight
@@ -810,18 +900,19 @@ func (s *Service) submit(tn string, sp spec.Spec) (JobStatus, error) {
 	// an expansion.
 	fctx, fcancel := context.WithCancel(s.baseCtx)
 	fl := &flight{
-		hash:   hash,
-		sp:     norm,
-		ctx:    fctx,
-		cancel: fcancel,
-		state:  StateQueued,
-		total:  total,
-		tenant: tn,
+		hash:    hash,
+		sp:      norm,
+		ctx:     fctx,
+		cancel:  fcancel,
+		state:   StateQueued,
+		total:   total,
+		tenant:  tn,
+		traceID: trace,
 	}
 	s.reserved++
 	s.inflight[hash] = fl
 	s.countSubmission(tn)
-	j := s.newJob(hash, tn)
+	j := s.newJob(hash, tn, trace)
 	j.total = total
 	j.flight = fl
 	fl.jobs = append(fl.jobs, j)
@@ -829,6 +920,7 @@ func (s *Service) submit(tn string, sp spec.Spec) (JobStatus, error) {
 	j.emit(Event{Type: EventQueued, Total: total})
 	s.persistJob(j)
 	s.mu.Unlock()
+	s.obsv.log.Info("job queued", append(jobAttrs(j), "cells", total)...)
 
 	// A matrix whose every cell is already persisted needs no worker at
 	// all: stitch the artifact together from the cell tier and complete
@@ -886,6 +978,7 @@ func (s *Service) submit(tn string, sp spec.Spec) (JobStatus, error) {
 			s.jobsFailed++
 			jb.emit(Event{Type: EventFailed, Total: jb.total, Error: jb.errMsg})
 			s.persistJob(jb)
+			s.obsv.log.Warn("job failed", append(jobAttrs(jb), "error", jb.errMsg)...)
 		}
 		return JobStatus{}, rerr
 	}
@@ -900,11 +993,11 @@ func (s *Service) submit(tn string, sp spec.Spec) (JobStatus, error) {
 // it to an in-flight computation, counting it as accepted. Caller holds mu;
 // the bool reports success. A non-nil error means the submission was
 // positively rejected (tenant quota) rather than missed.
-func (s *Service) fastPath(tn, hash string) (JobStatus, bool, error) {
+func (s *Service) fastPath(tn, hash, trace string) (JobStatus, bool, error) {
 	if res, ok := s.cache.get(hash); ok {
 		s.countSubmission(tn)
 		s.cacheHits++
-		j := s.newJob(hash, tn)
+		j := s.newJob(hash, tn, trace)
 		j.state = StateDone
 		j.cached = true
 		j.result = res
@@ -914,6 +1007,7 @@ func (s *Service) fastPath(tn, hash string) (JobStatus, bool, error) {
 		j.emit(Event{Type: EventQueued, Total: j.total})
 		j.emit(Event{Type: EventDone, Done: j.done, Total: j.total, Cached: true})
 		s.persistJob(j)
+		s.obsv.log.Info("job done", append(jobAttrs(j), "cached", true, "source", "memory")...)
 		return j.status(), true, nil
 	}
 	if fl, ok := s.inflight[hash]; ok && !fl.cancelled {
@@ -926,7 +1020,7 @@ func (s *Service) fastPath(tn, hash string) (JobStatus, bool, error) {
 		}
 		s.countSubmission(tn)
 		s.dedupHits++
-		j := s.newJob(hash, tn)
+		j := s.newJob(hash, tn, trace)
 		j.state = fl.state
 		j.done, j.total = fl.done, fl.total
 		j.cachedCells = fl.cached
@@ -935,6 +1029,10 @@ func (s *Service) fastPath(tn, hash string) (JobStatus, bool, error) {
 		s.tenantAcctAdmit(j)
 		j.emit(Event{Type: EventQueued, Total: j.total})
 		if fl.state == StateRunning {
+			// The shared computation is already underway, so this job's
+			// queue wait is over the moment it attaches.
+			j.startedAt = time.Now()
+			s.obsv.observeQueueWait(j.submittedAt, j.startedAt)
 			j.emit(Event{Type: EventRunning, Done: j.done, Total: j.total})
 			if fl.done > 0 {
 				// Catch the late job up to the flight's cell counts so its
@@ -957,14 +1055,17 @@ func (s *Service) countSubmission(tn string) {
 	}
 }
 
-// newJob allocates a job record. Caller holds mu.
-func (s *Service) newJob(hash, tn string) *jobState {
+// newJob allocates a job record stamped with its submission time and the
+// submitting request's trace ID. Caller holds mu.
+func (s *Service) newJob(hash, tn, trace string) *jobState {
 	s.seq++
 	j := &jobState{
-		id:     fmt.Sprintf("m%06d", s.seq),
-		hash:   hash,
-		state:  StateQueued,
-		tenant: tn,
+		id:          fmt.Sprintf("m%06d", s.seq),
+		hash:        hash,
+		state:       StateQueued,
+		tenant:      tn,
+		traceID:     trace,
+		submittedAt: time.Now(),
 	}
 	s.jobs[j.id] = j
 	return j
@@ -980,17 +1081,23 @@ func (s *Service) persistJob(j *jobState) {
 	if s.storeHandle == nil {
 		return
 	}
-	err := s.storeHandle.AppendJob(store.JobRecord{
-		ID:          j.id,
-		Hash:        j.hash,
-		State:       string(j.state),
-		Cached:      j.cached,
-		Done:        j.done,
-		Total:       j.total,
-		Error:       j.errMsg,
-		Tenant:      j.tenant,
-		UpdatedAtMs: time.Now().UnixMilli(),
-	}, j.state.Terminal())
+	rec := store.JobRecord{
+		ID:            j.id,
+		Hash:          j.hash,
+		State:         string(j.state),
+		Cached:        j.cached,
+		Done:          j.done,
+		Total:         j.total,
+		Error:         j.errMsg,
+		Tenant:        j.tenant,
+		UpdatedAtMs:   time.Now().UnixMilli(),
+		SubmittedAtMs: unixMsOrZero(j.submittedAt),
+		StartedAtMs:   unixMsOrZero(j.startedAt),
+	}
+	if j.state.Terminal() {
+		rec.FinishedAtMs = unixMsOrZero(j.terminalAt)
+	}
+	err := s.storeHandle.AppendJob(rec, j.state.Terminal())
 	if err != nil {
 		s.storeErrors++
 	}
@@ -1008,17 +1115,30 @@ func (s *Service) runFlight(fl *flight) {
 	for _, j := range fl.jobs {
 		s.tenantAcctRun(j)
 		j.state = StateRunning
+		j.startedAt = fl.startedAt
+		s.obsv.observeQueueWait(j.submittedAt, fl.startedAt)
 		j.emit(Event{Type: EventRunning, Total: j.total})
 		s.persistJob(j)
 	}
+	njobs := len(fl.jobs)
 	s.mu.Unlock()
+	s.obsv.log.Info("flight running",
+		obs.KeySpec, obs.SpecPrefix(fl.hash), obs.KeyTraceID, fl.traceID,
+		"cells", fl.total, "jobs", njobs)
 
 	res, err := s.runMatrix(fl.ctx, fl.rspec, runner.Options{
 		Parallelism:  s.cfg.CellParallelism,
 		Progress:     func(done, total int) { s.flightProgress(fl, done, total) },
 		CellProgress: func(done, cached, total int) { s.flightCells(fl, done, cached, total) },
 		CellCache:    s.cellCacheFor(fl),
+		CellTime: func(d time.Duration, fromCache bool) {
+			if !fromCache {
+				s.obsv.cellDur.Observe(d.Seconds())
+			}
+		},
 	})
+	runDur := time.Since(fl.startedAt)
+	s.obsv.runDur.Observe(runDur.Seconds())
 
 	var cached *CachedResult
 	if err == nil {
@@ -1073,6 +1193,10 @@ func (s *Service) runFlight(fl *flight) {
 			j.emit(Event{Type: EventFailed, Done: j.done, Total: j.total, Error: j.errMsg})
 			s.persistJob(j)
 		}
+		s.obsv.log.Warn("flight failed",
+			obs.KeySpec, obs.SpecPrefix(fl.hash), obs.KeyTraceID, fl.traceID,
+			obs.KeyDurationMs, float64(runDur)/float64(time.Millisecond),
+			"jobs", len(jobs), "error", err.Error())
 		return
 	}
 	s.cache.add(cached)
@@ -1087,6 +1211,10 @@ func (s *Service) runFlight(fl *flight) {
 		j.emit(Event{Type: EventDone, Done: j.done, Total: j.total})
 		s.persistJob(j)
 	}
+	s.obsv.log.Info("flight done",
+		obs.KeySpec, obs.SpecPrefix(fl.hash), obs.KeyTraceID, fl.traceID,
+		obs.KeyDurationMs, float64(runDur)/float64(time.Millisecond),
+		"cells", fl.total, "cached_cells", fl.cached, "jobs", len(jobs))
 }
 
 // flightProgress fans one runner progress callback out to every attached
@@ -1284,6 +1412,7 @@ func (s *Service) Cancel(id string) (bool, error) {
 			s.queue.Remove(fl)
 		}
 	}
+	s.obsv.log.Info("job cancelled", jobAttrs(j)...)
 	return true, nil
 }
 

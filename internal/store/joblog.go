@@ -21,6 +21,13 @@ type JobRecord struct {
 	Error       string `json:"error,omitempty"`
 	Tenant      string `json:"tenant,omitempty"`
 	UpdatedAtMs int64  `json:"updated_at_ms"`
+	// Lifecycle timestamps (Unix milliseconds; 0 = not reached). They let a
+	// recovered job keep reporting when it was submitted, started, and
+	// finished across restarts, and omitempty keeps pre-timestamp log lines
+	// decoding (and new lines for old jobs encoding) unchanged.
+	SubmittedAtMs int64 `json:"submitted_at_ms,omitempty"`
+	StartedAtMs   int64 `json:"started_at_ms,omitempty"`
+	FinishedAtMs  int64 `json:"finished_at_ms,omitempty"`
 }
 
 // AppendJob appends one record to the job log. With durable set the record

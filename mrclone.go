@@ -72,7 +72,8 @@ type (
 	Service = service.Service
 	// ServiceConfig sizes a Service (workers, queue depth, cache byte
 	// budget and TTL, per-matrix cell parallelism, job retention, GC
-	// cadence, and optionally a persistent store).
+	// cadence, and optionally a persistent store, a structured Logger,
+	// and a ShardName stamped on every log line).
 	ServiceConfig = service.Config
 	// ServiceJobStatus is the client-visible snapshot of one service job.
 	ServiceJobStatus = service.JobStatus
