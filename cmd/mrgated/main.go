@@ -10,7 +10,8 @@
 //
 //	mrgated [-addr :8081] -shard URL [-shard URL ...]
 //	        [-vnodes 128] [-replicas 0] [-tenants FILE]
-//	        [-probe-timeout 2s] [-drain-timeout 10s]
+//	        [-probe-timeout 2s] [-probe-interval 1s] [-drain-timeout 10s]
+//	        [-breaker-failures 3] [-breaker-cooldown 5s] [-pool-admin]
 //	        [-log-format text|json] [-log-level info] [-debug-addr ADDR]
 //
 // Each -shard is an mrserved base URL, optionally named ("name=URL"); unnamed
@@ -19,6 +20,13 @@
 // of names — keep names (or flag order) stable across gateway restarts and
 // across a fleet of gateways, or job IDs and placement will not line up.
 // See docs/OPERATIONS.md ("Sharded deployment") for topology guidance.
+//
+// -shard gives the initial pool; with -pool-admin the membership is elastic
+// at runtime via POST /v1/pool/shards (unauthenticated — bind only to a
+// trusted operator network). A background probe loop (-probe-interval) feeds
+// per-shard circuit breakers (-breaker-failures consecutive failures open a
+// breaker, -breaker-cooldown before a half-open retry), so a dead shard
+// stops costing request-path dials; see docs/OPERATIONS.md ("Elastic pool").
 //
 // With -tenants the gateway authenticates and rate-limits submissions at
 // the edge (same JSON registry file the shards take), rejecting a flooding
@@ -105,6 +113,14 @@ func run(ctx context.Context, args []string, logw io.Writer) error {
 		"JSON tenant registry for edge admission: authenticate and rate-limit submissions before routing (empty = pass credentials through)")
 	probeTimeout := fs.Duration("probe-timeout", 2*time.Second,
 		"per-shard /healthz and /metrics probe timeout")
+	probeInterval := fs.Duration("probe-interval", time.Second,
+		"background health-probe period feeding the circuit breakers (negative = disabled)")
+	breakerFailures := fs.Int("breaker-failures", 0,
+		"consecutive probe/dial failures that open a shard's circuit breaker (0 = default 3)")
+	breakerCooldown := fs.Duration("breaker-cooldown", 0,
+		"how long an open breaker short-circuits before a half-open retry (0 = default 5s)")
+	poolAdmin := fs.Bool("pool-admin", false,
+		"register POST /v1/pool/shards for runtime membership changes (unauthenticated; trusted networks only)")
 	drainTimeout := fs.Duration("drain-timeout", 10*time.Second,
 		"how long shutdown waits for in-flight proxied requests")
 	logFormat := fs.String("log-format", "text",
@@ -136,6 +152,12 @@ func run(ctx context.Context, args []string, logw io.Writer) error {
 	if *replicas < 0 {
 		return fmt.Errorf("-replicas %d: need >= 0", *replicas)
 	}
+	if *breakerFailures < 0 {
+		return fmt.Errorf("-breaker-failures %d: need >= 0", *breakerFailures)
+	}
+	if *breakerCooldown < 0 {
+		return fmt.Errorf("-breaker-cooldown %s: need >= 0", *breakerCooldown)
+	}
 	shards, err := parseShards(shardFlags)
 	if err != nil {
 		return err
@@ -148,16 +170,21 @@ func run(ctx context.Context, args []string, logw io.Writer) error {
 		}
 	}
 	gw, err := gateway.New(gateway.Config{
-		Shards:       shards,
-		VirtualNodes: *vnodes,
-		Replicas:     *replicas,
-		ProbeTimeout: *probeTimeout,
-		Tenants:      registry,
-		Logger:       logger,
+		Shards:          shards,
+		VirtualNodes:    *vnodes,
+		Replicas:        *replicas,
+		ProbeTimeout:    *probeTimeout,
+		ProbeInterval:   *probeInterval,
+		BreakerFailures: *breakerFailures,
+		BreakerCooldown: *breakerCooldown,
+		EnableAdmin:     *poolAdmin,
+		Tenants:         registry,
+		Logger:          logger,
 	})
 	if err != nil {
 		return err
 	}
+	defer gw.Close()
 
 	if *debugAddr != "" {
 		dln, derr := net.Listen("tcp", *debugAddr)

@@ -10,7 +10,7 @@
 //	         [-data-dir DIR] [-cache-bytes 256MiB] [-cache-ttl 0]
 //	         [-cell-cache] [-cell-cache-bytes 0]
 //	         [-tenants FILE] [-queue-policy fifo|fair|srpt]
-//	         [-job-retention 24h] [-gc-interval 1m]
+//	         [-job-retention 24h] [-gc-interval 1m] [-peer-timeout 5s]
 //	         [-log-format text|json] [-log-level info]
 //	         [-debug-addr ADDR] [-shard-name NAME]
 //
@@ -24,6 +24,14 @@
 // share, and a matrix interrupted by a crash is requeued on restart and
 // refills from its persisted cells. See docs/OPERATIONS.md for the data-dir
 // layout and tuning guidance.
+//
+// Behind an mrgated pool with elastic membership, a submission relocated by
+// a membership change arrives stamped with its previous owner's base URL;
+// this shard then adopts the already-computed artifacts (or individual
+// cells) from that peer instead of recomputing, verifying every byte
+// against checksums it computes itself. -peer-timeout bounds each such
+// fetch; a slow or dead peer degrades to recomputation. See
+// docs/OPERATIONS.md ("Elastic pool").
 //
 // Without -tenants the service is anonymous and open, exactly as before.
 // With a tenants file (see internal/tenant and docs/OPERATIONS.md,
@@ -104,6 +112,8 @@ func run(ctx context.Context, args []string, logw io.Writer) error {
 		"age terminal jobs out of the job table after this long (0 = keep forever)")
 	gcInterval := fs.Duration("gc-interval", time.Minute,
 		"how often the retention/TTL garbage collector sweeps")
+	peerTimeout := fs.Duration("peer-timeout", 5*time.Second,
+		"timeout per peer artifact or cell fetch when a gateway relocates keys here (a slow peer degrades to recomputation)")
 	drainTimeout := fs.Duration("drain-timeout", time.Minute,
 		"how long shutdown waits for queued and running matrices before cancelling them")
 	logFormat := fs.String("log-format", "text",
@@ -150,6 +160,8 @@ func run(ctx context.Context, args []string, logw io.Writer) error {
 		return fmt.Errorf("-job-retention %s: need >= 0", *jobRetention)
 	case *gcInterval <= 0:
 		return fmt.Errorf("-gc-interval %s: need > 0", *gcInterval)
+	case *peerTimeout <= 0:
+		return fmt.Errorf("-peer-timeout %s: need > 0", *peerTimeout)
 	}
 	policy, err := tenant.ParsePolicy(*queuePolicy)
 	if err != nil {
@@ -173,6 +185,7 @@ func run(ctx context.Context, args []string, logw io.Writer) error {
 		CellCacheBytes:   cellBudget,
 		JobRetention:     *jobRetention,
 		GCInterval:       *gcInterval,
+		PeerTimeout:      *peerTimeout,
 		Tenants:          registry,
 		QueuePolicy:      policy,
 		Logger:           logger,

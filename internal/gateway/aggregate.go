@@ -19,10 +19,18 @@ type ShardHealth struct {
 	Name string `json:"name"`
 	URL  string `json:"url"`
 	Up   bool   `json:"up"`
+	// Breaker is the shard's circuit-breaker state ("closed", "open",
+	// "half-open") at probe time.
+	Breaker string `json:"breaker,omitempty"`
 	// Error explains why the shard is down (transport or decode failure).
 	Error string `json:"error,omitempty"`
 	// Health is the shard's own /healthz payload when it answered.
 	Health *service.Health `json:"health,omitempty"`
+
+	// reachable is true when the shard answered the probe at all — any HTTP
+	// response, even one that is unhealthy or undecodable, proves the shard
+	// is dialable, which is what the circuit breaker tracks.
+	reachable bool
 }
 
 // PoolHealth is the gateway's /healthz payload: per-shard probes plus an
@@ -33,8 +41,27 @@ type PoolHealth struct {
 	Shards        []ShardHealth `json:"shards"`
 }
 
-// probeHealth fetches one shard's /healthz under the probe timeout.
+// probeHealth fetches one shard's /healthz under the probe timeout (over the
+// probe client, not the request client) and feeds the outcome to the shard's
+// circuit breaker: any HTTP answer proves reachability and closes the
+// breaker; a transport failure counts against it. Both the background probe
+// loop and the aggregated /healthz route go through here, so either keeps
+// breaker state fresh.
 func (g *Gateway) probeHealth(parent context.Context, sh Shard) ShardHealth {
+	out := g.fetchHealth(parent, sh)
+	if br := g.breakerFor(sh.Name); br != nil {
+		if out.reachable {
+			br.Success()
+		} else {
+			br.Failure()
+		}
+		out.Breaker = br.State().String()
+	}
+	return out
+}
+
+// fetchHealth performs the raw /healthz fetch for probeHealth.
+func (g *Gateway) fetchHealth(parent context.Context, sh Shard) ShardHealth {
 	out := ShardHealth{Name: sh.Name, URL: sh.URL.String()}
 	ctx, cancel := context.WithTimeout(parent, g.probeTimeout)
 	defer cancel()
@@ -45,12 +72,13 @@ func (g *Gateway) probeHealth(parent context.Context, sh Shard) ShardHealth {
 		out.Error = err.Error()
 		return out
 	}
-	resp, err := g.client.Do(req)
+	resp, err := g.probeClient.Do(req)
 	if err != nil {
 		out.Error = err.Error()
 		return out
 	}
 	defer resp.Body.Close()
+	out.reachable = true
 	if resp.StatusCode != http.StatusOK {
 		out.Error = fmt.Sprintf("HTTP %d", resp.StatusCode)
 		return out
@@ -71,12 +99,13 @@ func (g *Gateway) probeHealth(parent context.Context, sh Shard) ShardHealth {
 // like a down shard does), "degraded" while at least one shard answers,
 // "down" (HTTP 503) when none do.
 func (g *Gateway) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	view := g.currentView()
 	out := PoolHealth{
 		UptimeSeconds: time.Since(g.start).Seconds(),
-		Shards:        make([]ShardHealth, len(g.order)),
+		Shards:        make([]ShardHealth, len(view.order)),
 	}
 	var wg sync.WaitGroup
-	for i, sh := range g.order {
+	for i, sh := range view.order {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -120,7 +149,7 @@ func (g *Gateway) scrapeMetrics(parent context.Context, sh Shard) ([]*obs.Family
 	if err != nil {
 		return nil, err
 	}
-	resp, err := g.client.Do(req)
+	resp, err := g.probeClient.Do(req)
 	if err != nil {
 		return nil, err
 	}
@@ -162,11 +191,12 @@ func additiveFamily(name string) bool {
 // histogram, a per-shard up gauge, and its runtime stats. A shard that
 // fails its scrape contributes nothing to the sums and reports up 0.
 func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	view := g.currentView()
 	merge := obs.NewMerge()
-	up := make([]bool, len(g.order))
+	up := make([]bool, len(view.order))
 	var mu sync.Mutex
 	var wg sync.WaitGroup
-	for i, sh := range g.order {
+	for i, sh := range view.order {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -196,7 +226,7 @@ func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", obs.ExpoContentType)
 	e := obs.NewExpoWriter(w)
-	e.Comment(fmt.Sprintf("Pool aggregate: %d/%d shards answered their scrape.", upCount, len(g.order)))
+	e.Comment(fmt.Sprintf("Pool aggregate: %d/%d shards answered their scrape.", upCount, len(view.order)))
 	merge.WriteTo(e)
 	for _, row := range []struct {
 		name  string
@@ -204,12 +234,13 @@ func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		typ   string
 		value float64
 	}{
-		{"mrclone_gateway_shards", "Configured pool size.", "gauge", float64(len(g.order))},
+		{"mrclone_gateway_shards", "Current pool size.", "gauge", float64(len(view.order))},
 		{"mrclone_gateway_shards_up", "Shards that answered the last scrape.", "gauge", float64(upCount)},
 		{"mrclone_gateway_requests_total", "Requests handled by this gateway.", "counter", float64(g.requests.Load())},
 		{"mrclone_gateway_submissions_total", "Submissions routed by content hash.", "counter", float64(g.submissions.Load())},
 		{"mrclone_gateway_failovers_total", "Submissions served by a non-owner replica.", "counter", float64(g.failovers.Load())},
 		{"mrclone_gateway_shard_errors_total", "Upstream attempts that failed (transport or draining).", "counter", float64(g.shardErrors.Load())},
+		{"mrclone_gateway_breaker_skips_total", "Upstream attempts short-circuited by an open circuit breaker (no dial).", "counter", float64(g.breakerSkips.Load())},
 		{"mrclone_gateway_unauthorized_total", "Submissions rejected at the edge for missing or invalid credentials.", "counter", float64(g.unauthorized.Load())},
 		{"mrclone_gateway_rate_limited_total", "Submissions rejected at the edge by a tenant's rate limit.", "counter", float64(g.rateLimited.Load())},
 		{"mrclone_gateway_uptime_seconds", "Gateway uptime.", "gauge", time.Since(g.start).Seconds()},
@@ -221,12 +252,20 @@ func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		"Gateway HTTP request duration by route and status (includes the shard hop).",
 		g.obsv.httpHist.Snapshots())
 	e.Header("mrclone_gateway_shard_up", "Whether the shard answered the last scrape (1 = up).", "gauge")
-	for i, sh := range g.order {
+	for i, sh := range view.order {
 		v := 0.0
 		if up[i] {
 			v = 1
 		}
 		e.Sample("mrclone_gateway_shard_up", []obs.Label{{Name: "shard", Value: sh.Name}}, v)
+	}
+	e.Header("mrclone_gateway_breaker_state",
+		"Circuit breaker position per shard (0 = closed, 1 = open, 2 = half-open).", "gauge")
+	for _, sh := range view.order {
+		if br := g.breakerFor(sh.Name); br != nil {
+			e.Sample("mrclone_gateway_breaker_state",
+				[]obs.Label{{Name: "shard", Value: sh.Name}}, float64(br.State()))
+		}
 	}
 	obs.WriteRuntimeMetrics(e)
 }

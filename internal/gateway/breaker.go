@@ -1,0 +1,162 @@
+package gateway
+
+import (
+	"sync"
+	"time"
+)
+
+// breakerState is one circuit breaker's position in the state machine.
+type breakerState int32
+
+// Breaker states. The numeric values are the mrclone_gateway_breaker_state
+// gauge encoding, so reordering them is a metrics-contract change.
+const (
+	breakerClosed   breakerState = 0 // requests flow; consecutive failures counted
+	breakerOpen     breakerState = 1 // requests short-circuit without dialing
+	breakerHalfOpen breakerState = 2 // exactly one probe request is in flight
+)
+
+func (s breakerState) String() string {
+	switch s {
+	case breakerClosed:
+		return "closed"
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	default:
+		return "unknown"
+	}
+}
+
+// Breaker tuning defaults (Config.BreakerFailures / BreakerCooldown).
+const (
+	defaultBreakerFailures = 3
+	defaultBreakerCooldown = 5 * time.Second
+)
+
+// breaker is one shard's circuit breaker: closed until threshold
+// consecutive failures, then open — every Allow short-circuits false, so
+// the shard costs zero dials — until cooldown elapses, then half-open,
+// admitting exactly one probe whose outcome closes or reopens it.
+//
+// Two actors feed it: the request path records the outcome of every
+// forwarded attempt, and the gateway's background probe loop records
+// /healthz reachability. A Failure while open refreshes the open timer, so
+// as long as the probe loop keeps failing (probe interval < cooldown) the
+// request path never spends its half-open probe on a shard the prober
+// already knows is dead; the first successful probe snaps the breaker
+// closed with no cooldown to wait out.
+//
+// All methods are safe for concurrent use. The clock is injectable for
+// tests; onChange (may be nil) observes transitions and is called without
+// the lock held, so it may log or update gauges freely.
+type breaker struct {
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time
+	onChange  func(from, to breakerState)
+
+	mu       sync.Mutex
+	state    breakerState
+	failures int       // consecutive failures while closed
+	openedAt time.Time // when the breaker (re-)opened
+	probing  bool      // half-open: the single probe slot is taken
+}
+
+// newBreaker builds a closed breaker. Non-positive threshold/cooldown get
+// the defaults; a nil clock uses time.Now.
+func newBreaker(threshold int, cooldown time.Duration, now func() time.Time, onChange func(from, to breakerState)) *breaker {
+	if threshold <= 0 {
+		threshold = defaultBreakerFailures
+	}
+	if cooldown <= 0 {
+		cooldown = defaultBreakerCooldown
+	}
+	if now == nil {
+		now = time.Now
+	}
+	return &breaker{threshold: threshold, cooldown: cooldown, now: now, onChange: onChange}
+}
+
+// Allow reports whether a request may dial the shard. Closed always allows;
+// open allows nothing until the cooldown has elapsed, at which point the
+// breaker goes half-open and this caller becomes its single probe; further
+// half-open callers are refused until the probe settles via Success or
+// Failure.
+func (b *breaker) Allow() bool {
+	b.mu.Lock()
+	from := b.state
+	var ok bool
+	switch b.state {
+	case breakerClosed:
+		ok = true
+	case breakerOpen:
+		if b.now().Sub(b.openedAt) >= b.cooldown {
+			b.state = breakerHalfOpen
+			b.probing = true
+			ok = true
+		}
+	case breakerHalfOpen:
+		if !b.probing {
+			b.probing = true
+			ok = true
+		}
+	}
+	to := b.state
+	b.mu.Unlock()
+	b.notify(from, to)
+	return ok
+}
+
+// Success records a healthy outcome — an answered request or probe — and
+// closes the breaker from any state.
+func (b *breaker) Success() {
+	b.mu.Lock()
+	from := b.state
+	b.state = breakerClosed
+	b.failures = 0
+	b.probing = false
+	to := b.state
+	b.mu.Unlock()
+	b.notify(from, to)
+}
+
+// Failure records an unhealthy outcome. Closed: one more consecutive
+// failure, opening at the threshold. Open: the open timer is refreshed, so
+// a still-failing prober holds the breaker open. Half-open: the probe
+// failed; reopen.
+func (b *breaker) Failure() {
+	b.mu.Lock()
+	from := b.state
+	switch b.state {
+	case breakerClosed:
+		b.failures++
+		if b.failures >= b.threshold {
+			b.state = breakerOpen
+			b.openedAt = b.now()
+		}
+	case breakerOpen:
+		b.openedAt = b.now()
+	case breakerHalfOpen:
+		b.state = breakerOpen
+		b.openedAt = b.now()
+		b.probing = false
+	}
+	to := b.state
+	b.mu.Unlock()
+	b.notify(from, to)
+}
+
+// State returns the breaker's current state for gauges and health output.
+func (b *breaker) State() breakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+func (b *breaker) notify(from, to breakerState) {
+	if from != to && b.onChange != nil {
+		b.onChange(from, to)
+	}
+}

@@ -1,0 +1,174 @@
+package gateway
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakeClock is a hand-advanced clock for breaker tests.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Unix(1_700_000_000, 0)}
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+// TestBreakerLifecycle walks the full state machine on a fake clock:
+// closed → open at the failure threshold → half-open after the cooldown
+// (admitting exactly one probe) → closed on probe success; and half-open
+// → open again on probe failure.
+func TestBreakerLifecycle(t *testing.T) {
+	clock := newFakeClock()
+	var transitions []string
+	b := newBreaker(3, time.Second, clock.now, func(from, to breakerState) {
+		transitions = append(transitions, from.String()+">"+to.String())
+	})
+
+	if b.State() != breakerClosed {
+		t.Fatalf("initial state %v, want closed", b.State())
+	}
+	// Two failures stay under the threshold; a success resets the count.
+	b.Failure()
+	b.Failure()
+	b.Success()
+	b.Failure()
+	b.Failure()
+	if b.State() != breakerClosed {
+		t.Fatalf("state %v after sub-threshold failures, want closed", b.State())
+	}
+	if !b.Allow() {
+		t.Fatal("closed breaker refused a request")
+	}
+	// Third consecutive failure opens it.
+	b.Failure()
+	if b.State() != breakerOpen {
+		t.Fatalf("state %v after threshold failures, want open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("open breaker admitted a request before the cooldown")
+	}
+	// Mid-cooldown failures refresh the timer: the prober holds it open.
+	clock.advance(800 * time.Millisecond)
+	b.Failure()
+	clock.advance(800 * time.Millisecond)
+	if b.Allow() {
+		t.Fatal("open breaker admitted a request after a refreshed cooldown")
+	}
+	// Cooldown elapsed: exactly one probe gets through.
+	clock.advance(time.Second)
+	if !b.Allow() {
+		t.Fatal("half-open breaker refused its probe")
+	}
+	if b.State() != breakerHalfOpen {
+		t.Fatalf("state %v after probe admitted, want half-open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("half-open breaker admitted a second concurrent probe")
+	}
+	// Probe fails: reopen, then a later probe succeeds: closed.
+	b.Failure()
+	if b.State() != breakerOpen {
+		t.Fatalf("state %v after failed probe, want open", b.State())
+	}
+	clock.advance(2 * time.Second)
+	if !b.Allow() {
+		t.Fatal("breaker refused the second half-open probe")
+	}
+	b.Success()
+	if b.State() != breakerClosed {
+		t.Fatalf("state %v after successful probe, want closed", b.State())
+	}
+	if !b.Allow() {
+		t.Fatal("re-closed breaker refused a request")
+	}
+
+	want := []string{
+		"closed>open",
+		"open>half-open",
+		"half-open>open",
+		"open>half-open",
+		"half-open>closed",
+	}
+	if len(transitions) != len(want) {
+		t.Fatalf("transitions %v, want %v", transitions, want)
+	}
+	for i := range want {
+		if transitions[i] != want[i] {
+			t.Fatalf("transition %d = %q, want %q (all: %v)", i, transitions[i], want[i], transitions)
+		}
+	}
+}
+
+// TestBreakerOpenShortCircuitsConcurrently proves the zero-dial property
+// under contention: while open and inside the cooldown, every concurrent
+// Allow returns false — no request would dial the shard. Run under -race.
+func TestBreakerOpenShortCircuitsConcurrently(t *testing.T) {
+	clock := newFakeClock()
+	b := newBreaker(1, time.Hour, clock.now, nil)
+	b.Failure() // threshold 1: open immediately
+
+	const callers = 64
+	var admitted atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if b.Allow() {
+				admitted.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if n := admitted.Load(); n != 0 {
+		t.Fatalf("%d requests admitted through an open breaker, want 0", n)
+	}
+}
+
+// TestBreakerHalfOpenAdmitsExactlyOne: once the cooldown elapses, a burst
+// of concurrent requests yields exactly one probe; the rest short-circuit.
+// Run under -race.
+func TestBreakerHalfOpenAdmitsExactlyOne(t *testing.T) {
+	clock := newFakeClock()
+	b := newBreaker(1, time.Second, clock.now, nil)
+	b.Failure()
+	clock.advance(2 * time.Second)
+
+	const callers = 64
+	var admitted atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if b.Allow() {
+				admitted.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if n := admitted.Load(); n != 1 {
+		t.Fatalf("%d probes admitted half-open, want exactly 1", n)
+	}
+	// The probe settles with success; the floodgate reopens for everyone.
+	b.Success()
+	if !b.Allow() || !b.Allow() {
+		t.Fatal("closed breaker refused requests after a successful probe")
+	}
+}

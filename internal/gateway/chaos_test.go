@@ -143,6 +143,7 @@ func TestChaosKillFailoverRecovery(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(gw.Close)
 	gwSrv := httptest.NewServer(gw.Handler())
 	t.Cleanup(gwSrv.Close)
 	base := gwSrv.URL
@@ -230,11 +231,14 @@ func TestChaosKillFailoverRecovery(t *testing.T) {
 		t.Fatalf("cancel resubmission: HTTP %d", delResp.StatusCode)
 	}
 
-	// Phase 4: restart the victim on its data-dir and address. The gateway
-	// needs no nudge (membership is static, health is probed per request):
-	// the fast spec resubmitted through it is served by the restarted shard
-	// straight from disk — completed on arrival, cached, zero new flights.
+	// Phase 4: restart the victim on its data-dir and address. Membership is
+	// unchanged, so no operator action is needed — but the victim's circuit
+	// breaker may have opened while it was dead, so wait for the probe loop
+	// to observe the recovery and snap the breaker closed before resubmitting.
+	// The fast spec then goes to the restarted shard and is served straight
+	// from disk — completed on arrival, cached, zero new flights.
 	shards[victimIdx] = startChaosShard(t, victim, shards[victimIdx].dir, shards[victimIdx].addr)
+	pollBreaker(t, base, victim, "closed", 30*time.Second)
 	recResp, stB2 := postSpec(t, base, fastCanon)
 	if recResp.StatusCode != http.StatusOK {
 		t.Fatalf("post-restart submission: HTTP %d, want 200 (completed on arrival)", recResp.StatusCode)

@@ -1,7 +1,8 @@
 // Package gateway is the routing tier of the sharded simulation service: an
-// HTTP reverse proxy that owns no compute and no state beyond its static
-// member list. It fronts a pool of mrserved shards (internal/service) and
-// routes every request to the shard that owns it:
+// HTTP reverse proxy that owns no compute and no state beyond its pool view
+// and per-shard circuit breakers. It fronts an elastic pool of mrserved
+// shards (internal/service) and routes every request to the shard that owns
+// it:
 //
 //   - submissions (POST /v1/matrices) are routed by content — the gateway
 //     extracts the spec hash from the raw body (spec.HashSubmission) and
@@ -21,6 +22,15 @@
 // And because the runner produces byte-identical artifacts for equal specs,
 // failover is safe: a resubmission routed to the next replica computes
 // exactly the bytes the dead owner would have served.
+//
+// Membership is elastic: POST /v1/pool/shards (when Config.EnableAdmin is
+// set) adds and removes shards at runtime, rebuilding the routing ring as an
+// atomic snapshot swap. A background probe loop watches every member's
+// /healthz and feeds per-shard circuit breakers; once a shard's breaker
+// opens, requests skip it without dialing, and submissions relocated by a
+// membership change carry an X-Mrclone-Peer hint naming the previous ring
+// owner so the new owner can fetch already-computed artifacts instead of
+// recomputing them.
 //
 // Responses the gateway has routed carry X-Mrclone-Shard (the shard that
 // served the request), and submissions additionally X-Mrclone-Routed-By
@@ -43,6 +53,7 @@ import (
 	"net/url"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -85,7 +96,8 @@ type Shard struct {
 
 // Config assembles a gateway. Shards is required; everything else defaults.
 type Config struct {
-	// Shards is the static pool membership. Order is cosmetic (health
+	// Shards is the initial pool membership — elastic thereafter via
+	// ApplyPoolUpdate / POST /v1/pool/shards. Order is cosmetic (health
 	// output); placement depends only on the set of names.
 	Shards []Shard
 	// VirtualNodes is the per-shard point count of the consistent-hash
@@ -98,9 +110,30 @@ type Config struct {
 	// timeout, so SSE streams are not cut; per-request lifetime follows
 	// the client's request context).
 	Client *http.Client
+	// ProbeClient issues the background health probes and /healthz//metrics
+	// aggregation fetches, kept separate from Client so probe traffic never
+	// shows up in request-path accounting (tests count request dials on
+	// Client alone). Defaults to Client.
+	ProbeClient *http.Client
 	// ProbeTimeout bounds each per-shard /healthz and /metrics probe
 	// (default 2s).
 	ProbeTimeout time.Duration
+	// ProbeInterval is the background health-probe period feeding the
+	// per-shard circuit breakers (default 1s; negative disables the loop,
+	// leaving breakers fed by request outcomes alone).
+	ProbeInterval time.Duration
+	// BreakerFailures is the consecutive-failure threshold that opens a
+	// shard's circuit breaker (default 3).
+	BreakerFailures int
+	// BreakerCooldown is how long an open breaker short-circuits requests
+	// before admitting a half-open probe (default 5s). The probe loop
+	// refreshes the cooldown while a shard stays unreachable and snaps the
+	// breaker closed as soon as it answers again.
+	BreakerCooldown time.Duration
+	// EnableAdmin registers POST /v1/pool/shards, the runtime membership
+	// route. It carries no tenant authentication — enable it only where the
+	// gateway listens on a trusted operator network (docs/OPERATIONS.md).
+	EnableAdmin bool
 	// Tenants, when set, makes the gateway an admission edge: submissions
 	// are authenticated and rate-limited here, before any shard is dialed,
 	// so a flooding tenant burns gateway CPU rather than shard queue slots.
@@ -116,30 +149,66 @@ type Config struct {
 	Logger *slog.Logger
 }
 
-// Gateway routes requests across the shard pool. Create with New, serve
-// via Handler. A gateway is stateless apart from counters: shard health is
-// probed per request (a down shard costs one failed dial, then the next
-// replica is tried), so recovered shards are used again immediately.
+// Gateway routes requests across the shard pool. Create with New, serve via
+// Handler, and Close when done (it stops the probe loop). A gateway is
+// stateless apart from counters and per-shard breaker positions: membership
+// lives in an atomically swapped pool snapshot, and shard health is tracked
+// by the background probe loop plus request outcomes — a down shard costs at
+// most a few failed dials before its breaker opens and requests skip it
+// without dialing; the first successful probe puts it back in rotation.
 type Gateway struct {
-	shards       map[string]Shard
-	order        []Shard // Config order, for display
-	ring         *ring.Ring
 	client       *http.Client
+	probeClient  *http.Client
 	replicas     int
 	probeTimeout time.Duration
 	tenants      *tenant.Registry
+	admin        bool
 	start        time.Time
 	obsv         gatewayObs
+
+	breakerFailures int
+	breakerCooldown time.Duration
+
+	poolMu sync.Mutex // serializes membership changes
+	view   atomic.Pointer[poolView]
+
+	brMu     sync.Mutex
+	breakers map[string]*breaker
+
+	stopCh    chan struct{}
+	probeDone chan struct{}
+	closeOnce sync.Once
 
 	requests     atomic.Int64
 	submissions  atomic.Int64
 	failovers    atomic.Int64
 	shardErrors  atomic.Int64
+	breakerSkips atomic.Int64
 	unauthorized atomic.Int64
 	rateLimited  atomic.Int64
 }
 
-// New validates the pool and builds the routing ring.
+// validateShard checks one pool member the same way at construction and at
+// runtime admission: a routable name and a clean absolute base URL.
+func validateShard(sh Shard) error {
+	if sh.Name == "" || strings.ContainsAny(sh.Name, idSep+"/ \t\n") {
+		return fmt.Errorf("gateway: invalid shard name %q (must be non-empty, no %q, %q, or whitespace)",
+			sh.Name, idSep, "/")
+	}
+	if sh.URL == nil || (sh.URL.Scheme != "http" && sh.URL.Scheme != "https") || sh.URL.Host == "" {
+		return fmt.Errorf("gateway: shard %s: need an absolute http(s) base URL", sh.Name)
+	}
+	if sh.URL.RawQuery != "" || sh.URL.Fragment != "" {
+		// forward() rebuilds the query from each client request, so a
+		// query on the base URL would be silently dropped — reject it.
+		return fmt.Errorf("gateway: shard %s: base URL must not carry a query or fragment", sh.Name)
+	}
+	return nil
+}
+
+// New validates the pool, builds the routing ring, and starts the
+// background probe loop (unless disabled). Callers own the returned
+// gateway's lifecycle: Close it to stop the prober.
 func New(cfg Config) (*Gateway, error) {
 	if len(cfg.Shards) == 0 {
 		return nil, ErrNoShards
@@ -147,17 +216,8 @@ func New(cfg Config) (*Gateway, error) {
 	byName := make(map[string]Shard, len(cfg.Shards))
 	names := make([]string, 0, len(cfg.Shards))
 	for _, sh := range cfg.Shards {
-		if sh.Name == "" || strings.ContainsAny(sh.Name, idSep+"/ \t\n") {
-			return nil, fmt.Errorf("gateway: invalid shard name %q (must be non-empty, no %q, %q, or whitespace)",
-				sh.Name, idSep, "/")
-		}
-		if sh.URL == nil || (sh.URL.Scheme != "http" && sh.URL.Scheme != "https") || sh.URL.Host == "" {
-			return nil, fmt.Errorf("gateway: shard %s: need an absolute http(s) base URL", sh.Name)
-		}
-		if sh.URL.RawQuery != "" || sh.URL.Fragment != "" {
-			// forward() rebuilds the query from each client request, so a
-			// query on the base URL would be silently dropped — reject it.
-			return nil, fmt.Errorf("gateway: shard %s: base URL must not carry a query or fragment", sh.Name)
+		if err := validateShard(sh); err != nil {
+			return nil, err
 		}
 		if _, dup := byName[sh.Name]; dup {
 			return nil, fmt.Errorf("gateway: duplicate shard name %q", sh.Name)
@@ -173,29 +233,51 @@ func New(cfg Config) (*Gateway, error) {
 	if client == nil {
 		client = &http.Client{}
 	}
+	probeClient := cfg.ProbeClient
+	if probeClient == nil {
+		probeClient = client
+	}
 	probe := cfg.ProbeTimeout
 	if probe <= 0 {
 		probe = 2 * time.Second
 	}
-	replicas := cfg.Replicas
-	if replicas <= 0 || replicas > len(names) {
-		replicas = len(names)
+	g := &Gateway{
+		client:          client,
+		probeClient:     probeClient,
+		replicas:        cfg.Replicas,
+		probeTimeout:    probe,
+		tenants:         cfg.Tenants,
+		admin:           cfg.EnableAdmin,
+		start:           time.Now(),
+		obsv:            newGatewayObs(cfg.Logger),
+		breakerFailures: cfg.BreakerFailures,
+		breakerCooldown: cfg.BreakerCooldown,
+		stopCh:          make(chan struct{}),
+		probeDone:       make(chan struct{}),
 	}
-	return &Gateway{
-		shards:       byName,
-		order:        append([]Shard(nil), cfg.Shards...),
-		ring:         r,
-		client:       client,
-		replicas:     replicas,
-		probeTimeout: probe,
-		tenants:      cfg.Tenants,
-		start:        time.Now(),
-		obsv:         newGatewayObs(cfg.Logger),
-	}, nil
+	g.view.Store(&poolView{
+		shards: byName,
+		order:  append([]Shard(nil), cfg.Shards...),
+		ring:   r,
+	})
+	g.breakers = make(map[string]*breaker, len(names))
+	for _, name := range names {
+		g.breakers[name] = g.newShardBreaker(name)
+	}
+	interval := cfg.ProbeInterval
+	if interval == 0 {
+		interval = time.Second
+	}
+	if interval > 0 {
+		go g.probeLoop(interval)
+	} else {
+		close(g.probeDone)
+	}
+	return g, nil
 }
 
-// Ring exposes the placement ring (for tests and diagnostics).
-func (g *Gateway) Ring() *ring.Ring { return g.ring }
+// Ring exposes the current placement ring (for tests and diagnostics).
+func (g *Gateway) Ring() *ring.Ring { return g.currentView().ring }
 
 // Handler returns the gateway's HTTP API — the same surface a single
 // mrserved exposes (docs/API.md), with gateway job IDs namespaced by shard.
@@ -208,6 +290,9 @@ func (g *Gateway) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/matrices/{id}/events", g.handleEvents)
 	mux.HandleFunc("GET /healthz", g.handleHealthz)
 	mux.HandleFunc("GET /metrics", g.handleMetrics)
+	if g.admin {
+		mux.HandleFunc("POST /v1/pool/shards", g.handlePoolUpdate)
+	}
 	return g.instrument(mux)
 }
 
@@ -234,9 +319,23 @@ func splitJobID(id string) (shard, local string, ok bool) {
 	return shard, local, true
 }
 
+// errBreakerOpen marks an attempt short-circuited by an open circuit
+// breaker: the shard was never dialed.
+var errBreakerOpen = errors.New("circuit breaker open")
+
 // forward issues one upstream request against a shard's base URL. The body,
-// when non-nil, is a fully buffered submission (retries need rewinding).
-func (g *Gateway) forward(r *http.Request, sh Shard, method, path, rawQuery string, body []byte) (*http.Response, error) {
+// when non-nil, is a fully buffered submission (retries need rewinding);
+// extra headers, when non-nil, are added to the upstream request. The
+// shard's circuit breaker gates the attempt — an open breaker returns
+// errBreakerOpen without dialing — and absorbs its outcome: any response
+// counts as reachable, a dial failure counts against the shard, and an
+// ambiguous mid-response error counts as neither.
+func (g *Gateway) forward(r *http.Request, sh Shard, method, path, rawQuery string, body []byte, extra http.Header) (*http.Response, error) {
+	br := g.breakerFor(sh.Name)
+	if br != nil && !br.Allow() {
+		g.breakerSkips.Add(1)
+		return nil, fmt.Errorf("%w (shard %s)", errBreakerOpen, sh.Name)
+	}
 	u := *sh.URL
 	u.Path = strings.TrimSuffix(u.Path, "/") + path
 	u.RawQuery = rawQuery
@@ -251,6 +350,11 @@ func (g *Gateway) forward(r *http.Request, sh Shard, method, path, rawQuery stri
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	for k, vs := range extra {
+		for _, v := range vs {
+			req.Header.Add(k, v)
+		}
+	}
 	// Credentials ride through untouched so multi-tenant shards can
 	// authenticate the original caller, not the gateway.
 	if auth := r.Header.Get("Authorization"); auth != "" {
@@ -262,7 +366,16 @@ func (g *Gateway) forward(r *http.Request, sh Shard, method, path, rawQuery stri
 	if tc, ok := obs.TraceFrom(r.Context()); ok {
 		req.Header.Set(obs.TraceparentHeader, tc.WithNewSpan().String())
 	}
-	return g.client.Do(req)
+	resp, err := g.client.Do(req)
+	if br != nil {
+		switch {
+		case err == nil:
+			br.Success()
+		case dialFailure(err):
+			br.Failure()
+		}
+	}
+	return resp, err
 }
 
 // handleSubmit routes a submission by content hash: owner first, then the
@@ -274,7 +387,9 @@ func (g *Gateway) forward(r *http.Request, sh Shard, method, path, rawQuery stri
 // That keeps per-shard backpressure visible to the client and guarantees a
 // spec never silently computes on two shards — an ambiguous mid-response
 // failure surfaces as 502 for the client to retry rather than being
-// replayed onto a replica while the owner may still be running it.
+// replayed onto a replica while the owner may still be running it. A shard
+// whose circuit breaker is open is skipped without dialing at all; the walk
+// moves straight to the next replica.
 func (g *Gateway) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if !g.admit(w, r) {
 		return
@@ -295,12 +410,34 @@ func (g *Gateway) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	g.submissions.Add(1)
+	view := g.currentView()
+	// When a membership change relocated this hash, name its previous ring
+	// owner so the new owner can peer-fetch already-computed artifacts
+	// instead of recomputing. A hint pointing at an open-breaker shard is
+	// dropped — the peer fetch would only burn its timeout.
+	peerName, peerURL := view.peerHint(hash)
+	if peerName != "" {
+		if br := g.breakerFor(peerName); br != nil && br.State() == breakerOpen {
+			peerName, peerURL = "", ""
+		}
+	}
 	var lastErr error
 	allDraining := true // every failed attempt was a shard answering 503
-	for i, name := range g.ring.Replicas(hash, g.replicas) {
-		sh := g.shards[name]
-		resp, ferr := g.forward(r, sh, http.MethodPost, "/v1/matrices", "", body)
+	for i, name := range view.ring.Replicas(hash, g.replicas) {
+		sh := view.shards[name]
+		var extra http.Header
+		if peerURL != "" && name != peerName {
+			extra = http.Header{service.PeerHeader: []string{peerURL}}
+		}
+		resp, ferr := g.forward(r, sh, http.MethodPost, "/v1/matrices", "", body, extra)
 		if ferr != nil {
+			if errors.Is(ferr, errBreakerOpen) {
+				// Skipped without a dial: the breaker already knows this
+				// shard is down. Not a shard error — nothing was attempted.
+				lastErr = fmt.Errorf("shard %s: %w", name, ferr)
+				allDraining = false
+				continue
+			}
 			g.shardErrors.Add(1)
 			lastErr = fmt.Errorf("shard %s: %w", name, ferr)
 			allDraining = false
@@ -422,7 +559,7 @@ func (g *Gateway) routeJob(w http.ResponseWriter, id string) (Shard, string, boo
 			fmt.Errorf("gateway: malformed job id %q (want <shard>%s<id>)", id, idSep))
 		return Shard{}, "", false
 	}
-	sh, ok := g.shards[shardName]
+	sh, ok := g.currentView().shards[shardName]
 	if !ok {
 		writeError(w, http.StatusNotFound,
 			fmt.Errorf("gateway: job %q names unknown shard %q", id, shardName))
@@ -433,9 +570,13 @@ func (g *Gateway) routeJob(w http.ResponseWriter, id string) (Shard, string, boo
 
 // unreachable reports a job route whose owning shard did not answer. Jobs
 // live on exactly one shard, so there is no replica to fall back to — the
-// client gets a clean 502 naming the shard instead of a hung request.
+// client gets a clean 502 naming the shard instead of a hung request. A
+// breaker short-circuit lands here too (502 without a dial), but is not
+// counted as a shard error: nothing was attempted.
 func (g *Gateway) unreachable(w http.ResponseWriter, sh Shard, err error) {
-	g.shardErrors.Add(1)
+	if !errors.Is(err, errBreakerOpen) {
+		g.shardErrors.Add(1)
+	}
 	writeError(w, http.StatusBadGateway,
 		fmt.Errorf("gateway: shard %s unreachable: %v", sh.Name, err))
 }
@@ -445,7 +586,7 @@ func (g *Gateway) handleGet(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	resp, err := g.forward(r, sh, http.MethodGet, "/v1/matrices/"+local, "", nil)
+	resp, err := g.forward(r, sh, http.MethodGet, "/v1/matrices/"+local, "", nil, nil)
 	if err != nil {
 		g.unreachable(w, sh, err)
 		return
@@ -459,7 +600,7 @@ func (g *Gateway) handleCancel(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	resp, err := g.forward(r, sh, http.MethodDelete, "/v1/matrices/"+local, "", nil)
+	resp, err := g.forward(r, sh, http.MethodDelete, "/v1/matrices/"+local, "", nil, nil)
 	if err != nil {
 		g.unreachable(w, sh, err)
 		return
@@ -491,7 +632,7 @@ func (g *Gateway) handleResult(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	resp, err := g.forward(r, sh, http.MethodGet, "/v1/matrices/"+local+"/result", r.URL.RawQuery, nil)
+	resp, err := g.forward(r, sh, http.MethodGet, "/v1/matrices/"+local+"/result", r.URL.RawQuery, nil, nil)
 	if err != nil {
 		g.unreachable(w, sh, err)
 		return
@@ -508,7 +649,7 @@ func (g *Gateway) handleEvents(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	resp, err := g.forward(r, sh, http.MethodGet, "/v1/matrices/"+local+"/events", "", nil)
+	resp, err := g.forward(r, sh, http.MethodGet, "/v1/matrices/"+local+"/events", "", nil, nil)
 	if err != nil {
 		g.unreachable(w, sh, err)
 		return

@@ -94,6 +94,9 @@ func newObsCluster(t *testing.T) (c *testCluster, gwLog *logSink, shardLogs []*l
 		for _, ts := range c.gwSrvs {
 			ts.Close()
 		}
+		for _, gw := range c.gateways {
+			gw.Close()
+		}
 		ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
 		defer cancel()
 		for _, svc := range c.shards {

@@ -1,0 +1,351 @@
+package gateway
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// dialCounter is an http.Transport hook that counts request-path dials per
+// "host:port" address. Installed on the gateway's request Client (never the
+// probe client), it makes the breaker acceptance criterion directly
+// observable: once a dead shard's breaker opens, its dial count freezes.
+type dialCounter struct {
+	mu     sync.Mutex
+	counts map[string]int
+}
+
+func newDialCounter() *dialCounter {
+	return &dialCounter{counts: make(map[string]int)}
+}
+
+func (d *dialCounter) transport() *http.Transport {
+	return &http.Transport{
+		DialContext: func(ctx context.Context, network, addr string) (net.Conn, error) {
+			d.mu.Lock()
+			d.counts[addr]++
+			d.mu.Unlock()
+			var nd net.Dialer
+			return nd.DialContext(ctx, network, addr)
+		},
+	}
+}
+
+func (d *dialCounter) count(addr string) int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.counts[addr]
+}
+
+// pollBreaker waits until the gateway's /healthz reports the shard's circuit
+// breaker in the wanted state. Polling /healthz also feeds the breakers (the
+// route probes through the same path as the background loop), so this both
+// observes and accelerates convergence.
+func pollBreaker(t *testing.T, base, shard, want string, deadline time.Duration) {
+	t.Helper()
+	limit := time.Now().Add(deadline)
+	for time.Now().Before(limit) {
+		resp, err := http.Get(base + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var ph PoolHealth
+		derr := json.NewDecoder(resp.Body).Decode(&ph)
+		resp.Body.Close()
+		if derr != nil {
+			t.Fatal(derr)
+		}
+		for _, sh := range ph.Shards {
+			if sh.Name == shard && sh.Breaker == want {
+				return
+			}
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("shard %s breaker never reached %q", shard, want)
+}
+
+// gatewayMetricValue scrapes the gateway's /metrics and returns the value of
+// one unlabelled sample line.
+func gatewayMetricValue(t *testing.T, base, name string) float64 {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(string(raw), "\n") {
+		if v, ok := strings.CutPrefix(line, name+" "); ok {
+			f, perr := strconv.ParseFloat(strings.TrimSpace(v), 64)
+			if perr != nil {
+				t.Fatalf("unparsable %s sample %q: %v", name, v, perr)
+			}
+			return f
+		}
+	}
+	t.Fatalf("gateway metrics carry no %s sample:\n%s", name, raw)
+	return 0
+}
+
+// TestChaosResharding is the elastic-membership chaos suite: under sustained
+// load, a shard is killed, its breaker opens (freezing request-path dials to
+// the dead address), the pool is reshaped at runtime through the admin route
+// (dead shard out, fresh replacement in), and every spec computed before the
+// change is then served without a single new flight — keys that stayed put
+// answer from their owner's disk, keys relocated to the new shard arrive via
+// verified peer fetch from their previous owner. Artifact bytes stay
+// identical to a direct runner.Run throughout.
+func TestChaosResharding(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos harness runs multi-second phases")
+	}
+
+	// Pool of three durable shards on real TCP listeners.
+	const n = 3
+	shards := make([]*chaosShard, n)
+	pool := make([]Shard, n)
+	for i := range shards {
+		shards[i] = startChaosShard(t, fmt.Sprintf("s%d", i), t.TempDir(), "127.0.0.1:0")
+		u, err := url.Parse("http://" + shards[i].addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pool[i] = Shard{Name: shards[i].name, URL: u}
+	}
+
+	// The request client counts dials; probes ride a separate client so
+	// background health traffic never shows up in request-path accounting. A
+	// 10s cooldown makes the open state sticky: only a successful probe (and
+	// there will be none — the dead shard stays dead) could close it, so the
+	// dial-freeze assertion cannot race a half-open request probe.
+	dc := newDialCounter()
+	gw, err := New(Config{
+		Shards:          pool,
+		Client:          &http.Client{Transport: dc.transport()},
+		ProbeClient:     &http.Client{},
+		ProbeInterval:   50 * time.Millisecond,
+		BreakerFailures: 3,
+		BreakerCooldown: 10 * time.Second,
+		EnableAdmin:     true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(gw.Close)
+	gwSrv := httptest.NewServer(gw.Handler())
+	t.Cleanup(gwSrv.Close)
+	base := gwSrv.URL
+
+	// Deterministic seed selection against ring math, no sampling luck: the
+	// post-reshard ring (s1 out, s3 in) is computed up front via the same
+	// delta methods the admin route uses. A key not owned by s1 either keeps
+	// its owner or moves to s3 — track two of each kind, plus one spec owned
+	// by the doomed shard for the breaker burst.
+	r0 := gw.Ring()
+	rAdd, err := r0.With("s3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := rAdd.Without("s1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	type tracked struct {
+		seed     int64
+		canon    []byte
+		hash     string
+		owner0   string // owner before the reshard
+		owner1   string // owner after the reshard
+		wantJSON []byte
+	}
+	var movers, stayers []*tracked
+	var burstCanon []byte
+	for seed := int64(1); len(movers) < 2 || len(stayers) < 2 || burstCanon == nil; seed++ {
+		if seed > 500 {
+			t.Fatal("ring scan found no seed mix for the reshard scenario")
+		}
+		canon, hash := canonHash(t, testSpec(seed))
+		o0, o1 := r0.Lookup(hash), r1.Lookup(hash)
+		switch {
+		case o0 == "s1":
+			if burstCanon == nil {
+				burstCanon = canon
+			}
+		case o1 == "s3" && len(movers) < 2:
+			movers = append(movers, &tracked{seed: seed, canon: canon, hash: hash, owner0: o0, owner1: o1})
+		case o1 == o0 && len(stayers) < 2:
+			stayers = append(stayers, &tracked{seed: seed, canon: canon, hash: hash, owner0: o0, owner1: o1})
+		}
+	}
+	all := append(append([]*tracked{}, movers...), stayers...)
+
+	// Phase 1: compute every tracked spec through the gateway and check it
+	// against the ground truth — the byte-identical artifact of a direct
+	// in-process runner.Run.
+	for _, tr := range all {
+		tr.wantJSON, _, _ = directArtifacts(t, testSpec(tr.seed))
+		resp, st := postSpec(t, base, tr.canon)
+		if got := resp.Header.Get(HeaderShard); got != tr.owner0 {
+			t.Fatalf("spec %.12s… served by %q, ring owner is %q", tr.hash, got, tr.owner0)
+		}
+		waitDone(t, base, st.ID)
+		if got := getResult(t, base, st.ID, "json"); !bytes.Equal(got, tr.wantJSON) {
+			t.Fatalf("pre-reshard artifact for %.12s… differs from direct runner.Run bytes", tr.hash)
+		}
+	}
+
+	// Sustained load: a background client hammers a spec owned by a surviving
+	// shard straight through the kill and the reshard; every request must
+	// keep succeeding.
+	loadCanon := stayers[0].canon
+	var loadFails atomic.Int64
+	loadStop := make(chan struct{})
+	var loadWG sync.WaitGroup
+	loadWG.Add(1)
+	go func() {
+		defer loadWG.Done()
+		for {
+			select {
+			case <-loadStop:
+				return
+			default:
+			}
+			resp, err := http.Post(base+"/v1/matrices", "application/json", bytes.NewReader(loadCanon))
+			if err != nil {
+				loadFails.Add(1)
+			} else {
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusAccepted {
+					loadFails.Add(1)
+				}
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}()
+
+	// Phase 2: kill s1 and wait for the probe loop to trip its breaker.
+	deadAddr := shards[1].addr
+	shards[1].kill(t)
+	pollBreaker(t, base, "s1", "open", 15*time.Second)
+
+	// With the breaker open, submissions owned by the dead shard must fail
+	// over without dialing it: the dial count to the dead address freezes.
+	dialsAtOpen := dc.count(deadAddr)
+	var burstID string
+	for i := 0; i < 4; i++ {
+		resp, st := postSpec(t, base, burstCanon)
+		if got := resp.Header.Get(HeaderShard); got == "s1" || got == "" {
+			t.Fatalf("burst %d served by %q, want a live replica", i, got)
+		}
+		if resp.Header.Get(HeaderFailover) != "true" {
+			t.Errorf("burst %d missing the failover header", i)
+		}
+		burstID = st.ID
+	}
+	waitDone(t, base, burstID)
+	if got := dc.count(deadAddr); got != dialsAtOpen {
+		t.Fatalf("dead shard dialed %d times after its breaker opened (was %d): open breaker must cost zero request-path dials",
+			got, dialsAtOpen)
+	}
+	if skips := gatewayMetricValue(t, base, "mrclone_gateway_breaker_skips_total"); skips < 4 {
+		t.Errorf("breaker skips = %v after 4 short-circuited attempts, want >= 4", skips)
+	}
+
+	// Phase 3: reshape the pool at runtime — dead shard out, replacement in —
+	// through the admin route, as one atomic membership change.
+	s3 := startChaosShard(t, "s3", t.TempDir(), "127.0.0.1:0")
+	upd, err := json.Marshal(PoolUpdate{
+		Add:    []ShardConfig{{Name: "s3", URL: "http://" + s3.addr}},
+		Remove: []string{"s1"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(base+"/v1/pool/shards", "application/json", bytes.NewReader(upd))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ps PoolStatus
+	if derr := json.NewDecoder(resp.Body).Decode(&ps); derr != nil {
+		t.Fatal(derr)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pool update: HTTP %d", resp.StatusCode)
+	}
+	names := make([]string, len(ps.Shards))
+	for i, sc := range ps.Shards {
+		names[i] = sc.Name
+	}
+	if got := strings.Join(names, ","); got != "s0,s2,s3" {
+		t.Fatalf("post-update membership %q, want s0,s2,s3", got)
+	}
+	// The live ring after the delta equals the one predicted up front — the
+	// history-independence the ring property tests pin, holding end to end.
+	if gw.Ring().String() != r1.String() {
+		t.Fatalf("live ring %s differs from predicted delta ring %s", gw.Ring(), r1)
+	}
+
+	// Phase 4: stop the load (it must not have seen a single failure), then
+	// resubmit every tracked spec. Nothing recomputes: stayers answer from
+	// their owner's disk, movers land on s3 which peer-fetches the verified
+	// artifacts from each spec's previous owner.
+	close(loadStop)
+	loadWG.Wait()
+	if fails := loadFails.Load(); fails != 0 {
+		t.Fatalf("background load saw %d failed requests across the kill and reshard, want 0", fails)
+	}
+
+	live := []*chaosShard{shards[0], shards[2], s3}
+	var flightsBefore int64
+	for _, sh := range live {
+		flightsBefore += sh.svc.Metrics().Flights
+	}
+	for _, tr := range all {
+		resp, st := postSpec(t, base, tr.canon)
+		if got := resp.Header.Get(HeaderShard); got != tr.owner1 {
+			t.Fatalf("post-reshard spec %.12s… served by %q, want new owner %q", tr.hash, got, tr.owner1)
+		}
+		st = waitDone(t, base, st.ID)
+		if !st.Cached {
+			t.Errorf("post-reshard spec %.12s… reports cached=false, want a cache or peer hit", tr.hash)
+		}
+		if got := getResult(t, base, st.ID, "json"); !bytes.Equal(got, tr.wantJSON) {
+			t.Errorf("post-reshard artifact for %.12s… differs from direct runner.Run bytes", tr.hash)
+		}
+	}
+	var flightsAfter int64
+	for _, sh := range live {
+		flightsAfter += sh.svc.Metrics().Flights
+	}
+	if flightsAfter != flightsBefore {
+		t.Fatalf("resharding recomputed: flights went %d -> %d resubmitting already-computed specs, want no change",
+			flightsBefore, flightsAfter)
+	}
+
+	// The movers arrived on s3 via verified peer fetch, and the counters
+	// aggregate through the gateway's merged /metrics.
+	if hits := s3.svc.Metrics().PeerFetchHits; hits < int64(len(movers)) {
+		t.Errorf("replacement shard peer-fetch hits = %d, want >= %d", hits, len(movers))
+	}
+	if hits := gatewayMetricValue(t, base, "mrclone_peer_fetch_hits_total"); hits < float64(len(movers)) {
+		t.Errorf("aggregated mrclone_peer_fetch_hits_total = %v, want >= %d", hits, len(movers))
+	}
+}

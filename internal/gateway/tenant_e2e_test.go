@@ -76,6 +76,9 @@ func newTenantCluster(t *testing.T, nShards, nGateways int,
 		for _, ts := range c.gwSrvs {
 			ts.Close()
 		}
+		for _, gw := range c.gateways {
+			gw.Close()
+		}
 		ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
 		defer cancel()
 		for _, svc := range c.shards {

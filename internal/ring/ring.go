@@ -110,6 +110,67 @@ func (r *Ring) Nodes() []string {
 	return append([]string(nil), r.nodes...)
 }
 
+// With returns a new ring over this ring's membership plus the named
+// members, keeping the virtual-node count. The receiver is unchanged.
+// Because a member contributes only its own points — positions derived from
+// its name and vnode index, never from the rest of the membership — the
+// result is identical to building a fresh ring from the final member set:
+// an elastic pool that grows one shard at a time routes exactly like one
+// configured with the full set from the start. Adding a member that is
+// already present is an error.
+func (r *Ring) With(names ...string) (*Ring, error) {
+	have := make(map[string]bool, len(r.nodes))
+	for _, n := range r.nodes {
+		have[n] = true
+	}
+	merged := append([]string(nil), r.nodes...)
+	for _, n := range names {
+		if have[n] {
+			return nil, fmt.Errorf("ring: node %q already a member", n)
+		}
+		have[n] = true
+		merged = append(merged, n)
+	}
+	return New(merged, r.vnodes)
+}
+
+// Without returns a new ring with the named members removed, keeping the
+// virtual-node count. The receiver is unchanged. Removal is minimal-
+// movement by construction: only keys the departed members owned relocate
+// (to their clockwise successors); keys between surviving members never
+// move. Removing a member that is not present, or emptying the ring, is an
+// error.
+func (r *Ring) Without(names ...string) (*Ring, error) {
+	drop := make(map[string]bool, len(names))
+	for _, n := range names {
+		if drop[n] {
+			return nil, fmt.Errorf("ring: node %q removed twice", n)
+		}
+		drop[n] = true
+	}
+	kept := make([]string, 0, len(r.nodes))
+	for _, n := range r.nodes {
+		if drop[n] {
+			delete(drop, n)
+			continue
+		}
+		kept = append(kept, n)
+	}
+	for n := range drop {
+		return nil, fmt.Errorf("ring: node %q is not a member", n)
+	}
+	if len(kept) == 0 {
+		return nil, ErrNoNodes
+	}
+	return New(kept, r.vnodes)
+}
+
+// Contains reports whether name is a member of the ring.
+func (r *Ring) Contains(name string) bool {
+	i := sort.SearchStrings(r.nodes, name)
+	return i < len(r.nodes) && r.nodes[i] == name
+}
+
 // Len returns the member count.
 func (r *Ring) Len() int { return len(r.nodes) }
 

@@ -197,6 +197,117 @@ func TestReplicaFailoverConsistency(t *testing.T) {
 	}
 }
 
+// TestDeltaMatchesFresh is the no-history-dependence property behind the
+// elastic gateway pool: applying any sequence of With/Without deltas to a
+// live ring places every key exactly as a ring built fresh from the final
+// member set would, so gateways that diverged in how they learned the
+// membership still route identically once they agree on it.
+func TestDeltaMatchesFresh(t *testing.T) {
+	steps := []struct {
+		add    []string
+		remove []string
+	}{
+		{add: []string{"s3"}},
+		{remove: []string{"s1"}},
+		{add: []string{"s4", "s5"}},
+		{add: []string{"s1"}, remove: []string{"s0"}}, // s1 re-joins as s0 departs
+		{remove: []string{"s4", "s3"}},
+	}
+	live, err := New(nodeNames(3), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sample := sampleKeys(2000)
+	for si, step := range steps {
+		if len(step.remove) > 0 {
+			if live, err = live.Without(step.remove...); err != nil {
+				t.Fatalf("step %d: Without(%v): %v", si, step.remove, err)
+			}
+		}
+		if len(step.add) > 0 {
+			if live, err = live.With(step.add...); err != nil {
+				t.Fatalf("step %d: With(%v): %v", si, step.add, err)
+			}
+		}
+		fresh, err := New(live.Nodes(), 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, key := range sample {
+			if got, want := live.Lookup(key), fresh.Lookup(key); got != want {
+				t.Fatalf("step %d: key %s: delta ring places on %q, fresh ring on %q",
+					si, key, got, want)
+			}
+		}
+	}
+}
+
+// TestDownThenUpRestoresOwnership pins the recovery property: a shard that
+// leaves the ring and later re-joins resumes owning exactly the keys it
+// owned before, because point positions depend only on the member name and
+// vnode index, never on membership history.
+func TestDownThenUpRestoresOwnership(t *testing.T) {
+	before, err := New(nodeNames(5), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	down, err := before.Without("s2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := down.With("s2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	owned := 0
+	for _, key := range sampleKeys(5000) {
+		want := before.Lookup(key)
+		if got := after.Lookup(key); got != want {
+			t.Fatalf("key %s: owner %q before the down/up cycle, %q after", key, want, got)
+		}
+		if want == "s2" {
+			owned++
+			if interim := down.Lookup(key); interim == "s2" {
+				t.Fatalf("key %s: removed shard still owns it", key)
+			}
+		}
+	}
+	if owned == 0 {
+		t.Fatal("sample never landed on the cycled shard; test proves nothing")
+	}
+}
+
+// TestDeltaValidation pins the error cases: duplicate adds, unknown
+// removals, emptying the ring — and that a failed delta leaves the
+// receiver usable.
+func TestDeltaValidation(t *testing.T) {
+	r, err := New([]string{"a", "b"}, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.With("a"); err == nil {
+		t.Error("With(existing) succeeded, want error")
+	}
+	if _, err := r.With("c", "c"); err == nil {
+		t.Error("With(dup, dup) succeeded, want error")
+	}
+	if _, err := r.With(""); err == nil {
+		t.Error("With(empty name) succeeded, want error")
+	}
+	if _, err := r.Without("zz"); err == nil {
+		t.Error("Without(unknown) succeeded, want error")
+	}
+	if _, err := r.Without("a", "b"); err == nil {
+		t.Error("Without(everything) succeeded, want error")
+	}
+	if _, err := r.Without("a", "a"); err == nil {
+		t.Error("Without(dup, dup) succeeded, want error")
+	}
+	if got := r.Nodes(); len(got) != 2 || !r.Contains("a") || !r.Contains("b") || r.Contains("c") {
+		t.Errorf("receiver mutated by failed deltas: nodes %v", got)
+	}
+}
+
 // TestLoadStdDev documents the vnode count's effect rather than asserting a
 // tight bound: with the default vnodes the per-node share of 10k keys stays
 // within a few percent of fair.

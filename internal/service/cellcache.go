@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"time"
@@ -120,7 +121,10 @@ func (s *Service) cellCacheEnabled() bool {
 
 // cellCacheFor builds the runner cell-cache hook for one flight, or nil when
 // cell caching is off. A spec that cannot be hashed (unreachable for specs
-// that passed Submit validation) runs uncached rather than failing.
+// that passed Submit validation) runs uncached rather than failing. A flight
+// carrying a peer hint (its hash was relocated by a pool membership change)
+// gets the peer-backed cache: local misses try the previous ring owner
+// before falling back to simulation.
 func (s *Service) cellCacheFor(fl *flight) runner.CellCache {
 	if !s.cellCacheEnabled() {
 		return nil
@@ -129,7 +133,52 @@ func (s *Service) cellCacheFor(fl *flight) runner.CellCache {
 	if err != nil {
 		return nil
 	}
-	return &storeCellCache{svc: s, st: s.storeHandle, hasher: h}
+	local := &storeCellCache{svc: s, st: s.storeHandle, hasher: h}
+	if fl.peer != "" {
+		return &peerCellCache{local: local, peer: fl.peer, ctx: fl.ctx}
+	}
+	return local
+}
+
+// peerCellCache layers a peer shard behind the local cells tier for one
+// relocated flight: a cell the local store misses is fetched from the
+// previous ring owner, verified against its envelope checksum, installed
+// through the store's crash-atomic cell write path, and only then served as
+// a hit. Every failure — transport, 404, verification — degrades to the
+// local miss the runner was about to take anyway.
+type peerCellCache struct {
+	local *storeCellCache
+	peer  string
+	ctx   context.Context // flight context: cancelling the flight stops fetches
+}
+
+func (c *peerCellCache) Lookup(si, pi, run int) (runner.CellPayload, bool) {
+	if p, ok := c.local.Lookup(si, pi, run); ok {
+		return p, true
+	}
+	hash, err := c.local.hasher.Hash(si, pi, run)
+	if err != nil {
+		return runner.CellPayload{}, false
+	}
+	payload, err := c.local.svc.fetchPeerCell(c.ctx, c.peer, hash)
+	if err != nil {
+		c.local.svc.countPeerFetch(false, 0)
+		return runner.CellPayload{}, false
+	}
+	var p runner.CellPayload
+	if err := json.Unmarshal(payload, &p); err != nil {
+		c.local.svc.countPeerFetch(false, 0)
+		return runner.CellPayload{}, false
+	}
+	// Install locally so the next matrix sharing this cell finds it without
+	// a network hop; a failed install only costs that future lookup.
+	_ = c.local.st.PutCell(store.Cell{Hash: hash, Payload: payload, CreatedAt: time.Now()})
+	c.local.svc.countPeerFetch(true, int64(len(payload)))
+	return p, true
+}
+
+func (c *peerCellCache) Publish(si, pi, run int, p runner.CellPayload) {
+	c.local.Publish(si, pi, run, p)
 }
 
 // probeCellCache is the read-only cousin of storeCellCache used by the

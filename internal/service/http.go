@@ -27,6 +27,8 @@ const MaxSpecBytes = 32 << 20
 //	GET    /v1/matrices/{id}/result  artifact (?format=json|csv|aggregate)
 //	DELETE /v1/matrices/{id}         cancel
 //	GET    /v1/matrices/{id}/events  lifecycle + progress as Server-Sent Events
+//	GET    /v1/peer/artifacts/{hash} stored artifacts, for peer shards (no tenant auth)
+//	GET    /v1/peer/cells/{hash}     stored cell record, for peer shards (no tenant auth)
 //	GET    /healthz                  liveness
 //	GET    /metrics                  Prometheus-style counters
 func (s *Service) Handler() http.Handler {
@@ -36,6 +38,8 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/matrices/{id}/result", s.handleResult)
 	mux.HandleFunc("DELETE /v1/matrices/{id}", s.handleCancel)
 	mux.HandleFunc("GET /v1/matrices/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /v1/peer/artifacts/{hash}", s.handlePeerArtifacts)
+	mux.HandleFunc("GET /v1/peer/cells/{hash}", s.handlePeerCells)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s.instrument(mux)
@@ -123,7 +127,11 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	st, err := s.SubmitTokenContext(r.Context(), tenant.BearerToken(r), sp)
+	ctx := r.Context()
+	if peer := r.Header.Get(PeerHeader); peer != "" && validPeerURL(peer) {
+		ctx = ContextWithPeer(ctx, peer)
+	}
+	st, err := s.SubmitTokenContext(ctx, tenant.BearerToken(r), sp)
 	switch {
 	case errors.Is(err, tenant.ErrRateLimited), errors.Is(err, tenant.ErrDisabled),
 		errors.Is(err, tenant.ErrNoToken), errors.Is(err, tenant.ErrUnknownToken):
@@ -296,6 +304,9 @@ func (s *Service) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		{"mrclone_cell_bytes_total", "Cell payload bytes written to the cell store.", "counter", float64(m.CellBytes)},
 		{"mrclone_gc_cells_total", "Expired or evicted cell records deleted from the disk store.", "counter", float64(m.CellsGCed)},
 		{"mrclone_assembled_total", "Matrices assembled entirely from cached cells without a worker slot.", "counter", float64(m.Assembled)},
+		{"mrclone_peer_fetch_hits_total", "Artifacts and cells adopted from a peer shard after a pool membership change.", "counter", float64(m.PeerFetchHits)},
+		{"mrclone_peer_fetch_misses_total", "Peer fetches that missed or failed verification and fell back to recomputation.", "counter", float64(m.PeerFetchMisses)},
+		{"mrclone_peer_fetch_bytes_total", "Payload bytes installed from verified peer fetches.", "counter", float64(m.PeerFetchBytes)},
 		{"mrclone_unauthorized_total", "Requests rejected for missing or invalid credentials.", "counter", float64(m.Unauthorized)},
 		{"mrclone_uptime_seconds", "Service uptime.", "gauge", m.UptimeSeconds},
 		{"mrclone_cells_per_second", "Lifetime mean simulation throughput.", "gauge", m.CellsPerSecond},

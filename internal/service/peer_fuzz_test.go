@@ -1,0 +1,93 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// FuzzPeerArtifactResponse hammers the peer-response decoders with arbitrary
+// bytes — the exact surface a compromised or corrupted peer controls. The
+// decoders must never panic, and whenever they accept a payload the
+// acceptance must be sound: the envelope names the requested hash and every
+// byte the caller will install verifies against the checksums declared in
+// the wire form itself.
+func FuzzPeerArtifactResponse(f *testing.F) {
+	const hash = "a3f1c2d4e5b6978081726354453627184950a1b2c3d4e5f60718293a4b5c6d7e"
+	valid := peerArtifactsWire{
+		Hash:         hash,
+		Cells:        2,
+		CreatedAtMs:  1700000000000,
+		JSON:         []byte(`{"cells":[1,2]}`),
+		CSV:          []byte("a,b\n1,2\n"),
+		AggregateCSV: []byte("x,y\n3,4\n"),
+	}
+	valid.Sums = map[string]string{
+		"json":          sha256Hex(valid.JSON),
+		"csv":           sha256Hex(valid.CSV),
+		"aggregate_csv": sha256Hex(valid.AggregateCSV),
+	}
+	validBytes, err := json.Marshal(valid)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(hash, validBytes)
+	f.Add(hash, validBytes[:len(validBytes)/2])
+	f.Add(hash, bytes.Replace(validBytes, []byte("cells"), []byte("cellz"), 1))
+	f.Add("otherhash0123456", validBytes)
+	f.Add(hash, []byte(`{"hash":"`+hash+`","sums":{}}`))
+	f.Add(hash, []byte(`{"hash":"`+hash+`","cells":-1}`))
+	cellPayload := []byte(`{"v":1}`)
+	cellValid, err := json.Marshal(peerCellWire{
+		Hash:    hash,
+		Size:    int64(len(cellPayload)),
+		SHA256:  sha256Hex(cellPayload),
+		Payload: json.RawMessage(cellPayload),
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(hash, cellValid)
+	f.Add(hash, []byte(`{"hash":"`+hash+`","size":7,"sha256":"00","payload":{"v":1}}`))
+
+	f.Fuzz(func(t *testing.T, reqHash string, data []byte) {
+		art, err := decodePeerArtifacts(reqHash, data)
+		if err == nil {
+			if art.Hash != reqHash {
+				t.Fatalf("accepted artifacts named %q, requested %q", art.Hash, reqHash)
+			}
+			if art.Cells < 0 {
+				t.Fatalf("accepted negative cell count %d", art.Cells)
+			}
+			// Re-derive the declared sums from the raw wire form: the decoder
+			// must only accept parts that hash to exactly what the envelope
+			// declared, so corruption of either side is always caught.
+			var wire peerArtifactsWire
+			if uerr := json.Unmarshal(data, &wire); uerr != nil {
+				t.Fatalf("decoder accepted bytes json.Unmarshal rejects: %v", uerr)
+			}
+			for name, part := range map[string][]byte{
+				"json":          art.JSON,
+				"csv":           art.CSV,
+				"aggregate_csv": art.AggregateCSV,
+			} {
+				if sha256Hex(part) != wire.Sums[name] {
+					t.Fatalf("accepted %s part does not match its declared checksum", name)
+				}
+			}
+		}
+		payload, err := decodePeerCell(reqHash, data)
+		if err == nil {
+			var wire peerCellWire
+			if uerr := json.Unmarshal(data, &wire); uerr != nil {
+				t.Fatalf("cell decoder accepted bytes json.Unmarshal rejects: %v", uerr)
+			}
+			if wire.Hash != reqHash {
+				t.Fatalf("accepted cell named %q, requested %q", wire.Hash, reqHash)
+			}
+			if int64(len(payload)) != wire.Size || sha256Hex(payload) != wire.SHA256 {
+				t.Fatal("accepted cell payload does not verify against its declared envelope")
+			}
+		}
+	})
+}

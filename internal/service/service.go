@@ -42,6 +42,7 @@ import (
 	"errors"
 	"fmt"
 	"log/slog"
+	"net/http"
 	"runtime"
 	"sort"
 	"strconv"
@@ -142,6 +143,12 @@ type Config struct {
 	// QueueSeed fixes the fair-policy lottery for reproducible tests
 	// (0 = derived from the clock at startup).
 	QueueSeed int64
+	// PeerClient issues shard-to-shard peer artifact fetches (default
+	// http.DefaultClient; per-fetch lifetime is bounded by PeerTimeout).
+	PeerClient *http.Client
+	// PeerTimeout bounds each peer artifact or cell fetch (default 5s). A
+	// slow peer degrades to recomputation, never to a hung submission.
+	PeerTimeout time.Duration
 	// Logger receives structured log lines (job lifecycle, flight
 	// execution, HTTP requests) with the internal/obs attribute vocabulary.
 	// Nil (the default) discards them, keeping library and daemon behavior
@@ -174,6 +181,9 @@ func (c Config) normalize() Config {
 	}
 	if c.QueuePolicy == "" {
 		c.QueuePolicy = tenant.PolicyFIFO
+	}
+	if c.PeerTimeout <= 0 {
+		c.PeerTimeout = 5 * time.Second
 	}
 	if c.QueueSeed == 0 {
 		c.QueueSeed = time.Now().UnixNano()
@@ -321,6 +331,7 @@ type flight struct {
 	state     State
 	startedAt time.Time // when a worker picked the flight up
 	traceID   string    // trace of the first submission; "" if untraced
+	peer      string    // previous ring owner's base URL; "" without a hint
 	done      int
 	cached    int // landed cells resolved from the cell cache
 	lastDone  int // cells already counted into Service.cellsDone
@@ -384,6 +395,13 @@ type Service struct {
 	cellsGCed     int64
 	assembled     int64 // matrices completed from cells without a worker slot
 	unauthorized  int64 // requests rejected for missing/unknown/disabled tokens
+
+	// Peer-fetch counters: hashes relocated by a pool membership change
+	// whose artifacts or cells were adopted from the previous ring owner
+	// (hits, with payload bytes) or fell back to recomputation (misses).
+	peerFetchHits   int64
+	peerFetchMisses int64
+	peerFetchBytes  int64
 
 	// tenantAccts is the per-tenant counter and gauge table, lazily created
 	// per named tenant; anonymous submissions ("") are never entered.
@@ -836,7 +854,28 @@ func (s *Service) submit(ctx context.Context, tn string, sp spec.Spec) (JobStatu
 		// files); identical submissions racing the probe at worst read the
 		// same entry twice, which is idempotent.
 		s.mu.Unlock()
+		source := "disk"
 		art, derr := s.storeHandle.GetArtifacts(hash)
+		if errors.Is(derr, store.ErrNotFound) && peerFrom(ctx) != "" {
+			// Local miss on a hash the gateway says relocated here: adopt
+			// the previous ring owner's artifacts instead of recomputing.
+			// Fetched bytes are checksum-verified before the crash-atomic
+			// install; any failure falls through to the normal queue path.
+			peer := peerFrom(ctx)
+			part, perr := s.fetchPeerArtifacts(ctx, peer, hash)
+			if perr == nil {
+				perr = s.storeHandle.PutArtifacts(part)
+			}
+			if perr == nil {
+				art, derr = part, nil
+				source = "peer"
+				s.countPeerFetch(true, int64(len(part.JSON)+len(part.CSV)+len(part.AggregateCSV)))
+			} else {
+				s.countPeerFetch(false, 0)
+				s.obsv.log.Warn("peer fetch missed",
+					obs.KeySpec, obs.SpecPrefix(hash), "peer", peer, "error", perr.Error())
+			}
+		}
 		s.mu.Lock()
 		if s.closed {
 			s.mu.Unlock()
@@ -852,7 +891,9 @@ func (s *Service) submit(ctx context.Context, tn string, sp spec.Spec) (JobStatu
 			res := resultFromArtifacts(art)
 			s.cache.add(res)
 			s.countSubmission(tn)
-			s.diskHits++
+			if source == "disk" {
+				s.diskHits++
+			}
 			j := s.newJob(hash, tn, trace)
 			j.state = StateDone
 			j.cached = true
@@ -865,7 +906,7 @@ func (s *Service) submit(ctx context.Context, tn string, sp spec.Spec) (JobStatu
 			s.persistJob(j)
 			st := j.status()
 			s.mu.Unlock()
-			s.obsv.log.Info("job done", append(jobAttrs(j), "cached", true, "source", "disk")...)
+			s.obsv.log.Info("job done", append(jobAttrs(j), "cached", true, "source", source)...)
 			return st, nil
 		case errors.Is(derr, store.ErrCorrupt):
 			// The entry was quarantined; recompute below repopulates it.
@@ -908,6 +949,7 @@ func (s *Service) submit(ctx context.Context, tn string, sp spec.Spec) (JobStatu
 		total:   total,
 		tenant:  tn,
 		traceID: trace,
+		peer:    peerFrom(ctx),
 	}
 	s.reserved++
 	s.inflight[hash] = fl
@@ -1626,33 +1668,36 @@ func (s *Service) Health() Health {
 
 // Metrics is a point-in-time snapshot of service counters and gauges.
 type Metrics struct {
-	Submissions    int64   `json:"submissions"`
-	CacheHits      int64   `json:"cache_hits"`
-	DiskHits       int64   `json:"disk_hits"`
-	DedupHits      int64   `json:"dedup_hits"`
-	Flights        int64   `json:"flights"`
-	JobsDone       int64   `json:"jobs_done"`
-	JobsFailed     int64   `json:"jobs_failed"`
-	JobsCancelled  int64   `json:"jobs_cancelled"`
-	JobsGCed       int64   `json:"jobs_gced"`
-	ArtifactsGCed  int64   `json:"artifacts_gced"`
-	Quarantined    int64   `json:"quarantined"`
-	StoreErrors    int64   `json:"store_errors"`
-	QueueDepth     int     `json:"queue_depth"`
-	QueueCapacity  int     `json:"queue_capacity"`
-	CacheEntries   int     `json:"cache_entries"`
-	CacheBytes     int64   `json:"cache_bytes"`
-	JobsTracked    int     `json:"jobs_tracked"`
-	Persistent     bool    `json:"persistent"`
-	CellsDone      int64   `json:"cells_done"`
-	CellHits       int64   `json:"cell_hits"`
-	CellMisses     int64   `json:"cell_misses"`
-	CellBytes      int64   `json:"cell_bytes"`
-	CellsGCed      int64   `json:"cells_gced"`
-	Assembled      int64   `json:"assembled"`
-	Unauthorized   int64   `json:"unauthorized"`
-	UptimeSeconds  float64 `json:"uptime_seconds"`
-	CellsPerSecond float64 `json:"cells_per_second"`
+	Submissions     int64   `json:"submissions"`
+	CacheHits       int64   `json:"cache_hits"`
+	DiskHits        int64   `json:"disk_hits"`
+	DedupHits       int64   `json:"dedup_hits"`
+	Flights         int64   `json:"flights"`
+	JobsDone        int64   `json:"jobs_done"`
+	JobsFailed      int64   `json:"jobs_failed"`
+	JobsCancelled   int64   `json:"jobs_cancelled"`
+	JobsGCed        int64   `json:"jobs_gced"`
+	ArtifactsGCed   int64   `json:"artifacts_gced"`
+	Quarantined     int64   `json:"quarantined"`
+	StoreErrors     int64   `json:"store_errors"`
+	QueueDepth      int     `json:"queue_depth"`
+	QueueCapacity   int     `json:"queue_capacity"`
+	CacheEntries    int     `json:"cache_entries"`
+	CacheBytes      int64   `json:"cache_bytes"`
+	JobsTracked     int     `json:"jobs_tracked"`
+	Persistent      bool    `json:"persistent"`
+	CellsDone       int64   `json:"cells_done"`
+	CellHits        int64   `json:"cell_hits"`
+	CellMisses      int64   `json:"cell_misses"`
+	CellBytes       int64   `json:"cell_bytes"`
+	CellsGCed       int64   `json:"cells_gced"`
+	Assembled       int64   `json:"assembled"`
+	Unauthorized    int64   `json:"unauthorized"`
+	PeerFetchHits   int64   `json:"peer_fetch_hits"`
+	PeerFetchMisses int64   `json:"peer_fetch_misses"`
+	PeerFetchBytes  int64   `json:"peer_fetch_bytes"`
+	UptimeSeconds   float64 `json:"uptime_seconds"`
+	CellsPerSecond  float64 `json:"cells_per_second"`
 
 	// Tenants holds per-tenant counters, keyed by tenant name. Only named
 	// tenants appear: anonymous traffic stays in the global counters alone,
@@ -1679,31 +1724,34 @@ func (s *Service) Metrics() Metrics {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	m := Metrics{
-		Submissions:   s.submissions,
-		CacheHits:     s.cacheHits,
-		DiskHits:      s.diskHits,
-		DedupHits:     s.dedupHits,
-		Flights:       s.flightsRun,
-		JobsDone:      s.jobsDone,
-		JobsFailed:    s.jobsFailed,
-		JobsCancelled: s.jobsCancelled,
-		JobsGCed:      s.jobsGCed,
-		ArtifactsGCed: s.artifactsGCed,
-		Quarantined:   s.quarantined,
-		StoreErrors:   s.storeErrors,
-		QueueDepth:    s.queue.Len() + s.reserved,
-		QueueCapacity: s.cfg.QueueDepth,
-		CacheEntries:  s.cache.len(),
-		CacheBytes:    s.cache.sizeBytes(),
-		JobsTracked:   len(s.jobs),
-		Persistent:    s.storeHandle != nil,
-		CellsDone:     s.cellsDone,
-		CellHits:      s.cellHits,
-		CellMisses:    s.cellMisses,
-		CellBytes:     s.cellBytes,
-		CellsGCed:     s.cellsGCed,
-		Assembled:     s.assembled,
-		Unauthorized:  s.unauthorized,
+		Submissions:     s.submissions,
+		CacheHits:       s.cacheHits,
+		DiskHits:        s.diskHits,
+		DedupHits:       s.dedupHits,
+		Flights:         s.flightsRun,
+		JobsDone:        s.jobsDone,
+		JobsFailed:      s.jobsFailed,
+		JobsCancelled:   s.jobsCancelled,
+		JobsGCed:        s.jobsGCed,
+		ArtifactsGCed:   s.artifactsGCed,
+		Quarantined:     s.quarantined,
+		StoreErrors:     s.storeErrors,
+		QueueDepth:      s.queue.Len() + s.reserved,
+		QueueCapacity:   s.cfg.QueueDepth,
+		CacheEntries:    s.cache.len(),
+		CacheBytes:      s.cache.sizeBytes(),
+		JobsTracked:     len(s.jobs),
+		Persistent:      s.storeHandle != nil,
+		CellsDone:       s.cellsDone,
+		CellHits:        s.cellHits,
+		CellMisses:      s.cellMisses,
+		CellBytes:       s.cellBytes,
+		CellsGCed:       s.cellsGCed,
+		Assembled:       s.assembled,
+		Unauthorized:    s.unauthorized,
+		PeerFetchHits:   s.peerFetchHits,
+		PeerFetchMisses: s.peerFetchMisses,
+		PeerFetchBytes:  s.peerFetchBytes,
 	}
 	if len(s.tenantAccts) > 0 {
 		m.Tenants = make(map[string]TenantMetrics, len(s.tenantAccts))
