@@ -9,7 +9,7 @@
 //	mrserved [-addr :8080] [-parallel NumCPU] [-workers 2] [-queue 16]
 //	         [-data-dir DIR] [-cache-bytes 256MiB] [-cache-ttl 0]
 //	         [-cell-cache] [-cell-cache-bytes 0]
-//	         [-tenants FILE] [-queue-policy fifo|fair|srpt]
+//	         [-tenants FILE] [-tenants-poll 30s] [-queue-policy fifo|fair|srpt]
 //	         [-job-retention 24h] [-gc-interval 1m] [-peer-timeout 5s]
 //	         [-log-format text|json] [-log-level info]
 //	         [-debug-addr ADDR] [-shard-name NAME]
@@ -43,6 +43,15 @@
 // shrinks as the cell cache fills, dogfooding the SRPT scheduler the
 // service exists to simulate.
 //
+// The tenants file is hot-reloadable: SIGHUP reloads it immediately, and
+// every -tenants-poll interval (default 30s; 0 disables polling) the file's
+// mtime is checked and a changed file is reloaded. The swap is atomic —
+// in-flight requests finish against the registry they authenticated with,
+// the next request sees the new one — and a file that fails to parse is
+// logged and skipped, so a half-written edit never locks tenants out.
+// Tenancy itself cannot be toggled at runtime: a daemon started with
+// -tenants stays authenticated, one started without stays anonymous.
+//
 // Every request logs one structured line (log/slog) carrying the request
 // ID, W3C trace ID (minted, or continued from an inbound traceparent
 // header), matched route, status, and duration; -log-format json makes the
@@ -62,6 +71,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -106,6 +116,8 @@ func run(ctx context.Context, args []string, logw io.Writer) error {
 		"disk budget for the per-cell tier; GC evicts oldest cells beyond it (0 = unbounded)")
 	tenantsFile := fs.String("tenants", "",
 		"JSON tenant registry; when set, every request must carry a known bearer token (empty = anonymous, open access)")
+	tenantsPoll := fs.Duration("tenants-poll", 30*time.Second,
+		"with -tenants, how often the file's mtime is checked for a hot reload (0 disables polling; SIGHUP always reloads)")
 	queuePolicy := fs.String("queue-policy", "fifo",
 		"dequeue order for queued matrices: fifo, fair (weighted across tenants), or srpt (shortest estimated job first)")
 	jobRetention := fs.Duration("job-retention", 24*time.Hour,
@@ -162,16 +174,24 @@ func run(ctx context.Context, args []string, logw io.Writer) error {
 		return fmt.Errorf("-gc-interval %s: need > 0", *gcInterval)
 	case *peerTimeout <= 0:
 		return fmt.Errorf("-peer-timeout %s: need > 0", *peerTimeout)
+	case *tenantsPoll < 0:
+		return fmt.Errorf("-tenants-poll %s: need >= 0", *tenantsPoll)
 	}
 	policy, err := tenant.ParsePolicy(*queuePolicy)
 	if err != nil {
 		return fmt.Errorf("-queue-policy: %w", err)
 	}
 	var registry *tenant.Registry
+	var tenantsMod time.Time
 	if *tenantsFile != "" {
 		registry, err = tenant.Load(*tenantsFile)
 		if err != nil {
 			return fmt.Errorf("-tenants: %w", err)
+		}
+		// Captured here, before the listener opens, so an edit racing the
+		// boot is seen as a change by the watcher's first poll.
+		if fi, serr := os.Stat(*tenantsFile); serr == nil {
+			tenantsMod = fi.ModTime()
 		}
 	}
 
@@ -207,6 +227,12 @@ func run(ctx context.Context, args []string, logw io.Writer) error {
 		mode = "data-dir " + *dataDir
 	}
 	svc := service.New(cfg)
+	if *tenantsFile != "" {
+		hup := make(chan os.Signal, 1)
+		signal.Notify(hup, syscall.SIGHUP)
+		defer signal.Stop(hup)
+		go watchTenants(ctx, svc, *tenantsFile, *tenantsPoll, tenantsMod, hup, logger, logw, jsonLog)
+	}
 
 	if *debugAddr != "" {
 		dln, derr := net.Listen("tcp", *debugAddr)
@@ -282,6 +308,56 @@ func run(ctx context.Context, args []string, logw io.Writer) error {
 		fmt.Fprintln(logw, "mrserved: drained")
 	}
 	return nil
+}
+
+// watchTenants hot-reloads the tenant registry while the daemon runs:
+// SIGHUP reloads unconditionally, and every poll interval the tenants
+// file's mtime is compared against the last load. A file that fails to
+// parse (or a swap the service rejects) is logged and skipped — the
+// registry already serving stays, so a half-written edit never locks every
+// tenant out. lastMod is the mtime of the load the service booted with.
+// Runs until ctx is cancelled.
+func watchTenants(ctx context.Context, svc *service.Service, path string, poll time.Duration,
+	lastMod time.Time, hup <-chan os.Signal, logger *slog.Logger, logw io.Writer, jsonLog bool) {
+	reload := func(reason string) {
+		if fi, err := os.Stat(path); err == nil {
+			lastMod = fi.ModTime()
+		}
+		reg, err := tenant.Load(path)
+		if err == nil {
+			err = svc.ReloadTenants(reg)
+		}
+		switch {
+		case err != nil && jsonLog:
+			logger.Warn("tenant reload failed", "reason", reason, "error", err.Error())
+		case err != nil:
+			fmt.Fprintf(logw, "mrserved: tenant reload (%s): %v\n", reason, err)
+		case jsonLog:
+			logger.Info("tenant registry reloaded", "reason", reason, "tenants", reg.Len())
+		default:
+			fmt.Fprintf(logw, "mrserved: tenant registry reloaded (%s): %d tenants\n", reason, reg.Len())
+		}
+	}
+	var tick <-chan time.Time
+	if poll > 0 {
+		t := time.NewTicker(poll)
+		defer t.Stop()
+		tick = t.C
+	}
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-hup:
+			reload("SIGHUP")
+		case <-tick:
+			fi, err := os.Stat(path)
+			if err != nil || fi.ModTime().Equal(lastMod) {
+				continue
+			}
+			reload("mtime change")
+		}
+	}
 }
 
 // parseBytes parses a human-friendly byte size: a plain integer counts

@@ -3,12 +3,20 @@ package main
 import (
 	"bytes"
 	"context"
+	"errors"
 	"net/http"
+	"os"
+	"path/filepath"
 	"regexp"
 	"strings"
 	"sync"
+	"syscall"
 	"testing"
 	"time"
+
+	"mrclone/internal/service"
+	"mrclone/internal/service/spec"
+	"mrclone/internal/tenant"
 )
 
 func TestFlagValidation(t *testing.T) {
@@ -200,4 +208,153 @@ func TestServeAndDrain(t *testing.T) {
 	if !strings.Contains(logw.String(), "drained") {
 		t.Fatalf("log missing drain marker: %q", logw.String())
 	}
+}
+
+// TestTenantHotReloadByPoll boots the daemon against a tenants file with a
+// fast mtime poll, proves a not-yet-registered token is rejected, rewrites
+// the file to add the tenant, and waits for the poller to admit it — no
+// restart, no signal. 401 flipping to 404 is the admission proof: the token
+// now authenticates and the probed job genuinely does not exist.
+func TestTenantHotReloadByPoll(t *testing.T) {
+	tenantsPath := filepath.Join(t.TempDir(), "tenants.json")
+	writeTenants := func(body string) {
+		t.Helper()
+		if err := os.WriteFile(tenantsPath, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	writeTenants(`{"tenants":[{"name":"alpha","token":"tok-alpha"}]}`)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	logw := &syncBuffer{first: make(chan struct{})}
+	errCh := make(chan error, 1)
+	go func() {
+		errCh <- run(ctx, []string{"-addr", "127.0.0.1:0", "-workers", "1", "-drain-timeout", "10s",
+			"-tenants", tenantsPath, "-tenants-poll", "25ms"}, logw)
+	}()
+	select {
+	case <-logw.first:
+	case err := <-errCh:
+		t.Fatalf("run exited early: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon never logged its listen address")
+	}
+	m := regexp.MustCompile(`listening on ([0-9.:]+)`).FindStringSubmatch(logw.String())
+	if m == nil {
+		t.Fatalf("no listen address in log: %q", logw.String())
+	}
+	base := "http://" + m[1]
+
+	status := func(token string) int {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodGet, base+"/v1/matrices/none", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Authorization", "Bearer "+token)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if got := status("tok-bravo"); got != http.StatusUnauthorized {
+		t.Fatalf("unregistered token: HTTP %d, want 401", got)
+	}
+
+	writeTenants(`{"tenants":[{"name":"alpha","token":"tok-alpha"},{"name":"bravo","token":"tok-bravo"}]}`)
+	deadline := time.Now().Add(10 * time.Second)
+	for status("tok-bravo") != http.StatusNotFound {
+		if time.Now().After(deadline) {
+			t.Fatalf("token added after startup never admitted; log: %q", logw.String())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	cancel()
+	select {
+	case err := <-errCh:
+		if err != nil {
+			t.Fatalf("drain: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("daemon did not drain")
+	}
+}
+
+// TestWatchTenantsSIGHUP drives the watcher's signal path with an injected
+// channel: a rewritten file is swapped in on SIGHUP, and a corrupt rewrite
+// is logged and skipped while the previous registry keeps serving.
+func TestWatchTenantsSIGHUP(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "tenants.json")
+	write := func(body string) {
+		t.Helper()
+		if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write(`{"tenants":[{"name":"alpha","token":"tok-alpha"}]}`)
+	reg, err := tenant.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := service.New(service.Config{Workers: 1, Tenants: reg})
+	defer func() {
+		closeCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := svc.Close(closeCtx); err != nil {
+			t.Error(err)
+		}
+	}()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	logw := &syncBuffer{first: make(chan struct{})}
+	hup := make(chan os.Signal, 1)
+	done := make(chan struct{})
+	go func() {
+		watchTenants(ctx, svc, path, 0, time.Time{}, hup, nil, logw, false)
+		close(done)
+	}()
+
+	// SubmitToken with a zero spec separates the auth outcome from the spec
+	// one: an unknown token fails authentication, a known one reaches (and
+	// fails) spec validation.
+	authErr := func(token string) error {
+		_, err := svc.SubmitToken(token, spec.Spec{})
+		return err
+	}
+	if err := authErr("tok-bravo"); !errors.Is(err, tenant.ErrUnknownToken) {
+		t.Fatalf("pre-reload bravo: %v, want ErrUnknownToken", err)
+	}
+
+	write(`{"tenants":[{"name":"alpha","token":"tok-alpha"},{"name":"bravo","token":"tok-bravo"}]}`)
+	hup <- syscall.SIGHUP
+	deadline := time.Now().Add(10 * time.Second)
+	for errors.Is(authErr("tok-bravo"), tenant.ErrUnknownToken) {
+		if time.Now().After(deadline) {
+			t.Fatalf("SIGHUP reload never admitted bravo; log: %q", logw.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// A corrupt rewrite is skipped: the failure is logged, bravo keeps
+	// authenticating against the registry already in service.
+	write(`{"tenants":`)
+	hup <- syscall.SIGHUP
+	deadline = time.Now().Add(10 * time.Second)
+	for !strings.Contains(logw.String(), "tenant reload (SIGHUP):") {
+		if time.Now().After(deadline) {
+			t.Fatalf("corrupt reload never logged; log: %q", logw.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := authErr("tok-bravo"); errors.Is(err, tenant.ErrUnknownToken) {
+		t.Fatal("corrupt reload wiped the serving registry")
+	}
+
+	cancel()
+	<-done
 }

@@ -65,11 +65,20 @@
 //   - a small real in-process MapReduce engine whose speculative-execution
 //     policy is pluggable with the same strategies.
 //
-// The cluster engine itself is event-accelerated: slots on which provably
-// nothing can happen (no free machine, no alive job, or an event-driven
-// scheduler that launched nothing) are skipped in one jump to the next
-// arrival or copy completion, with results identical slot-for-slot to the
-// naive loop.
+// # The engine
+//
+// The cluster simulator is a discrete-event engine with slot-exact
+// semantics. For the paper's event-driven schedulers (SRPTMS+C, SCA, Fair,
+// SRPT, offline, Dolly) time advances through a priority-heap calendar of
+// job arrivals and earliest copy completions — empty slots are never
+// visited; the slot-stepped baselines (Mantri, LATE) keep per-slot
+// progress inspection but skip provably idle stretches in one jump.
+// Workload draws are batched per launch and the per-copy bookkeeping is
+// pointer-free pooled memory, so the hot path does not allocate. All three
+// loops (naive, slot-stepping, event core) produce identical Results bit
+// for bit — pinned for every registered scheduler by the equivalence
+// harness in internal/cluster — and a CI benchmark gate (cmd/benchgate
+// against BENCH_BASELINE.json) holds the engine's cost per cell.
 //
 // # Quick start
 //

@@ -1,0 +1,128 @@
+package cluster
+
+import "mrclone/internal/job"
+
+// taskRun is the engine's per-task runtime record: every live copy of the
+// task (launch order, stored by value in a pointer-free slice the garbage
+// collector never scans) plus the index and cached (finish, seq) key of the
+// copy that will finish first. A task appears in the calendar exactly when
+// it has at least one active (non-gated) copy; best is -1 while all copies
+// are gated.
+//
+// Keying the calendar by tasks instead of copies keeps the heap size at one
+// entry per running task regardless of clone factor and removes the
+// lazy-deletion churn of a per-copy heap: when a task completes, its entry
+// is popped once and its sibling copies never enter the heap at all.
+type taskRun struct {
+	task   *job.Task
+	owner  *job.Job
+	copies []copyRecord
+
+	best       int32 // index of the earliest-finishing active copy; -1 if none
+	pos        int32 // index within calendar.a; -1 when not enqueued
+	bestFinish int64 // == copies[best].finish while best >= 0
+	bestSeq    int64 // == copies[best].seq while best >= 0
+}
+
+// calEntry is one calendar slot: the owning task plus an inline copy of its
+// best key, so heap comparisons touch only the heap array itself.
+type calEntry struct {
+	finish int64
+	seq    int64
+	tr     *taskRun
+}
+
+// calendar is a binary min-heap of running tasks ordered by their best
+// copy's (finish, seq). It is hand-rolled rather than container/heap to
+// keep the completion hot path free of interface dispatch, and supports
+// only the operations the engine needs: push, pop-min, peek, and a
+// decrease-key fix (a task's best copy only ever improves — copies are
+// added, never individually removed — so fixing sifts up exclusively).
+type calendar struct {
+	a []calEntry
+}
+
+// entryBefore reports heap order between two entries.
+func entryBefore(x, y calEntry) bool {
+	if x.finish != y.finish {
+		return x.finish < y.finish
+	}
+	return x.seq < y.seq
+}
+
+// push enqueues a task that just gained its first active copy.
+func (c *calendar) push(tr *taskRun) {
+	i := len(c.a)
+	tr.pos = int32(i)
+	c.a = append(c.a, calEntry{finish: tr.bestFinish, seq: tr.bestSeq, tr: tr})
+	c.siftUp(i)
+}
+
+// peek returns the earliest-finishing task without removing it, or nil.
+func (c *calendar) peek() *taskRun {
+	if len(c.a) == 0 {
+		return nil
+	}
+	return c.a[0].tr
+}
+
+// pop removes and returns the earliest-finishing task.
+func (c *calendar) pop() *taskRun {
+	top := c.a[0].tr
+	last := len(c.a) - 1
+	c.a[0] = c.a[last]
+	c.a[0].tr.pos = 0
+	c.a[last].tr = nil
+	c.a = c.a[:last]
+	if last > 0 {
+		c.siftDown(0)
+	}
+	top.pos = -1
+	return top
+}
+
+// decreased restores heap order after tr's best copy improved in place.
+func (c *calendar) decreased(tr *taskRun) {
+	i := int(tr.pos)
+	c.a[i].finish, c.a[i].seq = tr.bestFinish, tr.bestSeq
+	c.siftUp(i)
+}
+
+func (c *calendar) siftUp(i int) {
+	a := c.a
+	node := a[i]
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !entryBefore(node, a[parent]) {
+			break
+		}
+		a[i] = a[parent]
+		a[i].tr.pos = int32(i)
+		i = parent
+	}
+	a[i] = node
+	node.tr.pos = int32(i)
+}
+
+func (c *calendar) siftDown(i int) {
+	a := c.a
+	n := len(a)
+	node := a[i]
+	for {
+		child := 2*i + 1
+		if child >= n {
+			break
+		}
+		if r := child + 1; r < n && entryBefore(a[r], a[child]) {
+			child = r
+		}
+		if !entryBefore(a[child], node) {
+			break
+		}
+		a[i] = a[child]
+		a[i].tr.pos = int32(i)
+		i = child
+	}
+	a[i] = node
+	node.tr.pos = int32(i)
+}

@@ -11,6 +11,10 @@ import (
 // detection-based baselines such as Mantri — per-copy progress fractions as
 // a progress-reporting MapReduce system would surface them. Ground-truth
 // sampled durations are never exposed.
+//
+// The Context (and every slice it returns) is only valid for the duration of
+// the Schedule call it was passed to; schedulers must not retain either
+// across invocations.
 type Context struct {
 	engine *Engine
 }
@@ -25,15 +29,22 @@ func (c *Context) Machines() int { return c.engine.cfg.Machines }
 func (c *Context) FreeMachines() int { return c.engine.free }
 
 // AliveJobs returns the jobs that have arrived and not finished, in arrival
-// order. The returned slice is freshly allocated; the *job.Job values are
-// shared with the engine and must not be mutated except through Launch.
+// order. The returned slice is scratch reused by the next AliveJobs call —
+// callers may reorder or filter it in place but must not retain it past the
+// Schedule invocation; the *job.Job values are shared with the engine and
+// must not be mutated except through Launch.
 func (c *Context) AliveJobs() []*job.Job {
-	out := make([]*job.Job, 0, c.engine.aliveCount)
-	for _, j := range c.engine.alive {
+	e := c.engine
+	out := e.aliveScratch[:0]
+	if cap(out) < e.aliveCount {
+		out = make([]*job.Job, 0, 2*e.aliveCount+8)
+	}
+	for _, j := range e.alive {
 		if j != nil {
 			out = append(out, j)
 		}
 	}
+	e.aliveScratch = out
 	return out
 }
 
@@ -49,7 +60,7 @@ func (c *Context) Launch(j *job.Job, t *job.Task, n int, gated bool) (int, error
 // Rand returns a deterministic random stream for scheduler tie-breaking
 // (for example, "choose one unscheduled task at random"). Accessing the
 // stream marks the slot as randomized, which disables the engine's
-// idle-slot fast-forward for the slot: skipping invocations that consume
+// idle-slot acceleration for the slot: skipping invocations that consume
 // randomness would shift every later draw. Schedulers must obtain the
 // stream through this method each slot rather than caching it.
 func (c *Context) Rand() *rng.Source {
@@ -69,15 +80,12 @@ type CopyProgress struct {
 // Progress returns progress reports for the live copies of t, oldest first.
 // It returns nil for tasks with no live copies.
 func (c *Context) Progress(t *job.Task) []CopyProgress {
-	copies := c.engine.taskCopy[t]
-	if len(copies) == 0 {
+	tr, _ := t.Runtime.(*taskRun)
+	if tr == nil || len(tr.copies) == 0 {
 		return nil
 	}
-	out := make([]CopyProgress, 0, len(copies))
-	for _, cp := range copies {
-		if cp.dead {
-			continue
-		}
+	out := make([]CopyProgress, 0, len(tr.copies))
+	for _, cp := range tr.copies {
 		if cp.gated {
 			out = append(out, CopyProgress{Gated: true})
 			continue
@@ -102,9 +110,13 @@ func (c *Context) Progress(t *job.Task) []CopyProgress {
 // reported progress are returned only when no copy has made progress. ok is
 // false when t has no observable live copy.
 func (c *Context) BestProgress(t *job.Task) (best CopyProgress, ok bool) {
+	tr, _ := t.Runtime.(*taskRun)
+	if tr == nil {
+		return CopyProgress{}, false
+	}
 	bestRem := 0.0
-	for _, cp := range c.engine.taskCopy[t] {
-		if cp.dead || cp.gated {
+	for _, cp := range tr.copies {
+		if cp.gated {
 			continue
 		}
 		elapsed := c.engine.slot - cp.started

@@ -7,10 +7,28 @@
 // the task's duration distribution and the task takes the minimum, exactly as
 // in the paper's trace-driven evaluation ("the workload for this clone is
 // just drawn independently from the estimated distribution").
+//
+// # Execution loops
+//
+// The engine has two execution loops over the same event machinery (a
+// priority-heap calendar of copy completions plus an arrival cursor):
+//
+//   - The event loop (EventDriven schedulers, the default) advances directly
+//     from event to event. Between an arrival and the next completion the
+//     observable state cannot change, so the scheduler is invoked only when
+//     an event just fired or launchable unscheduled work remains; quiet
+//     stretches cost O(1) regardless of length.
+//   - The slot loop (Mantri, LATE, and any scheduler with time-based
+//     triggers) steps slot by slot so progress-polling rules observe every
+//     tick, with the idle-slot fast-forward of earlier revisions jumping
+//     stretches where the scheduler provably cannot act.
+//
+// Both loops produce results slot-for-slot identical to the naive
+// slot-by-slot reference loop (Config.Loop = LoopNaive); the equivalence
+// harness in equivalence_test.go pins this for every registered scheduler.
 package cluster
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"math"
@@ -32,18 +50,67 @@ type Scheduler interface {
 // EventDriven marks schedulers whose Schedule is a pure function of the
 // observable cluster state — alive jobs' task states, free-machine count,
 // cluster size — so their decisions can only change when a completion or an
-// arrival changes that state. The engine fast-forwards idle slots for such
-// schedulers: whenever an event-driven scheduler launches nothing and draws
-// no randomness, the simulation jumps straight to the next arrival or copy
-// completion instead of re-invoking it slot by slot.
+// arrival changes that state. The engine runs such schedulers on the event
+// calendar: slots between events are never materialized, and the scheduler
+// is not invoked at all while no alive job has an unscheduled task it could
+// launch (see GatedLauncher for the one exception).
+//
+// Implementations therefore promise, in addition to state-purity:
+//
+//   - Schedule launches copies of *unscheduled* tasks only (every scheduler
+//     in internal/sched does: speculative backups in Mantri/LATE are the
+//     counterexample, and those schedulers are not event-driven);
+//   - Schedule draws from ctx.Rand() only on invocations that launch at
+//     least one copy (randomness is used to pick among launch candidates).
 //
 // Schedulers with time-based triggers — polling cadences keyed on Now(),
 // progress-age thresholds as in Mantri or LATE, or any internal mutable
 // state — must NOT implement this interface (or must return false): they can
 // legitimately launch a copy on a slot where nothing else happened.
 type EventDriven interface {
-	// EventDriven reports whether the idle-slot fast-forward is safe.
+	// EventDriven reports whether event-calendar execution is safe.
 	EventDriven() bool
+}
+
+// GatedLauncher marks schedulers that may launch gated reduce copies —
+// copies of reduce tasks whose job's map phase has not completed (the
+// paper's constraint 1g, used by the offline Algorithm 1). The event loop
+// counts unscheduled reduce tasks behind a closed map gate as launchable
+// work only for schedulers implementing this interface; all others are
+// skipped while only gated work remains.
+type GatedLauncher interface {
+	// LaunchesGatedCopies reports whether Schedule may gate-launch reduces.
+	LaunchesGatedCopies() bool
+}
+
+// LoopMode selects the engine's execution loop.
+type LoopMode int
+
+const (
+	// LoopAuto (the default) runs EventDriven schedulers on the event
+	// calendar and everything else on the slot loop with the idle-slot
+	// fast-forward.
+	LoopAuto LoopMode = iota
+	// LoopSlots forces slot stepping with the idle-slot fast-forward, even
+	// for EventDriven schedulers. Used by the equivalence tests.
+	LoopSlots
+	// LoopNaive forces the naive slot-by-slot reference loop with no
+	// acceleration at all.
+	LoopNaive
+)
+
+// String implements fmt.Stringer.
+func (m LoopMode) String() string {
+	switch m {
+	case LoopAuto:
+		return "auto"
+	case LoopSlots:
+		return "slots"
+	case LoopNaive:
+		return "naive"
+	default:
+		return fmt.Sprintf("LoopMode(%d)", int(m))
+	}
 }
 
 // Config parameterizes a simulation run.
@@ -60,14 +127,22 @@ type Config struct {
 	// Seed drives all stochastic choices (copy workloads, scheduler
 	// tie-breaking). Runs with equal seeds and schedulers are identical.
 	Seed int64
-	// DisableFastForward forces the naive slot-by-slot loop even where the
-	// idle-slot fast-forward is provably equivalent. It exists so tests and
-	// validation runs can compare the two paths; production runs should
-	// leave it false.
+	// Loop selects the execution loop; LoopAuto is correct for production
+	// runs. The slower modes exist so tests and validation runs can compare
+	// the loops pairwise.
+	Loop LoopMode
+	// DisableFastForward is the pre-LoopMode spelling of Loop = LoopNaive,
+	// honored when Loop is LoopAuto.
+	//
+	// Deprecated: set Loop instead.
 	DisableFastForward bool
 }
 
 const defaultMaxSlots = 50_000_000
+
+// maxMaxSlots bounds Config.MaxSlots so slot arithmetic (finish = slot +
+// duration, with duration clamped to MaxSlots+1) cannot overflow int64.
+const maxMaxSlots = int64(1) << 61
 
 // Errors reported by the engine.
 var (
@@ -76,40 +151,32 @@ var (
 	ErrSlotOverflow = errors.New("cluster: exceeded MaxSlots without finishing all jobs")
 	ErrNoFreeSlots  = errors.New("cluster: launch exceeds free machines")
 	ErrGateViolated = errors.New("cluster: reduce copy launched before map phase done without gating")
+	// ErrNonFiniteWorkload reports a duration distribution that produced a
+	// NaN or infinite sample. Converting such a value to slots would be
+	// platform-defined (out-of-range float→int conversion), so the engine
+	// fails the run instead of guessing.
+	ErrNonFiniteWorkload = errors.New("cluster: duration distribution produced a non-finite workload")
 )
 
 // copyRecord is one running (or gated) copy of a task occupying a machine.
+// It is a pointer-free value stored inside its taskRun's copies slice (the
+// owning task and job live on the taskRun), so the copy arena is invisible
+// to the garbage collector's scan and write-barrier machinery.
 type copyRecord struct {
 	seq      int64 // launch sequence, for deterministic ordering
-	task     *job.Task
-	owner    *job.Job
 	workload float64
 	finish   int64 // completion slot; -1 while gated
-	dead     bool  // killed (sibling finished first) or completed
-	gated    bool  // waiting for the owner's map phase to finish
 	started  int64 // slot at which the countdown began (-1 while gated)
 	launched int64 // slot at which the copy occupied its machine
+	gated    bool  // waiting for the owner's map phase to finish
 }
 
-// copyHeap is a min-heap of copies ordered by (finish, seq).
-type copyHeap []*copyRecord
-
-func (h copyHeap) Len() int { return len(h) }
-func (h copyHeap) Less(i, j int) bool {
-	if h[i].finish != h[j].finish {
-		return h[i].finish < h[j].finish
-	}
-	return h[i].seq < h[j].seq
-}
-func (h copyHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *copyHeap) Push(x interface{}) { *h = append(*h, x.(*copyRecord)) }
-func (h *copyHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	item := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return item
+// gatedRef locates one gated copy awaiting its job's map gate: the copy at
+// tr.copies[idx]. Indices stay valid across copies-slice growth, unlike
+// element pointers.
+type gatedRef struct {
+	tr  *taskRun
+	idx int32
 }
 
 // JobRecord is the per-job outcome of a run.
@@ -128,7 +195,7 @@ type Result struct {
 	Scheduler     string
 	Machines      int
 	Speed         float64
-	Slots         int64 // slot at which the last job finished
+	Slots         int64 // slot at which the last job finished (0 if no jobs)
 	Jobs          []JobRecord
 	TotalCopies   int64 // all copies launched
 	CloneCopies   int64 // copies beyond the first per task
@@ -140,9 +207,11 @@ type Result struct {
 
 // Engine runs one simulation.
 type Engine struct {
-	cfg         Config
-	sched       Scheduler
-	eventDriven bool // sched implements EventDriven and opted in
+	cfg           Config
+	sched         Scheduler
+	eventDriven   bool // sched implements EventDriven and opted in
+	gatedLaunches bool // sched implements GatedLauncher and opted in
+	useEvents     bool // resolved loop: event calendar vs slot stepping
 
 	slot    int64
 	free    int
@@ -161,19 +230,39 @@ type Engine struct {
 	alivePos   map[*job.Job]int // index of each live job within alive
 	aliveCount int
 
-	heap      copyHeap
-	taskCopy  map[*job.Task][]*copyRecord // live copies per task
-	gatedJobs map[*job.Job][]*copyRecord  // gated reduce copies per job
+	cal       calendar
+	gatedJobs map[*job.Job][]gatedRef // gated reduce copies per job
+
+	// Launchable-work counters: unscheduled tasks across alive jobs, split
+	// by what the gate allows. The event loop skips scheduler invocations
+	// while every counter relevant to the scheduler is zero — by the
+	// EventDriven contract such an invocation could neither launch nor draw
+	// randomness.
+	unschedMap   int // unscheduled map tasks
+	unschedOpen  int // unscheduled reduce tasks with the map gate open
+	unschedGated int // unscheduled reduce tasks behind a closed map gate
 
 	durations *rng.Source // stream for copy workload sampling
 	schedRand *rng.Source // stream handed to the scheduler
 	randUsed  bool        // scheduler touched schedRand this slot
+
+	ctx Context // reused scheduler view (avoids a per-slot allocation)
+	err error   // first fatal error raised inside a scheduler callback
+
+	// Scratch and pooling for the hot paths: the AliveJobs backing array,
+	// the batched workload-sample buffer, and a freelist of task-run records
+	// (each carrying its grown copies backing) to keep the per-launch path
+	// allocation-free in steady state.
+	aliveScratch []*job.Job
+	sampleBuf    []float64
+	runFree      []*taskRun
 
 	busy         int64
 	totalCopies  int64
 	cloneCopies  int64
 	wastedWrk    float64
 	finishedJobs int
+	lastFinish   int64 // slot of the latest job completion
 }
 
 // New prepares an engine over the given job specs. Specs are copied and
@@ -194,6 +283,9 @@ func New(cfg Config, sched Scheduler, specs []job.Spec) (*Engine, error) {
 	if cfg.MaxSlots == 0 {
 		cfg.MaxSlots = defaultMaxSlots
 	}
+	if cfg.MaxSlots < 0 || cfg.MaxSlots > maxMaxSlots {
+		return nil, fmt.Errorf("cluster: MaxSlots %d outside (0, 2^61]", cfg.MaxSlots)
+	}
 	for i := range specs {
 		if err := specs[i].Validate(); err != nil {
 			return nil, err
@@ -206,31 +298,105 @@ func New(cfg Config, sched Scheduler, specs []job.Spec) (*Engine, error) {
 	})
 	root := rng.New(cfg.Seed)
 	ed, _ := sched.(EventDriven)
-	return &Engine{
-		cfg:         cfg,
-		sched:       sched,
-		eventDriven: ed != nil && ed.EventDriven(),
-		free:        cfg.Machines,
-		pending:     pending,
-		alivePos:    make(map[*job.Job]int),
-		taskCopy:    make(map[*job.Task][]*copyRecord),
-		gatedJobs:   make(map[*job.Job][]*copyRecord),
-		durations:   root.Split("durations"),
-		schedRand:   root.Split("scheduler"),
-	}, nil
+	gl, _ := sched.(GatedLauncher)
+	e := &Engine{
+		cfg:           cfg,
+		sched:         sched,
+		eventDriven:   ed != nil && ed.EventDriven(),
+		gatedLaunches: gl != nil && gl.LaunchesGatedCopies(),
+		free:          cfg.Machines,
+		pending:       pending,
+		alivePos:      make(map[*job.Job]int),
+		gatedJobs:     make(map[*job.Job][]gatedRef),
+		durations:     root.Split("durations"),
+		schedRand:     root.Split("scheduler"),
+	}
+	mode := cfg.Loop
+	if mode == LoopAuto && cfg.DisableFastForward {
+		mode = LoopNaive
+	}
+	e.useEvents = mode == LoopAuto && e.eventDriven
+	e.ctx = Context{engine: e}
+	return e, nil
 }
 
-// Run executes the simulation to completion and returns the result.
-//
-// The loop is event-accelerated: slots on which provably nothing can happen
-// are skipped in one jump to min(next arrival, next copy completion). A slot
-// is skippable when no machine is free (the scheduler is never invoked
-// then), when no job is alive, or when an EventDriven scheduler was invoked
-// but launched nothing and drew no randomness — by the EventDriven contract
-// it would keep deciding the same until the state changes. Results are
-// slot-for-slot identical to the naive loop (see Config.DisableFastForward
-// and TestFastForwardEquivalence).
+// Run executes the simulation to completion and returns the result. The
+// execution loop is selected by Config.Loop (see the package comment); every
+// loop produces the identical Result for a given scheduler, seed, and spec
+// set.
 func (e *Engine) Run() (*Result, error) {
+	if e.useEvents {
+		return e.runEvents()
+	}
+	mode := e.cfg.Loop
+	if mode == LoopAuto && e.cfg.DisableFastForward {
+		mode = LoopNaive
+	}
+	return e.runSlots(mode != LoopNaive)
+}
+
+// runEvents is the discrete-event loop: the calendar of copy completions and
+// the arrival cursor define the only slots at which the observable state can
+// change, and the scheduler is invoked only when it might act — an event
+// just fired, or launchable unscheduled work remains from a slot on which it
+// launched something. All intervening slots are accounted in bulk.
+func (e *Engine) runEvents() (*Result, error) {
+	total := len(e.pending)
+	for e.finishedJobs < total {
+		if e.slot > e.cfg.MaxSlots {
+			return nil, fmt.Errorf("%w: slot %d, %d/%d jobs finished",
+				ErrSlotOverflow, e.slot, e.finishedJobs, total)
+		}
+		e.admitArrivals()
+		e.processCompletions()
+		quiet := true
+		if e.free > 0 && e.aliveCount > 0 && e.launchableWork() {
+			launchedBefore := e.totalCopies
+			e.randUsed = false
+			e.sched.Schedule(&e.ctx)
+			if e.err != nil {
+				return nil, e.err
+			}
+			quiet = e.totalCopies == launchedBefore && !e.randUsed
+		}
+		e.busy += int64(e.cfg.Machines - e.free)
+		next := e.slot + 1
+		if e.finishedJobs < total && quiet {
+			if t, ok := e.nextEventSlot(); !ok {
+				// No future arrival or completion can ever occur while jobs
+				// remain unfinished: the run is starved (for example, only
+				// gated copies are left). Jump past MaxSlots so the overflow
+				// guard reports it immediately.
+				next = e.cfg.MaxSlots + 1
+			} else if t > next {
+				// Slots next..t-1 are eventless; account their occupancy in
+				// bulk (the busy level cannot change between events) and
+				// land exactly on the next event.
+				e.busy += int64(e.cfg.Machines-e.free) * (t - next)
+				next = t
+			}
+		}
+		e.slot = next
+	}
+	return e.result(), nil
+}
+
+// launchableWork reports whether any alive job has an unscheduled task the
+// scheduler is permitted to launch right now.
+func (e *Engine) launchableWork() bool {
+	return e.unschedMap > 0 || e.unschedOpen > 0 ||
+		(e.gatedLaunches && e.unschedGated > 0)
+}
+
+// runSlots is the slot-stepping loop: the scheduler is invoked on every slot
+// with a free machine and an alive job, so time-based rules (progress
+// polling, check intervals) observe each tick. With fastForward, slots on
+// which provably nothing can happen are skipped in one jump to min(next
+// arrival, next completion): a slot is skippable when no machine is free,
+// when no job is alive, or when an EventDriven scheduler was invoked but
+// launched nothing and drew no randomness — by the EventDriven contract it
+// would keep deciding the same until the state changes.
+func (e *Engine) runSlots(fastForward bool) (*Result, error) {
 	total := len(e.pending)
 	for e.finishedJobs < total {
 		if e.slot > e.cfg.MaxSlots {
@@ -242,26 +408,20 @@ func (e *Engine) Run() (*Result, error) {
 		launchedBefore := e.totalCopies
 		e.randUsed = false
 		if e.free > 0 && e.aliveCount > 0 {
-			ctx := &Context{engine: e}
-			e.sched.Schedule(ctx)
+			e.sched.Schedule(&e.ctx)
+			if e.err != nil {
+				return nil, e.err
+			}
 		}
 		e.busy += int64(e.cfg.Machines - e.free)
 		next := e.slot + 1
-		if e.finishedJobs < total && !e.cfg.DisableFastForward {
+		if e.finishedJobs < total && fastForward {
 			idle := e.free == 0 || e.aliveCount == 0 ||
 				(e.eventDriven && e.totalCopies == launchedBefore && !e.randUsed)
 			if idle {
 				if t, ok := e.nextEventSlot(); !ok {
-					// No future arrival or completion can ever occur while
-					// jobs remain unfinished: the run is starved (for
-					// example, only gated copies are left). Jump past
-					// MaxSlots so the overflow guard reports it rather than
-					// grinding there one slot at a time.
-					next = e.cfg.MaxSlots + 1
+					next = e.cfg.MaxSlots + 1 // starved: report via the guard
 				} else if t > next {
-					// Slots next..t-1 are identical no-ops; account their
-					// occupancy in bulk (busy level cannot change between
-					// events) and land exactly on the next event.
 					e.busy += int64(e.cfg.Machines-e.free) * (t - next)
 					next = t
 				}
@@ -280,12 +440,8 @@ func (e *Engine) nextEventSlot() (int64, bool) {
 	if e.nextPending < len(e.pending) {
 		t, ok = e.pending[e.nextPending].Arrival, true
 	}
-	// Drop dead heap tops so the peek sees a live completion.
-	for len(e.heap) > 0 && e.heap[0].dead {
-		heap.Pop(&e.heap)
-	}
-	if len(e.heap) > 0 && e.heap[0].finish >= 0 {
-		if f := e.heap[0].finish; !ok || f < t {
+	if tr := e.cal.peek(); tr != nil {
+		if f := tr.bestFinish; !ok || f < t {
 			t, ok = f, true
 		}
 	}
@@ -310,59 +466,61 @@ func (e *Engine) admitArrivals() {
 		e.alive = append(e.alive, j)
 		e.aliveCount++
 		e.arrived++
+		e.unschedMap += spec.MapTasks
+		if j.MapPhaseDone() { // no map tasks: the reduce gate starts open
+			e.unschedOpen += spec.ReduceTask
+		} else {
+			e.unschedGated += spec.ReduceTask
+		}
 	}
 }
 
-// processCompletions pops every copy finishing at the current slot, completes
-// its task (first copy wins), kills sibling copies, opens Reduce gates, and
-// retires finished jobs.
+// processCompletions completes every task whose earliest copy finishes at
+// the current slot, in deterministic (finish, seq) order of those copies.
 func (e *Engine) processCompletions() {
-	for len(e.heap) > 0 {
-		top := e.heap[0]
-		if top.dead {
-			heap.Pop(&e.heap)
-			continue
+	for {
+		tr := e.cal.peek()
+		if tr == nil || tr.bestFinish > e.slot {
+			return
 		}
-		if top.finish < 0 || top.finish > e.slot {
-			break
-		}
-		heap.Pop(&e.heap)
-		e.completeCopy(top)
+		e.cal.pop()
+		e.completeTask(tr)
 	}
 }
 
-// completeCopy finishes the task owned by c at the current slot.
-func (e *Engine) completeCopy(c *copyRecord) {
-	if c.dead || c.task.State == job.TaskDone {
-		return
-	}
-	owner := c.owner
-	// Free the finishing copy's machine.
-	c.dead = true
-	owner.MarkCopyStopped(c.task)
-	e.free++
-	// Kill all sibling copies and free their machines; their remaining
-	// workload is wasted cloning overhead.
-	for _, sib := range e.taskCopy[c.task] {
-		if sib == c || sib.dead {
+// completeTask finishes tr's task at the current slot: the best copy wins,
+// sibling copies are killed (their remaining workload is wasted cloning
+// overhead), machines are freed, reduce gates open, finished jobs retire.
+func (e *Engine) completeTask(tr *taskRun) {
+	winner := int(tr.best)
+	t := tr.task
+	owner := tr.owner
+	for i := range tr.copies {
+		owner.MarkCopyStopped(t)
+		e.free++
+		if i == winner {
 			continue
 		}
-		sib.dead = true
-		owner.MarkCopyStopped(c.task)
-		e.free++
-		if sib.started >= 0 {
-			done := float64(e.slot-sib.started) * e.cfg.Speed
-			if rem := sib.workload - done; rem > 0 {
+		c := &tr.copies[i]
+		if c.started >= 0 {
+			done := float64(e.slot-c.started) * e.cfg.Speed
+			if rem := c.workload - done; rem > 0 {
 				e.wastedWrk += rem
 			}
 		} else {
-			e.wastedWrk += sib.workload
+			e.wastedWrk += c.workload
 		}
 	}
-	delete(e.taskCopy, c.task)
-	owner.MarkDone(c.task, e.slot)
+	t.Runtime = nil
+	e.releaseRun(tr)
+	owner.MarkDone(t, e.slot)
 
-	if c.task.ID.Phase == job.PhaseMap && owner.MapPhaseDone() {
+	if t.ID.Phase == job.PhaseMap && owner.MapPhaseDone() {
+		// The map gate just opened: pending unscheduled reduces become
+		// launchable and already-launched gated copies start their countdown.
+		n := owner.Unscheduled(job.PhaseReduce)
+		e.unschedGated -= n
+		e.unschedOpen += n
 		e.openGate(owner)
 	}
 	if owner.Done() {
@@ -370,18 +528,36 @@ func (e *Engine) completeCopy(c *copyRecord) {
 	}
 }
 
-// openGate starts the countdown of any gated reduce copies of j.
+// openGate starts the countdown of any gated reduce copies of j, in launch
+// order.
 func (e *Engine) openGate(j *job.Job) {
-	for _, c := range e.gatedJobs[j] {
-		if c.dead {
-			continue
-		}
+	gated, ok := e.gatedJobs[j]
+	if !ok {
+		return
+	}
+	for _, g := range gated {
+		c := &g.tr.copies[g.idx]
 		c.gated = false
 		c.started = e.slot
 		c.finish = e.slot + e.durationSlots(c.workload)
-		heap.Push(&e.heap, c)
+		e.activate(g.tr, int(g.idx))
 	}
 	delete(e.gatedJobs, j)
+}
+
+// activate enters the active copy tr.copies[idx] into the calendar: it
+// becomes its task's best copy if it finishes before the current one (ties
+// by launch sequence), pushing the task when this is its first active copy.
+func (e *Engine) activate(tr *taskRun, idx int) {
+	c := &tr.copies[idx]
+	switch {
+	case tr.best < 0:
+		tr.best, tr.bestFinish, tr.bestSeq = int32(idx), c.finish, c.seq
+		e.cal.push(tr)
+	case c.finish < tr.bestFinish || (c.finish == tr.bestFinish && c.seq < tr.bestSeq):
+		tr.best, tr.bestFinish, tr.bestSeq = int32(idx), c.finish, c.seq
+		e.cal.decreased(tr)
+	}
 }
 
 // retireJob removes a finished job from the alive set in amortized O(1):
@@ -397,6 +573,7 @@ func (e *Engine) retireJob(j *job.Job) {
 		}
 	}
 	e.finishedJobs++
+	e.lastFinish = e.slot
 }
 
 // compactAlive rewrites alive without holes and refreshes alivePos.
@@ -414,19 +591,30 @@ func (e *Engine) compactAlive() {
 	e.alive = live
 }
 
-// durationSlots converts a workload into occupied slots at the configured
-// machine speed; every copy takes at least one slot.
+// durationSlots converts a finite workload into occupied slots at the
+// configured machine speed. Every copy takes at least one slot; durations
+// beyond the MaxSlots horizon are clamped to MaxSlots+1, which cannot
+// complete within any legal run and therefore trips the overflow guard
+// instead of overflowing int64 slot arithmetic.
 func (e *Engine) durationSlots(workload float64) int64 {
-	s := int64(math.Ceil(workload / e.cfg.Speed))
-	if s < 1 {
-		s = 1
+	f := math.Ceil(workload / e.cfg.Speed)
+	if f < 1 {
+		return 1
 	}
-	return s
+	if f > float64(e.cfg.MaxSlots) {
+		return e.cfg.MaxSlots + 1
+	}
+	return int64(f)
 }
 
 // launch starts n copies of task t owned by j. Reduce copies launched before
 // the owner's map phase completes must set gated; they occupy machines
 // immediately but progress only after the gate opens (constraint 1g).
+//
+// The n workloads are drawn in one batched call per launch — bit-identical
+// to n successive Sample calls on the same stream — and validated before
+// any engine state changes; a non-finite sample fails the run with
+// ErrNonFiniteWorkload.
 func (e *Engine) launch(j *job.Job, t *job.Task, n int, gated bool) (int, error) {
 	if n <= 0 {
 		return 0, nil
@@ -443,39 +631,97 @@ func (e *Engine) launch(j *job.Job, t *job.Task, n int, gated bool) (int, error)
 	if gated && j.MapPhaseDone() {
 		gated = false // gate already open
 	}
-	var d = e.taskDist(j, t)
+	if cap(e.sampleBuf) < n {
+		e.sampleBuf = make([]float64, n+16)
+	}
+	buf := e.sampleBuf[:n]
+	sampleInto(e.taskDist(j, t), buf, e.durations)
+	for _, w := range buf {
+		if math.IsNaN(w) || math.IsInf(w, 0) {
+			return 0, e.fail(fmt.Errorf("%w: task %v sampled %v", ErrNonFiniteWorkload, t.ID, w))
+		}
+	}
+	wasUnscheduled := t.State == job.TaskUnscheduled
 	launched := 0
 	for i := 0; i < n; i++ {
 		if err := j.MarkLaunched(t, e.slot); err != nil {
 			return launched, err
 		}
-		c := &copyRecord{
+		tr, _ := t.Runtime.(*taskRun)
+		if tr == nil {
+			tr = e.newRun()
+			tr.task, tr.owner = t, j
+			t.Runtime = tr
+		}
+		idx := len(tr.copies)
+		tr.copies = append(tr.copies, copyRecord{
 			seq:      e.seq,
-			task:     t,
-			owner:    j,
-			workload: d.Sample(e.durations),
+			workload: buf[i],
 			launched: e.slot,
 			started:  -1,
 			finish:   -1,
 			gated:    gated,
-		}
+		})
 		e.seq++
 		e.free--
 		e.totalCopies++
 		if t.TotalCopies > 1 {
 			e.cloneCopies++
 		}
-		e.taskCopy[t] = append(e.taskCopy[t], c)
 		if gated {
-			e.gatedJobs[j] = append(e.gatedJobs[j], c)
+			e.gatedJobs[j] = append(e.gatedJobs[j], gatedRef{tr: tr, idx: int32(idx)})
 		} else {
+			c := &tr.copies[idx]
 			c.started = e.slot
 			c.finish = e.slot + e.durationSlots(c.workload)
-			heap.Push(&e.heap, c)
+			e.activate(tr, idx)
 		}
 		launched++
 	}
+	if wasUnscheduled && launched > 0 {
+		switch {
+		case t.ID.Phase == job.PhaseMap:
+			e.unschedMap--
+		case j.MapPhaseDone():
+			e.unschedOpen--
+		default:
+			e.unschedGated--
+		}
+	}
 	return launched, nil
+}
+
+// fail records the first fatal engine error so Run can surface it even when
+// the scheduler swallows the Launch error, and returns err for the caller.
+func (e *Engine) fail(err error) error {
+	if e.err == nil {
+		e.err = err
+	}
+	return err
+}
+
+// newRun returns a recycled or fresh task-run record. Fresh records start
+// with room for a handful of copies so the common clone counts never grow
+// the slice (recycled records keep their grown backing).
+func (e *Engine) newRun() *taskRun {
+	if k := len(e.runFree) - 1; k >= 0 {
+		tr := e.runFree[k]
+		e.runFree[k] = nil
+		e.runFree = e.runFree[:k]
+		return tr
+	}
+	return &taskRun{pos: -1, best: -1, copies: make([]copyRecord, 0, 8)}
+}
+
+// releaseRun recycles a completed task's run record, keeping its grown
+// copies backing (the elements are pointer-free, so truncating retains
+// nothing the collector cares about).
+func (e *Engine) releaseRun(tr *taskRun) {
+	tr.copies = tr.copies[:0]
+	tr.task, tr.owner = nil, nil
+	tr.best = -1
+	tr.pos = -1
+	e.runFree = append(e.runFree, tr)
 }
 
 // taskDist returns the ground-truth duration distribution for t.
@@ -491,13 +737,30 @@ type distSampler interface {
 	Sample(*rng.Source) float64
 }
 
+// batchSampler matches dist.BatchSampler without importing the package.
+type batchSampler interface {
+	SampleN(dst []float64, src *rng.Source)
+}
+
+// sampleInto fills dst with successive draws from d, using the batched path
+// when the distribution provides one.
+func sampleInto(d distSampler, dst []float64, src *rng.Source) {
+	if b, ok := d.(batchSampler); ok {
+		b.SampleN(dst, src)
+		return
+	}
+	for i := range dst {
+		dst[i] = d.Sample(src)
+	}
+}
+
 // result builds the final Result.
 func (e *Engine) result() *Result {
 	res := &Result{
 		Scheduler:     e.sched.Name(),
 		Machines:      e.cfg.Machines,
 		Speed:         e.cfg.Speed,
-		Slots:         e.slot,
+		Slots:         e.lastFinish,
 		Jobs:          make([]JobRecord, 0, len(e.jobs)),
 		TotalCopies:   e.totalCopies,
 		CloneCopies:   e.cloneCopies,

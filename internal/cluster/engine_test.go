@@ -2,11 +2,13 @@ package cluster
 
 import (
 	"errors"
+	"math"
 	"testing"
 	"testing/quick"
 
 	"mrclone/internal/dist"
 	"mrclone/internal/job"
+	"mrclone/internal/rng"
 )
 
 // greedyScheduler is a trivial test scheduler: launch every unscheduled task
@@ -411,6 +413,119 @@ func TestFlowtimeLowerBoundProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestResultSlotsIsLastFinish pins the Result.Slots contract: the slot at
+// which the LAST job finished — not the slot counter's final value, which
+// the loops advance past the completion (and by different amounts, so the
+// old `Slots = e.slot` reported loop-dependent, off-by-one-or-more values).
+func TestResultSlotsIsLastFinish(t *testing.T) {
+	specs := []job.Spec{
+		simpleSpec(t, 0, 0, 1, 0, 5, 0),
+		simpleSpec(t, 1, 100, 1, 0, 10, 0), // idle gap, then finishes at 110
+	}
+	for _, loop := range []LoopMode{LoopNaive, LoopSlots, LoopAuto} {
+		res := mustRun(t, Config{Machines: 1, Seed: 1, Loop: loop}, greedyScheduler{}, specs)
+		var finMax int64
+		for _, j := range res.Jobs {
+			if j.Finish > finMax {
+				finMax = j.Finish
+			}
+		}
+		if finMax != 110 {
+			t.Fatalf("loop %v: last finish = %d, want 110", loop, finMax)
+		}
+		if res.Slots != finMax {
+			t.Errorf("loop %v: Slots = %d, want last finish slot %d", loop, res.Slots, finMax)
+		}
+	}
+}
+
+// nonFiniteDist passes Spec validation (finite moments) but samples NaN
+// after a configurable number of good draws.
+type nonFiniteDist struct {
+	good int // finite samples to produce before the bad one
+	bad  float64
+}
+
+func (d *nonFiniteDist) Sample(*rng.Source) float64 {
+	if d.good > 0 {
+		d.good--
+		return 3
+	}
+	return d.bad
+}
+func (d *nonFiniteDist) Mean() float64   { return 3 }
+func (d *nonFiniteDist) StdDev() float64 { return 0 }
+
+func TestNonFiniteWorkloadFailsRun(t *testing.T) {
+	// The scheduler deliberately swallows Launch errors: the engine must
+	// still fail the run (the first fatal error is recorded and surfaced
+	// from Run even when the scheduler ignores it).
+	swallowing := schedulerFunc(func(ctx *Context) {
+		for _, j := range ctx.AliveJobs() {
+			for _, mt := range j.UnscheduledTasks(job.PhaseMap) {
+				if ctx.FreeMachines() == 0 {
+					return
+				}
+				_, _ = ctx.Launch(j, mt, 1, false)
+			}
+		}
+	})
+	for _, bad := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		for _, loop := range []LoopMode{LoopNaive, LoopAuto} {
+			spec := job.Spec{ID: 0, Weight: 1, MapTasks: 2,
+				MapDist: &nonFiniteDist{good: 1, bad: bad}}
+			eng, err := New(Config{Machines: 4, Seed: 1, Loop: loop}, swallowing,
+				[]job.Spec{spec})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := eng.Run(); !errors.Is(err, ErrNonFiniteWorkload) {
+				t.Errorf("bad=%v loop=%v: want ErrNonFiniteWorkload, got %v", bad, loop, err)
+			}
+		}
+	}
+}
+
+// gatedOnlyScheduler launches every reduce task gated and never launches a
+// map task, starving the run: the gate can never open. It opts into both
+// event-driven execution and gated launches so the event loop exercises its
+// starvation detection rather than being bypassed.
+type gatedOnlyScheduler struct{}
+
+func (gatedOnlyScheduler) Name() string              { return "gated-only-test" }
+func (gatedOnlyScheduler) EventDriven() bool         { return true }
+func (gatedOnlyScheduler) LaunchesGatedCopies() bool { return true }
+func (gatedOnlyScheduler) Schedule(ctx *Context) {
+	for _, j := range ctx.AliveJobs() {
+		for _, t := range j.UnscheduledTasks(job.PhaseReduce) {
+			if ctx.FreeMachines() == 0 {
+				return
+			}
+			if _, err := ctx.Launch(j, t, 1, !j.MapPhaseDone()); err != nil {
+				panic(err)
+			}
+		}
+	}
+}
+
+// TestGatedStarvationDetectedImmediately pins the starvation path: when only
+// gated copies remain (no future arrival, nothing in the calendar), every
+// loop must report ErrSlotOverflow right away instead of stepping silently
+// through the MaxSlots horizon. The default 50M-slot horizon doubles as the
+// proof of immediacy — walking it slot by slot would time the test out.
+func TestGatedStarvationDetectedImmediately(t *testing.T) {
+	specs := []job.Spec{simpleSpec(t, 0, 0, 1, 1, 10, 5)}
+	for _, loop := range []LoopMode{LoopSlots, LoopAuto} {
+		eng, err := New(Config{Machines: 2, Seed: 1, Loop: loop}, gatedOnlyScheduler{}, specs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := eng.Run(); !errors.Is(err, ErrSlotOverflow) {
+			t.Errorf("loop %v: want ErrSlotOverflow, got %v", loop, err)
+		}
 	}
 }
 

@@ -27,6 +27,13 @@ func NewDeterministic(v float64) (Distribution, error) {
 // Sample implements Distribution.
 func (d Deterministic) Sample(*rng.Source) float64 { return d.Value }
 
+// SampleN implements BatchSampler.
+func (d Deterministic) SampleN(dst []float64, _ *rng.Source) {
+	for i := range dst {
+		dst[i] = d.Value
+	}
+}
+
 // Mean implements Distribution.
 func (d Deterministic) Mean() float64 { return d.Value }
 
@@ -57,6 +64,14 @@ func (u Uniform) Sample(src *rng.Source) float64 {
 	return u.Lo + (u.Hi-u.Lo)*src.Float64()
 }
 
+// SampleN implements BatchSampler.
+func (u Uniform) SampleN(dst []float64, src *rng.Source) {
+	lo, span := u.Lo, u.Hi-u.Lo
+	for i := range dst {
+		dst[i] = lo + span*src.Float64()
+	}
+}
+
 // Mean implements Distribution.
 func (u Uniform) Mean() float64 { return (u.Lo + u.Hi) / 2 }
 
@@ -82,6 +97,13 @@ func NewExponential(rate float64) (Distribution, error) {
 // Sample implements Distribution by inverting the CDF: -ln(1-U)/rate.
 func (e Exponential) Sample(src *rng.Source) float64 {
 	return -math.Log1p(-src.Float64()) / e.Rate
+}
+
+// SampleN implements BatchSampler.
+func (e Exponential) SampleN(dst []float64, src *rng.Source) {
+	for i := range dst {
+		dst[i] = -math.Log1p(-src.Float64()) / e.Rate
+	}
 }
 
 // Mean implements Distribution.
@@ -114,6 +136,14 @@ func NewWeibull(scale, shape float64) (Distribution, error) {
 // scale * (-ln(1-U))^(1/shape).
 func (w Weibull) Sample(src *rng.Source) float64 {
 	return w.Scale * math.Pow(-math.Log1p(-src.Float64()), 1/w.Shape)
+}
+
+// SampleN implements BatchSampler.
+func (w Weibull) SampleN(dst []float64, src *rng.Source) {
+	invShape := 1 / w.Shape
+	for i := range dst {
+		dst[i] = w.Scale * math.Pow(-math.Log1p(-src.Float64()), invShape)
+	}
 }
 
 // Mean implements Distribution: scale * Gamma(1 + 1/shape).
@@ -154,6 +184,15 @@ func NewScaled(d Distribution, factor float64) (Distribution, error) {
 
 // Sample implements Distribution.
 func (s Scaled) Sample(src *rng.Source) float64 { return s.Factor * s.Inner.Sample(src) }
+
+// SampleN implements BatchSampler: a batched inner draw scaled in place
+// (multiplication commutes bit-exactly, so this matches per-draw Sample).
+func (s Scaled) SampleN(dst []float64, src *rng.Source) {
+	SampleN(s.Inner, dst, src)
+	for i := range dst {
+		dst[i] *= s.Factor
+	}
+}
 
 // Mean implements Distribution.
 func (s Scaled) Mean() float64 { return s.Factor * s.Inner.Mean() }

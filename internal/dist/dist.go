@@ -38,3 +38,27 @@ type Distribution interface {
 
 // ErrBadParam is wrapped by every constructor error in this package.
 var ErrBadParam = errors.New("dist: invalid parameter")
+
+// BatchSampler is implemented by distributions that can draw many variates
+// in one call. SampleN must fill dst with exactly the values len(dst)
+// successive Sample calls on the same stream would produce — bit-identical,
+// consuming the stream identically — so callers may batch freely without
+// perturbing seeded runs. The cluster engine draws one batch per launch
+// call, which keeps the per-copy cost at the transcendental floor instead
+// of an interface dispatch per draw.
+type BatchSampler interface {
+	SampleN(dst []float64, src *rng.Source)
+}
+
+// SampleN fills dst with successive draws from d, using the batched path
+// when d implements BatchSampler and falling back to per-draw Sample calls
+// otherwise. Both paths consume the stream identically.
+func SampleN(d Distribution, dst []float64, src *rng.Source) {
+	if b, ok := d.(BatchSampler); ok {
+		b.SampleN(dst, src)
+		return
+	}
+	for i := range dst {
+		dst[i] = d.Sample(src)
+	}
+}

@@ -71,6 +71,13 @@ func (e *Empirical) Sample(src *rng.Source) float64 {
 	return e.values[src.Intn(len(e.values))]
 }
 
+// SampleN implements BatchSampler.
+func (e *Empirical) SampleN(dst []float64, src *rng.Source) {
+	for i := range dst {
+		dst[i] = e.values[src.Intn(len(e.values))]
+	}
+}
+
 // Mean implements Distribution with the sample mean.
 func (e *Empirical) Mean() float64 { return e.mean }
 

@@ -53,6 +53,13 @@ func (l Lognormal) Sample(src *rng.Source) float64 {
 	return math.Exp(l.MuLog + l.SigmaLog*src.NormFloat64())
 }
 
+// SampleN implements BatchSampler.
+func (l Lognormal) SampleN(dst []float64, src *rng.Source) {
+	for i := range dst {
+		dst[i] = math.Exp(l.MuLog + l.SigmaLog*src.NormFloat64())
+	}
+}
+
 // Mean implements Distribution.
 func (l Lognormal) Mean() float64 {
 	return math.Exp(l.MuLog + l.SigmaLog*l.SigmaLog/2)

@@ -39,6 +39,14 @@ func (p Pareto) Sample(src *rng.Source) float64 {
 	return p.Xm * math.Pow(u, -1/p.Alpha)
 }
 
+// SampleN implements BatchSampler.
+func (p Pareto) SampleN(dst []float64, src *rng.Source) {
+	exp := -1 / p.Alpha
+	for i := range dst {
+		dst[i] = p.Xm * math.Pow(1-src.Float64(), exp)
+	}
+}
+
 // Mean implements Distribution.
 func (p Pareto) Mean() float64 {
 	if p.Alpha <= 1 {
@@ -103,6 +111,19 @@ func (b preparedBoundedPareto) Sample(src *rng.Source) float64 {
 	return x
 }
 
+// SampleN implements BatchSampler: the engine's hottest sampling path, with
+// the truncation term and exponent held in locals across the batch.
+func (b preparedBoundedPareto) SampleN(dst []float64, src *rng.Source) {
+	span, exp := 1-b.theta, -1/b.Alpha
+	for i := range dst {
+		x := b.Lo * math.Pow(1-src.Float64()*span, exp)
+		if x > b.Hi {
+			x = b.Hi // guards round-off at the upper edge
+		}
+		dst[i] = x
+	}
+}
+
 // Sample implements Distribution by inverting the truncated CDF:
 // Lo * (1 - U*(1-(Lo/Hi)^Alpha))^(-1/Alpha), which maps U=0 to Lo and U->1
 // to Hi, so every draw lies inside the support.
@@ -113,6 +134,13 @@ func (b BoundedPareto) Sample(src *rng.Source) float64 {
 		return b.Hi // guards round-off at the upper edge
 	}
 	return x
+}
+
+// SampleN implements BatchSampler, computing the truncation constant once
+// per batch (Sample recomputes it per draw).
+func (b BoundedPareto) SampleN(dst []float64, src *rng.Source) {
+	prepared := preparedBoundedPareto{BoundedPareto: b, theta: math.Pow(b.Lo/b.Hi, b.Alpha)}
+	prepared.SampleN(dst, src)
 }
 
 // Mean implements Distribution.

@@ -199,9 +199,13 @@ func mediumSpec(seed int64) spec.Spec {
 
 // blockerSpec occupies a Workers=1 shard for long enough to stack a backlog
 // behind it (a few hundred ms at least), without dragging out the drain.
+// Runs is calibrated to the discrete-event engine; if the engine gets
+// faster, raise it — backlog-dependent assertions (fair-share splits,
+// queued-quota 429s) silently degrade to FIFO/no-op observations when the
+// blocker drains before the backlog forms.
 func blockerSpec(seed int64) spec.Spec {
 	sp := mediumSpec(seed)
-	sp.Runs = 8
+	sp.Runs = 64
 	return sp
 }
 

@@ -166,6 +166,11 @@ type Task struct {
 	// running lists (-1 when absent), giving O(1) launch/done transitions.
 	pendingPos int
 	runningPos int
+
+	// Runtime is an opaque slot reserved for the simulation engine's
+	// per-task bookkeeping (it holds the task's calendar entry while copies
+	// are live). Schedulers and other packages must not read or write it.
+	Runtime any
 }
 
 // Job is the runtime state of a job inside the cluster engine.
@@ -183,39 +188,43 @@ type Job struct {
 	FinishSlot    int64 // -1 until the job completes
 }
 
-// New materializes the runtime state for a spec.
+// New materializes the runtime state for a spec. Task records and the
+// per-phase bookkeeping lists come from per-job slab allocations — the
+// engine materializes every job of a trace, so the constructor is on the
+// simulation hot path.
 func New(spec Spec) (*Job, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
+	total := spec.TotalTasks()
+	m := spec.MapTasks
 	j := &Job{
 		Spec:       spec,
-		Tasks:      make([]*Task, 0, spec.TotalTasks()),
 		FinishSlot: -1,
 	}
-	for i := 0; i < spec.MapTasks; i++ {
-		t := &Task{
-			ID:         TaskID{Job: spec.ID, Phase: PhaseMap, Index: i},
+	slab := make([]Task, total)
+	ptrs := make([]*Task, 3*total)
+	j.Tasks = ptrs[:total:total]
+	pend := ptrs[total : 2*total : 2*total]
+	runb := ptrs[2*total:]
+	j.pending[0], j.pending[1] = pend[:m:m], pend[m:]
+	j.running[0], j.running[1] = runb[:0:m], runb[m:m:total]
+	for i := range slab {
+		t := &slab[i]
+		phase, index := PhaseMap, i
+		if i >= m {
+			phase, index = PhaseReduce, i-m
+		}
+		*t = Task{
+			ID:         TaskID{Job: spec.ID, Phase: phase, Index: index},
 			State:      TaskUnscheduled,
 			LaunchSlot: -1,
 			FinishSlot: -1,
-			pendingPos: i,
+			pendingPos: index,
 			runningPos: -1,
 		}
-		j.Tasks = append(j.Tasks, t)
-		j.pending[0] = append(j.pending[0], t)
-	}
-	for i := 0; i < spec.ReduceTask; i++ {
-		t := &Task{
-			ID:         TaskID{Job: spec.ID, Phase: PhaseReduce, Index: i},
-			State:      TaskUnscheduled,
-			LaunchSlot: -1,
-			FinishSlot: -1,
-			pendingPos: i,
-			runningPos: -1,
-		}
-		j.Tasks = append(j.Tasks, t)
-		j.pending[1] = append(j.pending[1], t)
+		j.Tasks[i] = t
+		pend[i] = t
 	}
 	j.unfinished[phaseIdx(PhaseMap)] = spec.MapTasks
 	j.unfinished[phaseIdx(PhaseReduce)] = spec.ReduceTask
@@ -393,6 +402,8 @@ func (j *Job) MarkDone(t *Task, slot int64) {
 // UnscheduledTasks returns the tasks of phase p still in the unscheduled
 // pool. The slice is freshly allocated (nil when empty); element order is an
 // implementation detail — callers needing randomness shuffle explicitly.
+// Schedulers on the simulation hot path should prefer AppendUnscheduled
+// with a reused scratch buffer.
 func (j *Job) UnscheduledTasks(p Phase) []*Task {
 	list := j.pending[phaseIdx(p)]
 	if len(list) == 0 {
@@ -403,8 +414,18 @@ func (j *Job) UnscheduledTasks(p Phase) []*Task {
 	return out
 }
 
+// AppendUnscheduled appends the tasks of phase p still in the unscheduled
+// pool to dst and returns the extended slice: the allocation-free variant of
+// UnscheduledTasks for scheduler scratch buffers. The appended snapshot
+// remains valid while tasks launch, in the same order UnscheduledTasks
+// would have returned.
+func (j *Job) AppendUnscheduled(dst []*Task, p Phase) []*Task {
+	return append(dst, j.pending[phaseIdx(p)]...)
+}
+
 // RunningTasks returns the tasks of phase p with at least one live copy.
-// The slice is freshly allocated (nil when empty).
+// The slice is freshly allocated (nil when empty). Hot paths should prefer
+// AppendRunning with a reused scratch buffer.
 func (j *Job) RunningTasks(p Phase) []*Task {
 	list := j.running[phaseIdx(p)]
 	if len(list) == 0 {
@@ -413,6 +434,13 @@ func (j *Job) RunningTasks(p Phase) []*Task {
 	out := make([]*Task, len(list))
 	copy(out, list)
 	return out
+}
+
+// AppendRunning appends the tasks of phase p with at least one live copy to
+// dst and returns the extended slice: the allocation-free variant of
+// RunningTasks for scheduler scratch buffers.
+func (j *Job) AppendRunning(dst []*Task, p Phase) []*Task {
+	return append(dst, j.running[phaseIdx(p)]...)
 }
 
 // Flowtime returns f_i - a_i, or -1 if the job has not finished.

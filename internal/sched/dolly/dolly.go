@@ -36,9 +36,12 @@ const (
 	DefaultBudgetFraction = 0.1
 )
 
-// Scheduler implements cluster.Scheduler.
+// Scheduler implements cluster.Scheduler. It carries per-instance scratch
+// and must not be shared by concurrently running engines.
 type Scheduler struct {
 	cfg Config
+
+	tasks []*job.Task
 }
 
 var _ cluster.Scheduler = (*Scheduler)(nil)
@@ -84,7 +87,8 @@ func (s *Scheduler) Schedule(ctx *cluster.Context) {
 	cloneBudget := int(s.cfg.BudgetFraction * float64(ctx.Machines()))
 	for _, j := range alive {
 		for _, p := range []job.Phase{job.PhaseMap, job.PhaseReduce} {
-			for _, t := range j.RunningTasks(p) {
+			s.tasks = j.AppendRunning(s.tasks[:0], p)
+			for _, t := range s.tasks {
 				if t.Copies > 1 {
 					cloneBudget -= t.Copies - 1
 				}
@@ -113,7 +117,8 @@ func (s *Scheduler) Schedule(ctx *cluster.Context) {
 // the remaining budget.
 func (s *Scheduler) fillPhase(ctx *cluster.Context, j *job.Job, p job.Phase,
 	copies, cloneBudget int) int {
-	for _, t := range j.UnscheduledTasks(p) {
+	s.tasks = j.AppendUnscheduled(s.tasks[:0], p)
+	for _, t := range s.tasks {
 		if ctx.FreeMachines() == 0 {
 			return cloneBudget
 		}

@@ -12,25 +12,30 @@ import (
 	"mrclone/internal/sched/schedutil"
 )
 
-// Scheduler implements cluster.Scheduler.
-type Scheduler struct{}
+// Scheduler implements cluster.Scheduler. It carries per-instance scratch
+// and must not be shared by concurrently running engines.
+type Scheduler struct {
+	app    schedutil.Apportioner
+	shares []float64
+	tasks  []*job.Task
+}
 
-var _ cluster.Scheduler = Scheduler{}
+var _ cluster.Scheduler = (*Scheduler)(nil)
 
 // New returns a fair scheduler.
-func New() Scheduler { return Scheduler{} }
+func New() *Scheduler { return &Scheduler{} }
 
 // Name implements cluster.Scheduler.
-func (Scheduler) Name() string { return "Fair" }
+func (*Scheduler) Name() string { return "Fair" }
 
 // EventDriven implements cluster.EventDriven: the weighted shares depend
 // only on alive jobs' task states, so idle slots may be skipped.
-func (Scheduler) EventDriven() bool { return true }
+func (*Scheduler) EventDriven() bool { return true }
 
 // Schedule implements cluster.Scheduler: each job with unscheduled tasks is
 // entitled to w_i*M/W machines; surplus entitlement beyond a job's demand is
 // redistributed by a second greedy pass so the cluster does not idle.
-func (Scheduler) Schedule(ctx *cluster.Context) {
+func (s *Scheduler) Schedule(ctx *cluster.Context) {
 	psi := schedutil.WithUnscheduledTasks(ctx.AliveJobs())
 	if len(psi) == 0 {
 		return
@@ -40,11 +45,12 @@ func (Scheduler) Schedule(ctx *cluster.Context) {
 		return
 	}
 	m := float64(ctx.Machines())
-	shares := make([]float64, len(psi))
-	for i, j := range psi {
-		shares[i] = j.Spec.Weight * m / w
+	shares := s.shares[:0]
+	for _, j := range psi {
+		shares = append(shares, j.Spec.Weight*m/w)
 	}
-	grant := schedutil.LargestRemainder(shares, ctx.Machines())
+	s.shares = shares
+	grant := s.app.LargestRemainder(shares, ctx.Machines())
 
 	for i, j := range psi {
 		if ctx.FreeMachines() == 0 {
@@ -57,7 +63,7 @@ func (Scheduler) Schedule(ctx *cluster.Context) {
 		if x > ctx.FreeMachines() {
 			x = ctx.FreeMachines()
 		}
-		launchUpTo(ctx, j, x)
+		s.launchUpTo(ctx, j, x)
 	}
 	// Work-conserving second pass: hand leftover machines to any job with
 	// unscheduled tasks, in arrival order.
@@ -65,14 +71,15 @@ func (Scheduler) Schedule(ctx *cluster.Context) {
 		if ctx.FreeMachines() == 0 {
 			return
 		}
-		launchUpTo(ctx, j, ctx.FreeMachines())
+		s.launchUpTo(ctx, j, ctx.FreeMachines())
 	}
 }
 
 // launchUpTo launches at most x first copies of j's unscheduled tasks, maps
 // before (ungated) reduces. No clones are ever made.
-func launchUpTo(ctx *cluster.Context, j *job.Job, x int) {
-	for _, t := range j.UnscheduledTasks(job.PhaseMap) {
+func (s *Scheduler) launchUpTo(ctx *cluster.Context, j *job.Job, x int) {
+	s.tasks = j.AppendUnscheduled(s.tasks[:0], job.PhaseMap)
+	for _, t := range s.tasks {
 		if x == 0 || ctx.FreeMachines() == 0 {
 			return
 		}
@@ -84,7 +91,8 @@ func launchUpTo(ctx *cluster.Context, j *job.Job, x int) {
 	if !j.MapPhaseDone() {
 		return
 	}
-	for _, t := range j.UnscheduledTasks(job.PhaseReduce) {
+	s.tasks = j.AppendUnscheduled(s.tasks[:0], job.PhaseReduce)
+	for _, t := range s.tasks {
 		if x == 0 || ctx.FreeMachines() == 0 {
 			return
 		}

@@ -37,9 +37,13 @@ type Config struct {
 	GateReduces bool
 }
 
-// Scheduler implements cluster.Scheduler.
+// Scheduler implements cluster.Scheduler. It carries per-instance scratch
+// and must not be shared by concurrently running engines.
 type Scheduler struct {
 	cfg Config
+
+	sorter schedutil.Sorter
+	tasks  []*job.Task
 }
 
 var _ cluster.Scheduler = (*Scheduler)(nil)
@@ -61,12 +65,17 @@ func (s *Scheduler) Name() string {
 // depend only on the specs and task states, so idle slots may be skipped.
 func (s *Scheduler) EventDriven() bool { return true }
 
+// LaunchesGatedCopies implements cluster.GatedLauncher: with GateReduces,
+// Schedule launches reduce copies behind a closed map gate, so the event
+// loop must keep invoking it while such tasks remain unscheduled.
+func (s *Scheduler) LaunchesGatedCopies() bool { return s.cfg.GateReduces }
+
 // Schedule implements cluster.Scheduler (Algorithm 1). The priority order is
 // static — phi_i depends only on the spec — so re-sorting each slot yields
 // the same ranking the one-shot sort in the pseudo-code produces.
 func (s *Scheduler) Schedule(ctx *cluster.Context) {
 	jobs := ctx.AliveJobs()
-	schedutil.ByOfflinePriorityDesc(jobs, s.cfg.DeviationFactor)
+	s.sorter.ByOfflinePriorityDesc(jobs, s.cfg.DeviationFactor)
 	for _, j := range jobs {
 		if ctx.FreeMachines() == 0 {
 			return
@@ -78,7 +87,8 @@ func (s *Scheduler) Schedule(ctx *cluster.Context) {
 // fill assigns free machines to unscheduled tasks of j: maps first, then
 // reduces (gated when the map phase is still running, if enabled).
 func (s *Scheduler) fill(ctx *cluster.Context, j *job.Job) {
-	for _, t := range j.UnscheduledTasks(job.PhaseMap) {
+	s.tasks = j.AppendUnscheduled(s.tasks[:0], job.PhaseMap)
+	for _, t := range s.tasks {
 		if ctx.FreeMachines() == 0 {
 			return
 		}
@@ -90,7 +100,8 @@ func (s *Scheduler) fill(ctx *cluster.Context, j *job.Job) {
 	if !mapsDone && !s.cfg.GateReduces {
 		return
 	}
-	for _, t := range j.UnscheduledTasks(job.PhaseReduce) {
+	s.tasks = j.AppendUnscheduled(s.tasks[:0], job.PhaseReduce)
+	for _, t := range s.tasks {
 		if ctx.FreeMachines() == 0 {
 			return
 		}

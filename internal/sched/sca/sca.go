@@ -44,9 +44,14 @@ type Config struct {
 // DefaultMaxClones bounds per-task cloning when Config.MaxClonesPerTask is 0.
 const DefaultMaxClones = 8
 
-// Scheduler implements cluster.Scheduler.
+// Scheduler implements cluster.Scheduler. It carries per-instance scratch
+// and must not be shared by concurrently running engines.
 type Scheduler struct {
 	cfg Config
+
+	allocs []allocation
+	items  []*allocation
+	tasks  []*job.Task
 }
 
 var _ cluster.Scheduler = (*Scheduler)(nil)
@@ -147,8 +152,10 @@ func (s *Scheduler) Schedule(ctx *cluster.Context) {
 	// does not reorder them by remaining work.
 
 	// Phase A: guarantee one copy to every unscheduled task in arrival
-	// order (the program's feasibility baseline).
-	allocs := make([]*allocation, 0, 64)
+	// order (the program's feasibility baseline). Allocations live in a
+	// reused value slice; pointers into it are taken only after it stops
+	// growing.
+	allocs := s.allocs[:0]
 	budget := ctx.FreeMachines()
 	for _, j := range psi {
 		if budget == 0 {
@@ -159,24 +166,33 @@ func (s *Scheduler) Schedule(ctx *cluster.Context) {
 				break
 			}
 			stats := j.PhaseStats(p)
-			for _, t := range j.UnscheduledTasks(p) {
+			s.tasks = j.AppendUnscheduled(s.tasks[:0], p)
+			for _, t := range s.tasks {
 				if budget == 0 {
 					break
 				}
-				allocs = append(allocs, &allocation{
+				allocs = append(allocs, allocation{
 					j: j, t: t, mean: stats.Mean, weight: j.Spec.Weight, copies: 1,
 				})
 				budget--
 			}
 		}
 	}
+	s.allocs = allocs
 
 	// Phase B: water-fill the remaining budget by marginal weighted gain.
+	// heap.Init and repeated pushes can lay the heap array out differently,
+	// but the comparator is a total order, so the element at the top — the
+	// only one the loop reads — is the unique maximum either way.
 	if budget > 0 && len(allocs) > 0 {
-		h := &gainHeap{items: make([]*allocation, 0, len(allocs)), s: s}
-		for _, a := range allocs {
-			heap.Push(h, a)
+		items := s.items[:0]
+		for i := range allocs {
+			allocs[i].index = i
+			items = append(items, &allocs[i])
 		}
+		s.items = items
+		h := &gainHeap{items: items, s: s}
+		heap.Init(h)
 		for budget > 0 && h.Len() > 0 {
 			top := h.items[0]
 			if s.gain(top) <= 0 {
@@ -189,7 +205,8 @@ func (s *Scheduler) Schedule(ctx *cluster.Context) {
 	}
 
 	// Launch every allocation.
-	for _, a := range allocs {
+	for i := range allocs {
+		a := &allocs[i]
 		n := a.copies
 		if n > ctx.FreeMachines() {
 			n = ctx.FreeMachines()

@@ -2,53 +2,97 @@
 // implementations: priority ordering, random task picking, and the
 // largest-remainder integer rounding used to convert fractional machine
 // shares into whole machines.
+//
+// The package-level functions allocate per call. Schedulers invoked once per
+// engine event keep a Sorter and an Apportioner as scratch instead — same
+// results, no per-call allocation. Scratch values are not safe for
+// concurrent use; each engine builds its own scheduler, so per-scheduler
+// scratch is single-threaded by construction.
 package schedutil
 
 import (
-	"sort"
+	"slices"
 
 	"mrclone/internal/job"
 	"mrclone/internal/rng"
 )
 
+// keyedJob pairs a job with its precomputed sort key so comparisons inside
+// the sort do not recompute priorities O(n log n) times.
+type keyedJob struct {
+	j *job.Job
+	p float64
+}
+
+// compareKeyedDesc orders by descending priority, ties by ascending job ID
+// for determinism. Job IDs are unique, so the order is total and the stable
+// sort's output is the unique sorted permutation.
+func compareKeyedDesc(a, b keyedJob) int {
+	switch {
+	case a.p > b.p:
+		return -1
+	case a.p < b.p:
+		return 1
+	case a.j.Spec.ID < b.j.Spec.ID:
+		return -1
+	case a.j.Spec.ID > b.j.Spec.ID:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Sorter holds reusable scratch for the priority sorts. The zero value is
+// ready to use.
+type Sorter struct {
+	keyed []keyedJob
+}
+
 // ByPriorityDesc sorts jobs in place by descending priority w_i/U_i(l)
 // (Equation 4 with the given deviation factor), breaking ties by ascending
 // job ID for determinism.
-func ByPriorityDesc(jobs []*job.Job, deviationFactor float64) {
-	sort.SliceStable(jobs, func(a, b int) bool {
-		pa, pb := jobs[a].Priority(deviationFactor), jobs[b].Priority(deviationFactor)
-		if pa != pb {
-			return pa > pb
-		}
-		return jobs[a].Spec.ID < jobs[b].Spec.ID
-	})
+func (s *Sorter) ByPriorityDesc(jobs []*job.Job, deviationFactor float64) {
+	ks := s.keyed[:0]
+	for _, j := range jobs {
+		ks = append(ks, keyedJob{j: j, p: j.Priority(deviationFactor)})
+	}
+	slices.SortStableFunc(ks, compareKeyedDesc)
+	for i := range ks {
+		jobs[i] = ks[i].j
+	}
+	s.keyed = ks
 }
 
 // ByOfflinePriorityDesc sorts jobs by the offline priority w_i/phi_i
 // (Equation 2), descending, ties by ascending ID.
-func ByOfflinePriorityDesc(jobs []*job.Job, deviationFactor float64) {
-	type keyed struct {
-		j *job.Job
-		p float64
-	}
-	ks := make([]keyed, len(jobs))
-	for i, j := range jobs {
+func (s *Sorter) ByOfflinePriorityDesc(jobs []*job.Job, deviationFactor float64) {
+	ks := s.keyed[:0]
+	for _, j := range jobs {
 		phi := j.EffectiveWorkload(deviationFactor)
 		p := 0.0
 		if phi > 0 {
 			p = j.Spec.Weight / phi
 		}
-		ks[i] = keyed{j: j, p: p}
+		ks = append(ks, keyedJob{j: j, p: p})
 	}
-	sort.SliceStable(ks, func(a, b int) bool {
-		if ks[a].p != ks[b].p {
-			return ks[a].p > ks[b].p
-		}
-		return ks[a].j.Spec.ID < ks[b].j.Spec.ID
-	})
+	slices.SortStableFunc(ks, compareKeyedDesc)
 	for i := range ks {
 		jobs[i] = ks[i].j
 	}
+	s.keyed = ks
+}
+
+// ByPriorityDesc is the allocating convenience form of Sorter.ByPriorityDesc.
+func ByPriorityDesc(jobs []*job.Job, deviationFactor float64) {
+	var s Sorter
+	s.ByPriorityDesc(jobs, deviationFactor)
+}
+
+// ByOfflinePriorityDesc is the allocating convenience form of
+// Sorter.ByOfflinePriorityDesc.
+func ByOfflinePriorityDesc(jobs []*job.Job, deviationFactor float64) {
+	var s Sorter
+	s.ByOfflinePriorityDesc(jobs, deviationFactor)
 }
 
 // PickRandom returns k distinct tasks chosen uniformly at random from the
@@ -63,32 +107,72 @@ func PickRandom(tasks []*job.Task, k int, src *rng.Source) []*job.Task {
 	if k <= 0 {
 		return nil
 	}
-	// Partial Fisher–Yates over a copied slice.
 	pool := make([]*job.Task, len(tasks))
 	copy(pool, tasks)
-	for i := 0; i < k; i++ {
-		r := i + src.Intn(len(pool)-i)
-		pool[i], pool[r] = pool[r], pool[i]
+	return PickRandomInPlace(pool, k, src)
+}
+
+// PickRandomInPlace is PickRandom for callers that own the slice (scratch
+// buffers): it reorders tasks in place and returns a prefix of it, drawing
+// exactly the same random sequence as PickRandom. When k >= len(tasks) the
+// slice is returned unshuffled with no draws.
+func PickRandomInPlace(tasks []*job.Task, k int, src *rng.Source) []*job.Task {
+	if k >= len(tasks) {
+		return tasks
 	}
-	return pool[:k]
+	if k <= 0 {
+		return nil
+	}
+	// Partial Fisher–Yates.
+	for i := 0; i < k; i++ {
+		r := i + src.Intn(len(tasks)-i)
+		tasks[i], tasks[r] = tasks[r], tasks[i]
+	}
+	return tasks[:k]
+}
+
+// frac is one entry of the largest-remainder ranking.
+type frac struct {
+	idx  int
+	part float64
+}
+
+// compareFracDesc orders by descending fractional part, ties by lower index.
+func compareFracDesc(a, b frac) int {
+	switch {
+	case a.part > b.part:
+		return -1
+	case a.part < b.part:
+		return 1
+	default:
+		return a.idx - b.idx
+	}
+}
+
+// Apportioner holds reusable scratch for largest-remainder rounding. The
+// zero value is ready to use.
+type Apportioner struct {
+	out   []int
+	fracs []frac
 }
 
 // LargestRemainder rounds non-negative fractional shares to integers whose
 // sum equals the floor of the total share mass, distributing the residual
 // units to the entries with the largest fractional parts (ties broken by
 // lower index). It is the standard apportionment rule and preserves
-// monotonicity of the input ordering.
-func LargestRemainder(shares []float64, total int) []int {
-	out := make([]int, len(shares))
+// monotonicity of the input ordering. The returned slice is scratch owned by
+// the Apportioner, valid until its next call.
+func (ap *Apportioner) LargestRemainder(shares []float64, total int) []int {
+	out := ap.out[:0]
+	for range shares {
+		out = append(out, 0)
+	}
+	ap.out = out
 	if total <= 0 || len(shares) == 0 {
 		return out
 	}
-	type frac struct {
-		idx  int
-		part float64
-	}
 	sum := 0
-	fracs := make([]frac, 0, len(shares))
+	fracs := ap.fracs[:0]
 	for i, s := range shares {
 		if s < 0 {
 			s = 0
@@ -98,16 +182,12 @@ func LargestRemainder(shares []float64, total int) []int {
 		sum += w
 		fracs = append(fracs, frac{idx: i, part: s - float64(w)})
 	}
+	ap.fracs = fracs
 	remaining := total - sum
 	if remaining <= 0 {
 		return out
 	}
-	sort.SliceStable(fracs, func(a, b int) bool {
-		if fracs[a].part != fracs[b].part {
-			return fracs[a].part > fracs[b].part
-		}
-		return fracs[a].idx < fracs[b].idx
-	})
+	slices.SortStableFunc(fracs, compareFracDesc)
 	for i := 0; i < len(fracs) && remaining > 0; i++ {
 		// Only top up entries that asked for a nonzero share.
 		if shares[fracs[i].idx] <= 0 {
@@ -119,10 +199,22 @@ func LargestRemainder(shares []float64, total int) []int {
 	return out
 }
 
-// WithUnscheduledTasks filters jobs to those with at least one unscheduled
-// task (the paper's alive set psi^s(l) for scheduling purposes).
+// LargestRemainder is the allocating convenience form of
+// Apportioner.LargestRemainder; the returned slice is freshly allocated.
+func LargestRemainder(shares []float64, total int) []int {
+	var ap Apportioner
+	out := ap.LargestRemainder(shares, total)
+	res := make([]int, len(out))
+	copy(res, out)
+	return res
+}
+
+// WithUnscheduledTasks filters jobs in place to those with at least one
+// unscheduled task (the paper's alive set psi^s(l) for scheduling purposes)
+// and returns the filtered prefix. Callers pass Context.AliveJobs scratch,
+// which is documented as filterable in place.
 func WithUnscheduledTasks(jobs []*job.Job) []*job.Job {
-	out := make([]*job.Job, 0, len(jobs))
+	out := jobs[:0]
 	for _, j := range jobs {
 		if j.Unscheduled(job.PhaseMap) > 0 || j.Unscheduled(job.PhaseReduce) > 0 {
 			out = append(out, j)

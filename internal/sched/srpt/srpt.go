@@ -22,9 +22,13 @@ type Config struct {
 	DeviationFactor float64
 }
 
-// Scheduler implements cluster.Scheduler.
+// Scheduler implements cluster.Scheduler. It carries per-instance scratch
+// and must not be shared by concurrently running engines.
 type Scheduler struct {
 	cfg Config
+
+	sorter schedutil.Sorter
+	tasks  []*job.Task
 }
 
 var _ cluster.Scheduler = (*Scheduler)(nil)
@@ -52,12 +56,13 @@ func (s *Scheduler) Schedule(ctx *cluster.Context) {
 	if len(psi) == 0 {
 		return
 	}
-	schedutil.ByPriorityDesc(psi, s.cfg.DeviationFactor)
+	s.sorter.ByPriorityDesc(psi, s.cfg.DeviationFactor)
 	for _, j := range psi {
 		if ctx.FreeMachines() == 0 {
 			return
 		}
-		for _, t := range j.UnscheduledTasks(job.PhaseMap) {
+		s.tasks = j.AppendUnscheduled(s.tasks[:0], job.PhaseMap)
+		for _, t := range s.tasks {
 			if ctx.FreeMachines() == 0 {
 				return
 			}
@@ -68,7 +73,8 @@ func (s *Scheduler) Schedule(ctx *cluster.Context) {
 		if !j.MapPhaseDone() {
 			continue
 		}
-		for _, t := range j.UnscheduledTasks(job.PhaseReduce) {
+		s.tasks = j.AppendUnscheduled(s.tasks[:0], job.PhaseReduce)
+		for _, t := range s.tasks {
 			if ctx.FreeMachines() == 0 {
 				return
 			}

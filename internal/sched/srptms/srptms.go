@@ -58,9 +58,18 @@ type Config struct {
 // DefaultMaxClones bounds per-task cloning when Config.MaxClonesPerTask is 0.
 const DefaultMaxClones = 8
 
-// Scheduler implements cluster.Scheduler.
+// Scheduler implements cluster.Scheduler. It carries per-instance scratch
+// for the per-event sort, apportionment, and task snapshots, so a Scheduler
+// must not be shared by concurrently running engines (the runner builds one
+// per cell).
 type Scheduler struct {
 	cfg Config
+
+	sorter   schedutil.Sorter
+	app      schedutil.Apportioner
+	fracs    []float64
+	suffixes []float64
+	tasks    []*job.Task
 }
 
 var _ cluster.Scheduler = (*Scheduler)(nil)
@@ -104,7 +113,7 @@ func (s *Scheduler) Schedule(ctx *cluster.Context) {
 	if len(psi) == 0 {
 		return
 	}
-	schedutil.ByPriorityDesc(psi, s.cfg.DeviationFactor)
+	s.sorter.ByPriorityDesc(psi, s.cfg.DeviationFactor)
 	shares := s.Shares(psi, ctx.Machines())
 
 	for i, j := range psi {
@@ -145,7 +154,8 @@ func (s *Scheduler) Schedule(ctx *cluster.Context) {
 // launchSingles starts one copy for as many of j's unscheduled tasks as free
 // machines allow, maps before (ungated) reduces.
 func (s *Scheduler) launchSingles(ctx *cluster.Context, j *job.Job) {
-	for _, t := range j.UnscheduledTasks(job.PhaseMap) {
+	s.tasks = j.AppendUnscheduled(s.tasks[:0], job.PhaseMap)
+	for _, t := range s.tasks {
 		if ctx.FreeMachines() == 0 {
 			return
 		}
@@ -156,7 +166,8 @@ func (s *Scheduler) launchSingles(ctx *cluster.Context, j *job.Job) {
 	if !j.MapPhaseDone() {
 		return
 	}
-	for _, t := range j.UnscheduledTasks(job.PhaseReduce) {
+	s.tasks = j.AppendUnscheduled(s.tasks[:0], job.PhaseReduce)
+	for _, t := range s.tasks {
 		if ctx.FreeMachines() == 0 {
 			return
 		}
@@ -169,19 +180,29 @@ func (s *Scheduler) launchSingles(ctx *cluster.Context, j *job.Job) {
 // Shares computes the integer machine shares g_i(l) for jobs already sorted
 // by descending priority. The fractional shares follow Section V-A exactly;
 // largest-remainder rounding converts them to integers summing to at most M.
+// The returned slice is scratch owned by the Scheduler, valid until the next
+// Shares call.
 func (s *Scheduler) Shares(sorted []*job.Job, machines int) []int {
+	frac := s.fracs[:0]
+	for range sorted {
+		frac = append(frac, 0)
+	}
+	s.fracs = frac
 	w := schedutil.TotalWeight(sorted)
 	if w <= 0 {
-		return make([]int, len(sorted))
+		return s.app.LargestRemainder(frac, 0)
 	}
 	eps := s.cfg.Epsilon
 	m := float64(machines)
-	frac := make([]float64, len(sorted))
 
 	// W_i(l) sums the weights of jobs with priority <= job i's, including
 	// job i itself: a suffix sum over the descending-priority order.
 	suffix := 0.0
-	suffixes := make([]float64, len(sorted))
+	suffixes := s.suffixes[:0]
+	for range sorted {
+		suffixes = append(suffixes, 0)
+	}
+	s.suffixes = suffixes
 	for i := len(sorted) - 1; i >= 0; i-- {
 		suffix += sorted[i].Spec.Weight
 		suffixes[i] = suffix
@@ -198,7 +219,7 @@ func (s *Scheduler) Shares(sorted []*job.Job, machines int) []int {
 			frac[i] = (suffixes[i] - threshold) * m / (eps * w)
 		}
 	}
-	return schedutil.LargestRemainder(frac, machines)
+	return s.app.LargestRemainder(frac, machines)
 }
 
 // scheduleTasks implements the task-scheduling procedure of Algorithm 2 for
@@ -225,13 +246,14 @@ func (s *Scheduler) scheduleTasks(ctx *cluster.Context, j *job.Job, x int) {
 // machines: one copy for x random tasks when x <= c; otherwise about x/c
 // copies per task with the remainder spread one extra copy at a time.
 func (s *Scheduler) launchPhase(ctx *cluster.Context, j *job.Job, p job.Phase, x int) {
-	tasks := j.UnscheduledTasks(p)
+	tasks := j.AppendUnscheduled(s.tasks[:0], p)
+	s.tasks = tasks
 	c := len(tasks)
 	if c == 0 {
 		return
 	}
 	if x <= c {
-		for _, t := range schedutil.PickRandom(tasks, x, ctx.Rand()) {
+		for _, t := range schedutil.PickRandomInPlace(tasks, x, ctx.Rand()) {
 			if ctx.FreeMachines() == 0 {
 				return
 			}
@@ -248,7 +270,7 @@ func (s *Scheduler) launchPhase(ctx *cluster.Context, j *job.Job, p job.Phase, x
 		base = s.cfg.MaxClonesPerTask
 		extra = 0
 	}
-	order := schedutil.PickRandom(tasks, c, ctx.Rand())
+	order := schedutil.PickRandomInPlace(tasks, c, ctx.Rand())
 	for i, t := range order {
 		n := base
 		if i < extra && base < s.cfg.MaxClonesPerTask {

@@ -96,7 +96,7 @@ func writeAuthError(w http.ResponseWriter, err error) {
 // required (but no submission rate is consumed — only POST pays the bucket).
 // On failure the response has been written and ok is false.
 func (s *Service) authorize(w http.ResponseWriter, r *http.Request) (string, bool) {
-	reg := s.cfg.Tenants
+	reg := s.registry()
 	if reg == nil {
 		return "", true
 	}
@@ -201,7 +201,7 @@ func (s *Service) handleCancel(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	id := r.PathValue("id")
-	if s.cfg.Tenants != nil {
+	if s.registry() != nil {
 		// Cancellation is destructive, so it is owner-only: a job submitted
 		// under one token cannot be torn down by another tenant.
 		st, err := s.Get(id)

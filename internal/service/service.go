@@ -48,6 +48,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"mrclone/internal/obs"
@@ -133,6 +134,8 @@ type Config struct {
 	// tenant's quotas and submission rate are enforced, and per-tenant
 	// accounting is kept on every job state transition. Nil (the default) is
 	// anonymous single-tenant mode with all pre-tenant behavior unchanged.
+	// The registry can be replaced at runtime with ReloadTenants; this field
+	// only seeds the initial one.
 	Tenants *tenant.Registry
 	// QueuePolicy selects how queued matrices are dequeued: fifo (default),
 	// fair (weighted-fair lottery across tenants), or srpt
@@ -406,6 +409,14 @@ type Service struct {
 	// tenantAccts is the per-tenant counter and gauge table, lazily created
 	// per named tenant; anonymous submissions ("") are never entered.
 	tenantAccts map[string]*tenantAcct
+
+	// tenants is the live tenant registry, read through registry() on every
+	// authentication/quota decision and swapped atomically by ReloadTenants —
+	// never read Config.Tenants after New. Nil means anonymous mode; a
+	// service started anonymous stays anonymous (and vice versa), so the
+	// queue's weight closure and handlers can treat tenancy as a startup
+	// property even though the tenant set underneath is live.
+	tenants atomic.Pointer[tenant.Registry]
 }
 
 // tenantAcct is one tenant's accounting row. The queued/running/cells
@@ -442,9 +453,13 @@ func New(cfg Config) *Service {
 		tenantAccts: make(map[string]*tenantAcct),
 		obsv:        newServiceObs(cfg.Logger, cfg.ShardName),
 	}
+	s.tenants.Store(cfg.Tenants)
 	var weight func(string) float64
 	if cfg.Tenants != nil {
-		weight = cfg.Tenants.Weight
+		// Resolve through the live registry on every lottery draw, not the
+		// startup one, so a hot reload's weight changes apply to jobs already
+		// queued. registry() stays non-nil: reload cannot turn tenancy off.
+		weight = func(name string) float64 { return s.registry().Weight(name) }
 	}
 	s.queue = tenant.NewQueue[*flight](cfg.QueuePolicy, weight, cfg.QueueSeed)
 	s.cond = sync.NewCond(&s.mu)
@@ -469,6 +484,35 @@ func New(cfg Config) *Service {
 		go s.gcLoop(cfg.GCInterval)
 	}
 	return s
+}
+
+// registry returns the live tenant registry, nil in anonymous mode. Every
+// tenant decision loads it exactly once so one request sees one registry
+// generation even while ReloadTenants swaps it underneath.
+func (s *Service) registry() *tenant.Registry { return s.tenants.Load() }
+
+// ReloadTenants atomically replaces the tenant registry: requests already
+// past authentication finish against the registry they loaded, the next
+// request sees the new one. Tokens added to the new registry are admitted
+// immediately; tokens removed stop authenticating, though jobs they already
+// submitted keep running (cancel them explicitly if needed). Rate-limit
+// buckets restart full — a reload is rare enough that the one free burst
+// does not matter. Per-tenant accounting survives by name.
+//
+// Tenancy itself is a startup property: reloading a nil registry, or
+// reloading into a service that started anonymous, is rejected — toggling
+// authentication on a live service would silently change the admission
+// model for every queued job.
+func (s *Service) ReloadTenants(reg *tenant.Registry) error {
+	if reg == nil {
+		return errors.New("service: reload: nil registry (tenancy cannot be turned off at runtime)")
+	}
+	if s.registry() == nil {
+		return errors.New("service: reload: service started anonymous (tenancy cannot be turned on at runtime)")
+	}
+	s.tenants.Store(reg)
+	s.obsv.log.Info("tenant registry reloaded", "tenants", reg.Len())
+	return nil
 }
 
 // recoverJobs rebuilds the job table from the store's job log: the latest
@@ -675,10 +719,11 @@ func (s *Service) tenantAcctTerminal(j *jobState, from State) {
 // complete immediately and hold neither a queue slot nor cells. Caller
 // holds mu.
 func (s *Service) checkQuota(tn string, state State, total int) error {
-	if tn == "" || s.cfg.Tenants == nil {
+	reg := s.registry()
+	if tn == "" || reg == nil {
 		return nil
 	}
-	t, ok := s.cfg.Tenants.Lookup(tn)
+	t, ok := reg.Lookup(tn)
 	if !ok {
 		return nil
 	}
@@ -789,7 +834,7 @@ func (s *Service) SubmitToken(token string, sp spec.Spec) (JobStatus, error) {
 // SubmitTokenContext is SubmitToken with a caller context; see
 // SubmitContext for what the context carries.
 func (s *Service) SubmitTokenContext(ctx context.Context, token string, sp spec.Spec) (JobStatus, error) {
-	reg := s.cfg.Tenants
+	reg := s.registry()
 	if reg == nil {
 		return s.submit(ctx, "", sp)
 	}

@@ -539,3 +539,66 @@ func TestAnonymousModeUnchanged(t *testing.T) {
 		t.Fatalf("anonymous service grew tenant accounts: %v", m.Tenants)
 	}
 }
+
+// TestTenantHotReload: ReloadTenants swaps the registry atomically, so a
+// token added after startup is admitted without a restart, a token dropped
+// stops authenticating, and a swap that would toggle tenancy off is
+// rejected.
+func TestTenantHotReload(t *testing.T) {
+	s := New(Config{Workers: 1, QueueDepth: 8,
+		Tenants: testRegistry(t, tenant.Tenant{Name: "alpha", Token: "tok-alpha"})})
+	defer closeService(t, s)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	body, _ := testSpec(1).Canonical()
+
+	// Before the reload the newcomer's token does not exist.
+	resp := authedRequest(t, ts.Client(), http.MethodPost, ts.URL+"/v1/matrices", "tok-newcomer", body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnauthorized {
+		t.Fatalf("pre-reload unknown token: HTTP %d, want 401", resp.StatusCode)
+	}
+
+	// Swap in a registry that adds newcomer and drops alpha.
+	if err := s.ReloadTenants(testRegistry(t,
+		tenant.Tenant{Name: "newcomer", Token: "tok-newcomer"})); err != nil {
+		t.Fatal(err)
+	}
+
+	resp = authedRequest(t, ts.Client(), http.MethodPost, ts.URL+"/v1/matrices", "tok-newcomer", body)
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("post-reload new token: HTTP %d, want admission", resp.StatusCode)
+	}
+	var st JobStatus
+	if err := decodeJSON(resp.Body, &st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if st.Tenant != "newcomer" {
+		t.Fatalf("post-reload job tenant %q, want newcomer", st.Tenant)
+	}
+
+	// The dropped token no longer authenticates, even though its jobs (none
+	// here) would keep running.
+	resp = authedRequest(t, ts.Client(), http.MethodPost, ts.URL+"/v1/matrices", "tok-alpha", body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnauthorized {
+		t.Fatalf("dropped token: HTTP %d, want 401", resp.StatusCode)
+	}
+
+	// Tenancy is a startup property: it cannot be reloaded away.
+	if err := s.ReloadTenants(nil); err == nil {
+		t.Fatal("nil registry reload accepted")
+	}
+}
+
+// TestAnonymousServiceRejectsTenantReload: the inverse toggle — turning
+// authentication on under live anonymous traffic — is rejected too.
+func TestAnonymousServiceRejectsTenantReload(t *testing.T) {
+	s := New(Config{Workers: 1, QueueDepth: 8})
+	defer closeService(t, s)
+	err := s.ReloadTenants(testRegistry(t, tenant.Tenant{Name: "alpha", Token: "tok-alpha"}))
+	if err == nil {
+		t.Fatal("reload into an anonymous service accepted")
+	}
+}
